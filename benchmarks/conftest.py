@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Each figure benchmark runs its experiment once per round (`pedantic`,
+rounds=1) because the experiments are deterministic replays — variance
+across rounds would only measure host noise — and records the figure's
+key numbers in ``extra_info`` so `--benchmark-json` output carries the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.workload import build_workload
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The sampled sugarbeet-scale workload shared by the scaling benches."""
+    return build_workload(seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_reads():
+    """Miniature read set for kernel benchmarks."""
+    _txome, pairs = get_recipe("whitefly-mini").materialize(seed=0)
+    return flatten_reads(pairs)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

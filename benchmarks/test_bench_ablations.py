@@ -1,0 +1,51 @@
+"""Benchmarks: the three design-choice ablations (DESIGN.md abl-*)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    run_merge_ablation,
+    run_rtt_io_ablation,
+    run_scheduler_ablation,
+)
+
+
+def test_ablation_schedulers(benchmark):
+    result = run_once(benchmark, run_scheduler_ablation, nodes_list=(16, 64, 128))
+    print()
+    print(result.render())
+    gains = [sb / rr for rr, sb in zip(result.round_robin_s, result.static_block_s)]
+    benchmark.extra_info["round_robin_gains"] = [round(g, 2) for g in gains]
+    assert all(g > 1.0 for g in gains)
+
+
+def test_ablation_rtt_io(benchmark):
+    result = run_once(benchmark, run_rtt_io_ablation)
+    print()
+    print(result.render())
+    overheads = [
+        ms / rr for rr, ms in zip(result.redundant_read_s, result.master_slave_s)
+    ]
+    benchmark.extra_info["master_slave_overheads"] = [round(o, 2) for o in overheads]
+    # The bottleneck grows with node count (paper SS:III.C).
+    assert overheads[-1] > overheads[0]
+
+
+def test_ablation_chunksize(benchmark):
+    from repro.experiments.chunksize_ablation import run_chunksize_ablation
+
+    result = run_once(benchmark, run_chunksize_ablation, chunks_totals=(256, 512, 2048))
+    print()
+    print(result.render())
+    benchmark.extra_info["imbalance_192_by_chunks"] = {
+        str(c): round(i, 2)
+        for c, i in zip(result.chunks_totals, result.imbalance_192)
+    }
+    # Fewer chunks -> lumpier dealing at 192 ranks.
+    assert result.imbalance_192[0] > result.imbalance_192[-1] * 0.9
+
+
+def test_ablation_merge(benchmark):
+    result = run_once(benchmark, run_merge_ablation)
+    print()
+    print(result.render())
+    benchmark.extra_info["cat_seconds"] = [round(c, 1) for c in result.cat_s]
+    assert all(c < 15.0 for c in result.cat_s)  # paper: "below 15 seconds"

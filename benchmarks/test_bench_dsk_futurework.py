@@ -1,0 +1,66 @@
+"""Benchmarks: the DSK counting ablation and the future-work experiments."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.dsk_ablation import run_dsk_ablation
+from repro.experiments.futurework import (
+    run_dynamic_partition,
+    run_serial_regions,
+    run_striped_io,
+)
+
+
+def test_calibration_check(benchmark):
+    from repro.experiments.calibration_check import run as run_calibration
+
+    result = run_once(benchmark, run_calibration)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "loop1_affine_r2": round(result.loop1_affine.r_squared, 3),
+            "assumption_holds": result.assumption_holds,
+        }
+    )
+    assert result.assumption_holds
+
+
+def test_ablation_dsk(benchmark):
+    result = run_once(benchmark, run_dsk_ablation)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "memory_reduction": round(result.memory_ratio, 1),
+            "identical_counts": result.identical_counts,
+        }
+    )
+    assert result.identical_counts
+    assert result.memory_ratio > 2.0  # DSK's raison d'etre
+
+
+def test_futurework_dynamic_partition(benchmark, workload):
+    result = run_once(benchmark, run_dynamic_partition, workload=workload)
+    print()
+    print(result.render())
+    gains = [rr / dy for rr, dy in zip(result.round_robin_s, result.dynamic_s)]
+    benchmark.extra_info["dynamic_gains"] = [round(g, 3) for g in gains]
+    assert all(g >= 0.99 for g in gains)  # dynamic never loses
+
+
+def test_futurework_serial_regions(benchmark, workload):
+    result = run_once(benchmark, run_serial_regions, workload=workload)
+    print()
+    print(result.render())
+    benchmark.extra_info["shipped_share_192"] = round(result.shipped_share[-1], 3)
+    benchmark.extra_info["sharded_share_192"] = round(result.sharded_share[-1], 3)
+    assert result.sharded_share[-1] < result.shipped_share[-1]
+
+
+def test_futurework_striped_io(benchmark, workload):
+    result = run_once(benchmark, run_striped_io, workload=workload)
+    print()
+    print(result.render())
+    benchmark.extra_info["gain_at_max_nodes"] = round(
+        result.redundant_loop_s[-1] / result.striped_loop_s[-1], 2
+    )
+    assert result.striped_loop_s[-1] < result.redundant_loop_s[-1]

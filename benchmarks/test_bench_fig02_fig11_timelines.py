@@ -1,0 +1,34 @@
+"""Benchmarks: regenerate Figure 2 (serial timeline) and Figure 11
+(hybrid timeline at 16 nodes)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import paper
+from repro.experiments.fig02_baseline_timeline import run as run_fig02
+from repro.experiments.fig11_parallel_timeline import run as run_fig11
+
+
+def test_fig02_baseline_timeline(benchmark):
+    result = run_once(benchmark, run_fig02)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "total_h": round(result.total_h, 1),
+            "total_h_paper": paper.TRINITY_SERIAL_TOTAL_H,
+            "chrysalis_h": round(result.chrysalis_h, 1),
+            "chrysalis_h_paper": f">{paper.CHRYSALIS_SERIAL_H}",
+        }
+    )
+    assert 50 < result.total_h < 66
+
+
+def test_fig11_parallel_timeline(benchmark):
+    result = run_once(benchmark, run_fig11)
+    print()
+    print(result.render())
+    p_chr = result.chrysalis_h(result.parallel)
+    s_chr = result.chrysalis_h(result.serial)
+    benchmark.extra_info.update(
+        {"chrysalis_parallel_16n_h": round(p_chr, 1), "chrysalis_serial_h": round(s_chr, 1)}
+    )
+    assert p_chr < s_chr / 3

@@ -1,0 +1,29 @@
+"""Benchmarks: Figure 3 (chunked round-robin) and the headline numbers."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig03_scheduling import run as run_fig03
+from repro.experiments.headline import run as run_headline
+
+
+def test_fig03_scheduling(benchmark):
+    result = run_once(benchmark, run_fig03)
+    print()
+    print(result.render())
+    benchmark.extra_info["round_robin_advantage"] = round(result.advantage, 2)
+    assert result.advantage > 1.2
+
+
+def test_headline(benchmark):
+    result = run_once(benchmark, run_headline)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "gff_speedup": round(result.gff_speedup, 1),
+            "rtt_speedup": round(result.rtt_speedup, 1),
+            "bowtie_speedup": round(result.bowtie_speedup, 1),
+            "chrysalis_parallel_h": round(result.chrysalis_parallel_h, 2),
+        }
+    )
+    assert result.chrysalis_parallel_h < 5.0  # "less than 5 hours"
+    assert result.bowtie_speedup > 2.5  # "a factor of three"

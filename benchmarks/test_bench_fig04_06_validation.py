@@ -1,0 +1,43 @@
+"""Benchmarks: the validation experiments (Figures 4, 5, 6).
+
+Run with reduced repetition counts (2 per version) so the suite stays
+quick; EXPERIMENTS.md records a full 10-run sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig04_validation import run as run_fig04
+from repro.experiments.fig05_fig06_reference import run as run_fig0506
+
+
+def test_fig04_sw_validation(benchmark):
+    result = run_once(benchmark, run_fig04, n_runs=2)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "equivalent": result.equivalent,
+            "p_full_identical": round(result.ttest_full_identical.pvalue, 3),
+        }
+    )
+    assert result.equivalent  # paper: "no significant difference"
+
+
+def test_fig05_fig06_reference_recovery(benchmark):
+    result = run_once(benchmark, run_fig0506, dataset="fission-yeast-mini", n_runs=2)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "equivalent": result.equivalent,
+            "max_relative_difference": round(result.max_relative_difference, 3),
+            "original_mean_isoforms": round(
+                sum(c.isoforms_full_length for c in result.original) / len(result.original), 1
+            ),
+            "parallel_mean_isoforms": round(
+                sum(c.isoforms_full_length for c in result.parallel) / len(result.parallel), 1
+            ),
+        }
+    )
+    # 2 runs/version: zero within-version variance degenerates the t-test,
+    # so quick sweeps use practical equivalence (see fig05_fig06_reference).
+    assert result.practically_equivalent()

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 8 (GraphFromFasta time breakdown)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import paper
+from repro.experiments.fig08_gff_breakdown import run as run_fig08
+
+
+def test_fig08_gff_breakdown(benchmark, workload):
+    result = run_once(benchmark, run_fig08, workload=workload)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "loops_share_16": round(result.share(16), 3),
+            "loops_share_16_paper": paper.GFF_LOOPS_SHARE_16N,
+            "loops_share_192": round(result.share(192), 3),
+            "loops_share_192_paper": paper.GFF_LOOPS_SHARE_192N,
+        }
+    )
+    assert abs(result.share(16) - paper.GFF_LOOPS_SHARE_16N) < 0.05
+    assert result.share(192) < result.share(16)

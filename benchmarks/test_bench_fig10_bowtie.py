@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 10 (parallel Bowtie with PyFasta split)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import paper
+from repro.experiments.fig10_bowtie import run as run_fig10
+
+
+def test_fig10_bowtie(benchmark):
+    result = run_once(benchmark, run_fig10)
+    print()
+    print(result.render())
+    benchmark.extra_info.update(
+        {
+            "overall_speedup_128": round(result.overall_speedup_128, 2),
+            "overall_speedup_128_paper": paper.BOWTIE_SPEEDUP_128N,
+            "split_exceeds_bowtie_from_nodes": result.split_exceeds_bowtie_at,
+        }
+    )
+    assert 2.5 < result.overall_speedup_128 < 3.5

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the simulated MPI runtime itself.
+
+The runtime is the reproduction's substrate; these benches track its real
+host-side overhead (thread barriers, slot exchange) so simulated runs at
+higher rank counts stay tractable.
+"""
+
+import numpy as np
+
+from repro.mpi import mpirun
+from repro.mpi.network import ZERO_COST
+
+
+def _allgather_body(comm):
+    payload = np.zeros(1000, dtype=np.int64) + comm.rank
+    for _ in range(10):
+        comm.allgatherv(payload)
+
+
+def test_bench_allgatherv_16_ranks(benchmark):
+    result = benchmark.pedantic(
+        lambda: mpirun(_allgather_body, 16, network=ZERO_COST), rounds=3, iterations=1
+    )
+    assert result.makespan >= 0
+
+
+def _barrier_body(comm):
+    for _ in range(50):
+        comm.barrier()
+
+
+def test_bench_barrier_storm_8_ranks(benchmark):
+    result = benchmark.pedantic(
+        lambda: mpirun(_barrier_body, 8, network=ZERO_COST), rounds=3, iterations=1
+    )
+    assert result.makespan >= 0
+
+
+def _compute_body(comm):
+    total = 0
+    for i in range(10_000):
+        total += i * comm.rank
+    comm.clock.advance(0.001)
+    return total
+
+
+def test_bench_spmd_launch_overhead(benchmark):
+    """Cost of spinning up/joining a 32-thread SPMD team."""
+    result = benchmark.pedantic(
+        lambda: mpirun(_compute_body, 32, network=ZERO_COST), rounds=3, iterations=1
+    )
+    assert len(result.returns) == 32

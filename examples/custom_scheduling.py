@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Scheduling deep-dive: why the paper chose chunked round-robin.
+
+Builds the sugarbeet-scale loop-2 workload in Inchworm's head-heavy file
+order and compares three distribution strategies at several node counts:
+
+* pre-allocated static blocks (the paper's first, rejected attempt);
+* chunked round-robin (the paper's shipped strategy, Figure 3);
+* an idealised fully-dynamic work queue (lower bound).
+
+Run:  python examples/custom_scheduling.py
+"""
+
+import numpy as np
+
+from repro.cluster.costmodel import CALIBRATION
+from repro.cluster.workload import build_workload
+from repro.openmp.schedule import dynamic_makespan
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, static_block_ranges
+from repro.util.fmt import format_table
+
+NTHREADS = 16
+
+
+def round_robin(costs: np.ndarray, nodes: int, chunk_size: int) -> float:
+    ranges = chunk_ranges(costs.size, chunk_size)
+    worst = 0.0
+    for rank in range(nodes):
+        t = sum(
+            dynamic_makespan(costs[a:b], NTHREADS)
+            for a, b in (ranges[c] for c in chunks_for_rank(len(ranges), rank, nodes))
+        )
+        worst = max(worst, t)
+    return worst
+
+
+def static_blocks(costs: np.ndarray, nodes: int) -> float:
+    return max(
+        dynamic_makespan(costs[slice(*static_block_ranges(costs.size, r, nodes))], NTHREADS)
+        for r in range(nodes)
+    )
+
+
+def ideal_dynamic(costs: np.ndarray, nodes: int) -> float:
+    """Global work queue over all node-threads — the achievable floor."""
+    return dynamic_makespan(costs, nodes * NTHREADS)
+
+
+def main() -> None:
+    workload = build_workload(seed=0, order="abundance")
+    costs = workload.loop2_costs
+    chunk_size = CALIBRATION.chunk_size(costs.size)
+    rows = []
+    for nodes in (16, 32, 64, 128):
+        sb = static_blocks(costs, nodes)
+        rr = round_robin(costs, nodes, chunk_size)
+        ideal = ideal_dynamic(costs, nodes)
+        rows.append(
+            [
+                nodes,
+                f"{sb:.0f}",
+                f"{rr:.0f}",
+                f"{ideal:.0f}",
+                f"{sb / rr:.2f}x",
+                f"{rr / ideal:.2f}x",
+            ]
+        )
+    print("GraphFromFasta loop 2, abundance-ordered contig file (seconds):\n")
+    print(
+        format_table(
+            ["nodes", "static blocks", "round-robin", "ideal queue", "RR gain", "RR vs ideal"],
+            rows,
+        )
+    )
+    print(
+        "\nStatic pre-allocation loses because Inchworm writes contigs in\n"
+        "decreasing-abundance order — early blocks are systematically heavy\n"
+        "(paper SS:III.B: 'this did not give us a good speedup')."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""The paper's §VI future work, implemented and measured.
+
+Four studies:
+
+1. low-memory k-mer counting (DSK, §II.A) vs Jellyfish — real run;
+2. dynamic chunk partitioning vs chunked round-robin — paper-scale replay;
+3. parallelizing GraphFromFasta's non-parallel regions — paper-scale replay;
+4. MPI-I/O striped reads vs redundant reads — paper-scale replay.
+
+Run:  python examples/future_work.py
+"""
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    for eid in ("abl-dsk", "fw-dynamic", "fw-serial-regions", "fw-striped-io"):
+        print(run_experiment(eid).render())
+        print("\n" + "=" * 72 + "\n")
+
+
+if __name__ == "__main__":
+    main()

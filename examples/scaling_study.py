@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the paper's Figures 7-10 series.
+
+Replays the hybrid Chrysalis decomposition over the calibrated
+sugarbeet-scale workload at the paper's node counts and prints each
+figure's rows next to the paper's reported values.
+
+Run:  python examples/scaling_study.py            # all figures
+      python examples/scaling_study.py fig09      # one figure
+"""
+
+import sys
+
+from repro.experiments import run_experiment
+
+FIGS = ["fig07", "fig08", "fig09", "fig10", "headline"]
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or FIGS
+    for fig in wanted:
+        result = run_experiment(fig)
+        print(result.render())
+        print("\n" + "=" * 72 + "\n")
+
+
+if __name__ == "__main__":
+    main()

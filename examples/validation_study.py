@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Validation study: the paper's SS:IV protocol on miniature datasets.
+
+Runs serial ("Original") and hybrid ("Parallel") Trinity several times on
+the whitefly miniature, aligns transcript sets all-vs-all with
+Smith-Waterman (Figure 4), and counts full-length / fused reconstructions
+against the known reference (Figures 5-6), finishing with the two-sample
+t-tests the paper uses.
+
+Run:  python examples/validation_study.py [n_runs]
+(n_runs defaults to 3; the paper uses 10 — pass 10 for the full protocol,
+which takes a few minutes.)
+"""
+
+import sys
+
+from repro.experiments import run_experiment
+
+
+def main() -> None:
+    n_runs = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    print(run_experiment("fig04", n_runs=n_runs).render())
+    print("\n" + "=" * 72 + "\n")
+    for dataset in ("fission-yeast-mini", "drosophila-mini"):
+        print(run_experiment("fig05_06", dataset=dataset, n_runs=n_runs).render())
+        print("\n" + "=" * 72 + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of "Parallelization of the Trinity Pipeline for
+De Novo Transcriptome Assembly" (Sachdeva, Kim, Jordan & Winn, IPDPSW/
+HiCOMB 2014).
+
+Public API tour
+---------------
+* :class:`repro.trinity.TrinityPipeline` — the serial (OpenMP-only)
+  Trinity workflow on synthetic RNA-seq reads.
+* :class:`repro.parallel.ParallelTrinityDriver` — the paper's hybrid
+  MPI+OpenMP Chrysalis (``Trinity.pl --nprocs N`` equivalent) on the
+  simulated cluster runtime.
+* :mod:`repro.simdata` — synthetic transcriptomes and read simulation.
+* :mod:`repro.validation` — the paper's SS:IV validation harness
+  (Smith-Waterman all-vs-all, full-length/fused reference counts,
+  two-sample t-tests).
+* :mod:`repro.experiments` — one runner per paper figure.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro._version import __version__
+from repro.trinity import TrinityConfig, TrinityPipeline, TrinityResult
+
+__all__ = [
+    "__version__",
+    "TrinityConfig",
+    "TrinityPipeline",
+    "TrinityResult",
+]

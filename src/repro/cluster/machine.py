@@ -1,0 +1,62 @@
+"""Hardware descriptions of the paper's testbeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    ghz: float
+    mem_gb: int
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("node must have positive socket/core counts")
+        if self.ghz <= 0 or self.mem_gb <= 0:
+            raise ValueError("node must have positive clock and memory")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster with an interconnect model."""
+
+    name: str
+    n_nodes: int
+    node: NodeSpec
+    network: NetworkModel
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("cluster must have at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.node.cores
+
+
+#: iDataPlex node used for the original single-node Trinity benchmark
+#: (paper SS:II.B): 2x 8-core 2.6 GHz SandyBridge, 256 GB.
+IDATAPLEX_256GB = NodeSpec("iDataPlex-256GB", sockets=2, cores_per_socket=8, ghz=2.6, mem_gb=256)
+
+#: The 256 nodes used for MPI benchmarking have 128 GB (paper SS:V).
+IDATAPLEX_128GB = NodeSpec("iDataPlex-128GB", sockets=2, cores_per_socket=8, ghz=2.6, mem_gb=128)
+
+#: "Blue Wonder": 512 nodes, 8192 cores in total (paper SS:V).
+BLUE_WONDER = ClusterSpec("Blue Wonder", n_nodes=512, node=IDATAPLEX_128GB, network=IDATAPLEX_FDR10)
+
+#: The single big-memory node used for the serial baseline (Fig 2).
+BLUE_WONDER_BIGMEM = ClusterSpec(
+    "Blue Wonder (256GB node)", n_nodes=1, node=IDATAPLEX_256GB, network=IDATAPLEX_FDR10
+)

@@ -1,0 +1,107 @@
+"""Per-item cost vectors for the paper-scale Chrysalis workload.
+
+The scaling figures are driven by *distributions*: per-contig costs for
+the two GraphFromFasta loops and per-read-chunk costs for
+ReadsToTranscripts.  Loop 1's cost is essentially linear in contig length
+(k-mer harvest + hash probes).  Loop 2's cost is length times a heavy-
+tailed "weld-candidate hit" factor — contigs from deeply-expressed gene
+families match many pooled candidates — which is what produces the >3x
+max/min rank imbalance the paper reports at 192 nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.costmodel import CALIBRATION, PaperCalibration
+from repro.simdata.datasets import PaperScaleWorkload, get_paper_workload
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class ChrysalisWorkload:
+    """Sampled per-item costs (seconds of 16-thread rank work) for one run."""
+
+    name: str
+    loop1_costs: np.ndarray  # per contig
+    loop2_costs: np.ndarray  # per contig
+    weld_payload_bytes: int  # loop-1 Allgatherv payload (packed strings)
+    pair_payload_bytes: int  # loop-2 Allgatherv payload (int array)
+    n_read_chunks: int  # ReadsToTranscripts max_mem_reads chunks
+    rtt_chunk_costs: np.ndarray  # per read chunk
+    contig_lengths: np.ndarray
+
+    @property
+    def n_contigs(self) -> int:
+        return int(self.contig_lengths.size)
+
+
+def build_workload(
+    workload_name: str = "sugarbeet-paper",
+    seed: int = 0,
+    calibration: PaperCalibration = CALIBRATION,
+    max_mem_reads: int = 250_000,
+    order: str = "shuffled",
+) -> ChrysalisWorkload:
+    """Sample the paper-scale cost vectors, normalised to the calibration.
+
+    The *shape* of each cost vector comes from the workload's length
+    distribution (plus a Pareto hit-factor for loop 2); the *scale* is
+    normalised so the vector sums to the calibrated total work.  This
+    separation means changing the calibration rescales absolute times
+    without touching speedup shapes, and vice versa.
+    """
+    spec: PaperScaleWorkload = get_paper_workload(workload_name)
+    lengths = spec.contig_lengths(seed=seed).astype(float)
+    rng = spawn_rng(seed, "workload", workload_name)
+    if order == "abundance":
+        # Inchworm writes contigs in decreasing seed-abundance order,
+        # which correlates with length; the contig file is head-heavy.
+        # This ordering is what sinks the pre-allocated static-block
+        # strategy (SS:III.B) — used by the scheduling ablation.  The
+        # default "shuffled" order models the weak length<->loop-cost
+        # correlation the near-linear Fig 7 loop-1 scaling implies.
+        noise = rng.lognormal(0.0, 1.2, lengths.size)
+        lengths = lengths[np.argsort(-(lengths * noise))]
+    elif order != "shuffled":
+        raise ValueError(f"order must be 'shuffled' or 'abundance', got {order!r}")
+
+    # Loop 1: cost ~ length (k-mer harvest is a linear scan).  Scaled to
+    # the hybrid code path's total work (single-thread seconds).
+    kappa = calibration.gff_hybrid_work_factor
+    loop1 = lengths.copy()
+    loop1 *= kappa * calibration.gff_loop1_thread_work_s / loop1.sum()
+
+    # Loop 2: cost ~ length x heavy-tailed candidate-hit factor.  The
+    # Pareto tail is clipped: a contig can only match boundedly many weld
+    # candidates.  (alpha=2.5, scale=0.8, clip=15 reproduce the Fig 7
+    # imbalance growth; see EXPERIMENTS.md.)
+    hit_factor = np.minimum(1.0 + rng.pareto(2.5, size=lengths.size) * 0.8, 15.0)
+    loop2 = lengths * hit_factor
+    loop2 *= kappa * calibration.gff_loop2_thread_work_s / loop2.sum()
+
+    # Loop-1 Allgatherv payload: welding subsequences are 2k-mers (k=24 ->
+    # 48 bytes each); roughly one candidate per 150 bp of contig.
+    n_welds = int(lengths.sum() / 150.0)
+    weld_payload = n_welds * 48
+    # Loop-2 payload: one (i, j) int64 pair per weld that found a partner.
+    pair_payload = int(n_welds * 0.6) * 16
+
+    # ReadsToTranscripts: reads stream in fixed-size chunks; per-chunk cost
+    # varies mildly (reads hitting big components cost more k-mer lookups).
+    n_chunks = max(1, int(np.ceil(spec.n_reads / max_mem_reads)))
+    chunk_costs = rng.lognormal(0.0, 0.18, size=n_chunks)
+    chunk_costs *= calibration.rtt_loop_work_s / chunk_costs.sum()
+
+    return ChrysalisWorkload(
+        name=workload_name,
+        loop1_costs=loop1,
+        loop2_costs=loop2,
+        weld_payload_bytes=weld_payload,
+        pair_payload_bytes=pair_payload,
+        n_read_chunks=n_chunks,
+        rtt_chunk_costs=chunk_costs,
+        contig_lengths=lengths.astype(np.int64),
+    )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad characters, bad k, malformed records)."""
+
+
+class FastaFormatError(SequenceError):
+    """Malformed FASTA/FASTQ input."""
+
+
+class PipelineError(ReproError):
+    """A Trinity pipeline stage failed or was invoked out of order."""
+
+
+class CommError(ReproError):
+    """Misuse of the simulated MPI communicator."""
+
+
+class ScheduleError(ReproError):
+    """Invalid scheduling parameters (chunk size, rank counts, ...)."""
+
+
+class CalibrationError(ReproError):
+    """Cost-model calibration is missing or inconsistent."""
+
+
+class ValidationError(ReproError):
+    """Validation harness was given incomparable inputs."""

@@ -1,0 +1,97 @@
+"""Figure 1: Inchworm's seed extension by (k-1)-overlap, traced.
+
+The paper's Figure 1 illustrates one greedy extension step: from the
+current k-mer, the four possible (k-1)-overlap successors are scored by
+abundance and the highest-count one extends the contig.  This experiment
+runs the *real* extension kernel over a toy k-mer table and renders every
+step — seed, candidate counts, choice — as the figure shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.seq.kmers import decode_kmer, encode_kmer
+from repro.seq.records import SeqRecord
+from repro.trinity.inchworm import _KmerView, _best_extension
+from repro.trinity.jellyfish import jellyfish_count
+from repro.util.fmt import format_table
+from repro.util.rng import derive_seed
+
+K = 7
+#: Toy transcript with a decoy branch: an error read creates a low-count
+#: alternative at one position, which greedy extension must reject.
+TRUE_SEQ = "ATCGGATTACAGTCCGGTTAACGAG"
+ERROR_SEQ = "ATCGGATTACAGACC"  # diverges after ...TACAG
+
+
+@dataclass
+class ExtensionStep:
+    """One greedy extension decision."""
+
+    position: int
+    current: str
+    candidates: List[Tuple[str, int]]  # (k-mer, count), zero-count omitted
+    chosen: Optional[str]
+
+
+@dataclass
+class Fig01Result:
+    seed_kmer: str
+    steps: List[ExtensionStep]
+    contig: str
+    true_seq: str
+
+    @property
+    def reconstructed_truth(self) -> bool:
+        return self.contig in self.true_seq or self.true_seq in self.contig
+
+    def render(self) -> str:
+        rows = []
+        for step in self.steps:
+            cands = "  ".join(f"{kmer}:{count}" for kmer, count in step.candidates)
+            rows.append(
+                [step.position, step.current, cands, step.chosen or "(stop)"]
+            )
+        table = format_table(["step", "current k-mer", "candidates (count)", "chosen"], rows)
+        return (
+            f"Figure 1 — Inchworm seed extension by (k-1)-overlap (k={K})\n"
+            f"seed: {self.seed_kmer}\n{table}\n"
+            f"contig: {self.contig}\n"
+            f"follows the abundant (true) path: {self.reconstructed_truth}"
+        )
+
+
+def run(seed: int = 0) -> Fig01Result:
+    reads = [SeqRecord(f"t{i}", TRUE_SEQ) for i in range(5)] + [
+        SeqRecord("err", ERROR_SEQ)
+    ]
+    counts = jellyfish_count(reads, K)
+    view = _KmerView(counts)
+    filtered = dict(counts.counts)
+    salt = derive_seed(seed, "inchworm-ties")
+    mask = (1 << (2 * K)) - 1
+
+    seed_kmer = TRUE_SEQ[:K]
+    cur = encode_kmer(seed_kmer)
+    used = {view.canon(cur)}
+    contig = seed_kmer
+    steps: List[ExtensionStep] = []
+    for pos in range(len(TRUE_SEQ)):
+        candidates = []
+        for b, base in enumerate("ACGT"):
+            cand = ((cur << 2) | b) & mask
+            count = filtered.get(view.canon(cand), 0)
+            if count > 0:
+                candidates.append((decode_kmer(cand, K), count))
+        nxt = _best_extension(view, filtered, used, cur, mask, salt, right=True)
+        if nxt is None:
+            steps.append(ExtensionStep(pos, decode_kmer(cur, K), candidates, None))
+            break
+        chosen = decode_kmer(nxt, K)
+        steps.append(ExtensionStep(pos, decode_kmer(cur, K), candidates, chosen))
+        contig += chosen[-1]
+        used.add(view.canon(nxt))
+        cur = nxt
+    return Fig01Result(seed_kmer=seed_kmer, steps=steps, contig=contig, true_seq=TRUE_SEQ)

@@ -1,0 +1,141 @@
+"""Figure 4: all-vs-all Smith-Waterman validation, parallel vs original.
+
+Protocol (paper SS:IV): run each Trinity version several times (the paper
+uses 10; the default here is configurable because each run assembles the
+whitefly miniature), align every "Parallel" run's transcripts against an
+"Original" run's, and — as the control — align pairs of "Original" runs
+against each other.  The two distributions of full-length-identical
+fractions are compared with a two-sample t-test; no significant
+difference is the expected outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.parallel.driver import ParallelTrinityConfig, ParallelTrinityDriver
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+from repro.trinity import TrinityConfig, TrinityPipeline
+from repro.util.fmt import format_table
+from repro.validation import (
+    MatchCategories,
+    TTestResult,
+    all_vs_all_best_hits,
+    categorize_matches,
+    two_sample_ttest,
+)
+
+
+@dataclass
+class Fig04Result:
+    parallel_vs_original: List[MatchCategories]
+    original_vs_original: List[MatchCategories]
+    ttest_full_identical: TTestResult
+    ttest_full: TTestResult
+    n_runs: int
+    dataset: str
+
+    @property
+    def equivalent(self) -> bool:
+        """True when neither category fraction differs significantly."""
+        return not (
+            self.ttest_full_identical.significant() or self.ttest_full.significant()
+        )
+
+    def render(self) -> str:
+        def _summary(cats: List[MatchCategories]) -> List[str]:
+            return [
+                f"{sum(c.full_identical for c in cats) / len(cats):.1f}",
+                f"{sum(c.full_partial_identity for c in cats) / len(cats):.1f}",
+                f"{sum(c.partial_length for c in cats) / len(cats):.1f}",
+            ]
+
+        table = format_table(
+            ["comparison", "(a) full 100%", "(b) full <100%", "(c) partial"],
+            [
+                ["Parallel vs Original"] + _summary(self.parallel_vs_original),
+                ["Original vs Original"] + _summary(self.original_vs_original),
+            ],
+        )
+        stats = format_table(
+            ["metric", "t", "p", "significant?"],
+            [
+                [
+                    "frac full-identical",
+                    f"{self.ttest_full_identical.statistic:.3f}",
+                    f"{self.ttest_full_identical.pvalue:.3f}",
+                    str(self.ttest_full_identical.significant()),
+                ],
+                [
+                    "frac full-length",
+                    f"{self.ttest_full.statistic:.3f}",
+                    f"{self.ttest_full.pvalue:.3f}",
+                    str(self.ttest_full.significant()),
+                ],
+            ],
+        )
+        verdict = (
+            "no significant difference (matches the paper)"
+            if self.equivalent
+            else "SIGNIFICANT DIFFERENCE — does not match the paper"
+        )
+        # Fig 4(d): identity distribution within category (c).
+        from repro.validation.fasta_align import identity_histogram
+
+        pooled = MatchCategories(0, 0, 0, 0, 0)
+        for c in self.parallel_vs_original:
+            pooled.partial_identities.extend(c.partial_identities)
+        hist = identity_histogram(pooled, bins=5)
+        hist_str = "  ".join(f"[{lo:.1f},{lo + 0.2:.1f}):{n}" for lo, n in hist)
+        return (
+            f"Figure 4 — SW validation on {self.dataset} ({self.n_runs} runs/version)\n"
+            f"{table}\n\n{stats}\n"
+            f"(d) partial-match identity histogram: {hist_str}\n=> {verdict}"
+        )
+
+
+def run(n_runs: int = 4, dataset: str = "whitefly-mini", nprocs: int = 3) -> Fig04Result:
+    """Assemble ``n_runs`` serial + ``n_runs`` parallel runs and compare.
+
+    ``n_runs`` defaults below the paper's 10 to keep the benchmark quick;
+    pass 10 for the full protocol (EXPERIMENTS.md records a 10-run sweep).
+    """
+    if n_runs < 2:
+        raise ValueError("need at least 2 runs per version for a t-test")
+    recipe = get_recipe(dataset)
+    _, pairs = recipe.materialize(seed=0)
+    reads = flatten_reads(pairs)
+
+    originals = [
+        TrinityPipeline(TrinityConfig(seed=100 + i)).run(reads) for i in range(n_runs)
+    ]
+    parallels = [
+        ParallelTrinityDriver(
+            ParallelTrinityConfig(trinity=TrinityConfig(seed=200 + i), nprocs=nprocs, nthreads=4)
+        ).run(reads)
+        for i in range(n_runs)
+    ]
+
+    pvo: List[MatchCategories] = []
+    ovo: List[MatchCategories] = []
+    for i in range(n_runs):
+        ref = [t.seq for t in originals[i].transcripts]
+        par = [t.seq for t in parallels[i].transcripts]
+        pvo.append(categorize_matches(all_vs_all_best_hits(par, ref)))
+        other = [t.seq for t in originals[(i + 1) % n_runs].transcripts]
+        ovo.append(categorize_matches(all_vs_all_best_hits(other, ref)))
+
+    return Fig04Result(
+        parallel_vs_original=pvo,
+        original_vs_original=ovo,
+        ttest_full_identical=two_sample_ttest(
+            [c.frac_full_identical for c in pvo], [c.frac_full_identical for c in ovo]
+        ),
+        ttest_full=two_sample_ttest(
+            [c.frac_full for c in pvo], [c.frac_full for c in ovo]
+        ),
+        n_runs=n_runs,
+        dataset=dataset,
+    )

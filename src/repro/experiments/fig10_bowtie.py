@@ -1,0 +1,59 @@
+"""Figure 10: parallel Bowtie with PyFasta target splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments import paper
+from repro.parallel.scaling import BowtieScalingPoint, simulate_bowtie_scaling
+from repro.util.fmt import format_table
+
+
+@dataclass
+class Fig10Result:
+    points: List[BowtieScalingPoint]
+
+    def _point(self, nodes: int) -> BowtieScalingPoint:
+        for p in self.points:
+            if p.nodes == nodes:
+                return p
+        raise KeyError(f"no simulated point at {nodes} nodes")
+
+    @property
+    def overall_speedup_128(self) -> float:
+        return self._point(1).total_s / self._point(128).total_s
+
+    @property
+    def split_exceeds_bowtie_at(self) -> int:
+        """Smallest node count where the PyFasta split outweighs Bowtie."""
+        for p in self.points:
+            if p.nodes > 1 and p.split_s > p.bowtie_s:
+                return p.nodes
+        return -1
+
+    def render(self) -> str:
+        rows = [
+            [p.nodes, f"{p.split_s:.0f}", f"{p.bowtie_s:.0f}", f"{p.merge_s:.0f}", f"{p.total_s:.0f}"]
+            for p in self.points
+        ]
+        table = format_table(
+            ["nodes", "PyFasta split (s)", "Bowtie (s)", "SAM merge (s)", "total"], rows
+        )
+        cmp = format_table(
+            ["quantity", "measured", "paper"],
+            [
+                ["serial Bowtie (s)", f"{self._point(1).total_s:.0f}", paper.BOWTIE_SERIAL_S],
+                ["overall speedup @128", f"{self.overall_speedup_128:.2f}", paper.BOWTIE_SPEEDUP_128N],
+                [
+                    "split > bowtie from",
+                    f"{self.split_exceeds_bowtie_at} nodes",
+                    "split took more runtime than Bowtie",
+                ],
+            ],
+        )
+        return f"Figure 10 — parallel Bowtie (PyFasta split)\n{table}\n\n{cmp}"
+
+
+def run(n_reads: int = paper.SUGARBEET_READS) -> Fig10Result:
+    return Fig10Result(points=simulate_bowtie_scaling(paper.BOWTIE_SWEEP_NODES, n_reads))

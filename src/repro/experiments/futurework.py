@@ -1,0 +1,149 @@
+"""Experiments for the paper's SS:VI future-work directions (fw-*).
+
+Each compares the shipped design against the improvement the authors
+said they would try next, at paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cluster.workload import ChrysalisWorkload, build_workload
+from repro.parallel.scaling import simulate_gff_point, simulate_rtt_point
+from repro.util.fmt import format_table
+
+
+@dataclass
+class DynamicPartitionResult:
+    """fw-dynamic: round-robin vs master-dealt dynamic chunks (GFF)."""
+
+    nodes_list: List[int]
+    round_robin_s: List[float]
+    dynamic_s: List[float]
+    round_robin_imbalance: List[float]
+    dynamic_imbalance: List[float]
+
+    def render(self) -> str:
+        rows = [
+            [n, f"{rr:.0f}", f"{dy:.0f}", f"{ri:.2f}", f"{di:.2f}", f"{rr / dy:.2f}x"]
+            for n, rr, dy, ri, di in zip(
+                self.nodes_list,
+                self.round_robin_s,
+                self.dynamic_s,
+                self.round_robin_imbalance,
+                self.dynamic_imbalance,
+            )
+        ]
+        return (
+            "Future work — dynamic partitioning of GraphFromFasta chunks\n"
+            + format_table(
+                ["nodes", "round-robin (s)", "dynamic (s)", "RR imb", "dyn imb", "gain"],
+                rows,
+            )
+            + "\n(paper SS:V.A: 'we might experiment with a dynamic partitioning"
+            " strategy to reduce this load imbalance')"
+        )
+
+
+def run_dynamic_partition(
+    nodes_list: Sequence[int] = (64, 128, 192),
+    workload: Optional[ChrysalisWorkload] = None,
+    seed: int = 0,
+) -> DynamicPartitionResult:
+    workload = workload if workload is not None else build_workload(seed=seed)
+    rr_s, dy_s, rr_i, dy_i = [], [], [], []
+    for nodes in nodes_list:
+        rr = simulate_gff_point(nodes, workload, strategy="round_robin")
+        dy = simulate_gff_point(nodes, workload, strategy="dynamic")
+        rr_s.append(rr.loops_s)
+        dy_s.append(dy.loops_s)
+        rr_i.append(rr.loop2_imbalance)
+        dy_i.append(dy.loop2_imbalance)
+    return DynamicPartitionResult(list(nodes_list), rr_s, dy_s, rr_i, dy_i)
+
+
+@dataclass
+class SerialRegionResult:
+    """fw-serial-regions: sharded weldmer build vs redundant build."""
+
+    nodes_list: List[int]
+    shipped_total_s: List[float]
+    sharded_total_s: List[float]
+    shipped_share: List[float]
+    sharded_share: List[float]
+
+    def render(self) -> str:
+        rows = [
+            [n, f"{a:.0f}", f"{b:.0f}", f"{100 * sa:.1f}%", f"{100 * sb:.1f}%"]
+            for n, a, b, sa, sb in zip(
+                self.nodes_list,
+                self.shipped_total_s,
+                self.sharded_total_s,
+                self.shipped_share,
+                self.sharded_share,
+            )
+        ]
+        return (
+            "Future work — parallelizing GraphFromFasta's non-parallel regions\n"
+            + format_table(
+                ["nodes", "shipped total (s)", "sharded total (s)", "non-par share", "sharded share"],
+                rows,
+            )
+        )
+
+
+def run_serial_regions(
+    nodes_list: Sequence[int] = (16, 64, 128, 192),
+    workload: Optional[ChrysalisWorkload] = None,
+    seed: int = 0,
+) -> SerialRegionResult:
+    workload = workload if workload is not None else build_workload(seed=seed)
+    shipped_t, sharded_t, shipped_s, sharded_s = [], [], [], []
+    for nodes in nodes_list:
+        a = simulate_gff_point(nodes, workload)
+        b = simulate_gff_point(nodes, workload, parallel_serial_region=True)
+        shipped_t.append(a.total_s)
+        sharded_t.append(b.total_s)
+        shipped_s.append(1 - a.loops_share)
+        sharded_s.append(1 - b.loops_share)
+    return SerialRegionResult(list(nodes_list), shipped_t, sharded_t, shipped_s, sharded_s)
+
+
+@dataclass
+class StripedIoResult:
+    """fw-striped-io: redundant full-file reads vs MPI-I/O stripes."""
+
+    nodes_list: List[int]
+    io_cost_s: float
+    redundant_loop_s: List[float]
+    striped_loop_s: List[float]
+
+    def render(self) -> str:
+        rows = [
+            [n, f"{r:.0f}", f"{s:.0f}", f"{r / s:.2f}x"]
+            for n, r, s in zip(self.nodes_list, self.redundant_loop_s, self.striped_loop_s)
+        ]
+        return (
+            f"Future work — MPI-I/O striped reads (cold-storage read cost "
+            f"{self.io_cost_s:.0f} s/file)\n"
+            + format_table(["nodes", "redundant read (s)", "striped (s)", "gain"], rows)
+            + "\n(with the paper's page-cached ~8 s read the strategies tie;"
+            " striping pays off on cold or contended storage)"
+        )
+
+
+def run_striped_io(
+    nodes_list: Sequence[int] = (4, 16, 32, 64),
+    io_cost_s: float = 120.0,
+    workload: Optional[ChrysalisWorkload] = None,
+    seed: int = 0,
+) -> StripedIoResult:
+    workload = workload if workload is not None else build_workload(seed=seed)
+    redundant, striped = [], []
+    for nodes in nodes_list:
+        r = simulate_rtt_point(nodes, workload, io_cost_s=io_cost_s)
+        s = simulate_rtt_point(nodes, workload, striped_io=True, io_cost_s=io_cost_s)
+        redundant.append(r.loop_max)
+        striped.append(s.loop_max)
+    return StripedIoResult(list(nodes_list), io_cost_s, redundant, striped)

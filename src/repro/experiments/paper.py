@@ -1,0 +1,58 @@
+"""Every number the paper reports, as named constants with provenance.
+
+These are comparison targets only — nothing in the simulation reads them
+(the calibration constants live in :mod:`repro.cluster.costmodel` and are
+documented there; a few are fitted to a subset of these anchors).
+"""
+
+from __future__ import annotations
+
+# ---- SS:II.B / Figure 2: original single-node Trinity, sugarbeet ----------
+TRINITY_SERIAL_TOTAL_H = 60.0  # "the runtime of the entire Trinity pipeline is close to 60 hours"
+CHRYSALIS_SERIAL_H = 50.0  # abstract: "from over 50 hours"
+SUGARBEET_READS = 129_800_000
+SUGARBEET_DISK_GB = 15.0
+SUGARBEET_LEFT_READS = 79_200_000  # "79.2 M single end and left reads"
+SUGARBEET_RIGHT_READS = 50_600_000
+
+# ---- SS:V.A / Figures 7-8: GraphFromFasta ---------------------------------
+GFF_SERIAL_S = 122_610.0
+GFF_16N_TOTAL_S = 27_133.0
+GFF_192N_TOTAL_S = 5_930.0
+GFF_SPEEDUP_16N = 4.5
+GFF_SPEEDUP_192N = 20.7
+GFF_LOOP1_SPEEDUP_128 = 8.31  # vs 16 nodes
+GFF_LOOP1_SPEEDUP_192 = 11.93
+GFF_LOOP2_SPEEDUP_128 = 7.62
+GFF_LOOP2_SPEEDUP_192 = 5.64
+GFF_LOOP1_IMBALANCE_192 = 1.5  # "highest ... 50% higher than the lowest"
+GFF_LOOP2_IMBALANCE_192 = 3.0  # "more than three times"
+GFF_LOOPS_SHARE_16N = 0.9244
+GFF_LOOPS_SHARE_192N = 0.574
+GFF_NONPAR_SHARE_128N = 0.633  # "63.3% of the total time ... at 128 processes"
+GFF_SWEEP_NODES = (16, 32, 64, 96, 128, 192)
+
+# ---- SS:V.B / Figure 9: ReadsToTranscripts --------------------------------
+RTT_SERIAL_S = 20_190.0
+RTT_LOOP_4N_S = 3_123.0
+RTT_LOOP_32N_S = 373.0
+RTT_LOOP_32N_MIN_S = 310.0
+RTT_LOOP_SPEEDUP_4_TO_32 = 8.37
+RTT_TOTAL_SPEEDUP_32N = 19.75
+RTT_CONCAT_MAX_S = 15.0
+RTT_SWEEP_NODES = (4, 8, 16, 32)
+
+# ---- SS:V.C / Figure 10: Bowtie --------------------------------------------
+BOWTIE_SERIAL_S = 28_800.0  # "slightly more than 8 hours"
+BOWTIE_SPEEDUP_128N = 3.0
+BOWTIE_SWEEP_NODES = (1, 16, 32, 64, 128)
+
+# ---- headline ---------------------------------------------------------------
+CHRYSALIS_PARALLEL_H = 5.0  # "to less than 5 hours"
+HYBRID_STAGE_SPEEDUP = 20.0  # "speedups of about a factor of twenty"
+
+# ---- SS:IV: validation -------------------------------------------------------
+VALIDATION_RUNS_PER_VERSION = 10
+WHITEFLY_READS = 420_000
+SCHIZO_READS = 15_350_000  # the paper's "Schizophrenia" dataset
+DROSOPHILA_READS = 50_000_000

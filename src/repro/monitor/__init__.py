@@ -1,0 +1,22 @@
+"""Collectl-equivalent resource monitoring (paper SS:II.B used Collectl)."""
+
+from repro.monitor.collectl import (
+    ResourceMonitor,
+    StageSpan,
+    Timeline,
+    timeline_from_json,
+    timeline_to_csv,
+    timeline_to_json,
+)
+from repro.monitor.report import render_timeline, render_stage_table
+
+__all__ = [
+    "ResourceMonitor",
+    "StageSpan",
+    "Timeline",
+    "timeline_from_json",
+    "timeline_to_csv",
+    "timeline_to_json",
+    "render_timeline",
+    "render_stage_table",
+]

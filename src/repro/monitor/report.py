@@ -1,0 +1,41 @@
+"""Text rendering of timelines (the printable form of Figs 2 and 11)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.monitor.collectl import Timeline
+from repro.util.fmt import format_table, human_time
+
+
+def render_stage_table(timeline: Timeline) -> str:
+    """Per-stage duration/RAM table."""
+    rows: List[List[object]] = []
+    for stage in timeline.stages():
+        spans = [s for s in timeline.spans if s.stage == stage]
+        rows.append(
+            [
+                stage,
+                human_time(sum(s.duration_s for s in spans)),
+                f"{max(s.ram_gb for s in spans):.1f}",
+            ]
+        )
+    rows.append(["TOTAL", human_time(timeline.total_s), f"{timeline.peak_ram_gb:.1f}"])
+    return format_table(["stage", "time", "peak RAM (GB)"], rows)
+
+
+def render_timeline(timeline: Timeline, width: int = 72) -> str:
+    """ASCII Collectl-style trace: one bar per stage, length ~ duration."""
+    total = timeline.total_s
+    if total <= 0:
+        return "(empty timeline)"
+    lines = []
+    name_w = max((len(s.stage) for s in timeline.spans), default=5)
+    for span in timeline.spans:
+        bar = "#" * max(1, round(width * span.duration_s / total))
+        lines.append(
+            f"{span.stage.ljust(name_w)} |{bar}| "
+            f"{human_time(span.duration_s)} @ {span.ram_gb:.1f} GB"
+        )
+    lines.append(f"{'TOTAL'.ljust(name_w)}  {human_time(total)}, peak {timeline.peak_ram_gb:.1f} GB")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Per-rank virtual clocks.
+
+A rank's clock advances by modelled compute time (from the cost model or
+from measured kernel time) and is synchronised with other ranks' clocks at
+every collective.  Wall-clock time on the host machine never enters the
+simulation, so results are machine-independent and deterministic.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic virtual time for one simulated rank."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start negative: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float, kind: str = "compute") -> float:
+        """Advance by ``dt`` virtual seconds; returns the new time.
+
+        ``kind`` annotates the segment for tracing subclasses ("compute"
+        or "comm"); the base clock ignores it.
+        """
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt: {dt}")
+        self._now += dt
+        return self._now
+
+    def sync_to(self, t: float) -> None:
+        """Move forward to absolute time ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+
+
+class TracingClock(VirtualClock):
+    """A virtual clock that records its segments into a RankTrace."""
+
+    __slots__ = ("trace",)
+
+    def __init__(self, trace, start: float = 0.0) -> None:
+        super().__init__(start)
+        self.trace = trace
+
+    def advance(self, dt: float, kind: str = "compute") -> float:
+        t0 = self.now
+        out = super().advance(dt, kind)
+        self.trace.add(kind, t0, out)
+        return out
+
+    def sync_to(self, t: float) -> None:
+        t0 = self.now
+        super().sync_to(t)
+        if self.now > t0:
+            self.trace.add("wait", t0, self.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,320 @@
+"""The simulated communicator.
+
+Each rank runs in its own OS thread; collectives are implemented with a
+shared slot table guarded by a reusable barrier.  Because every exchange
+point is a barrier and rank-local code is deterministic, the whole SPMD
+program is deterministic regardless of thread interleaving.
+
+Virtual-time semantics: every collective (i) synchronises all clocks to
+the maximum participant time — ranks wait for the slowest, exactly like a
+blocking MPI collective — and (ii) adds the network model's cost for the
+pooled payload.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CommError
+from repro.mpi.clock import VirtualClock
+from repro.mpi.datatypes import nbytes_of
+from repro.mpi.network import NetworkModel
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication accounting."""
+
+    n_collectives: int = 0
+    n_messages: int = 0
+    bytes_sent: int = 0
+    comm_time: float = 0.0
+
+
+class _SharedState:
+    """State shared by all ranks of one simulated communicator."""
+
+    def __init__(self, size: int, network: NetworkModel) -> None:
+        self.size = size
+        self.network = network
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Any] = [None] * size
+        self.clock_slots: List[float] = [0.0] * size
+        self.mailboxes: Dict[Tuple[int, int], deque] = {}
+        self.mailbox_lock = threading.Lock()
+        self.mailbox_cv = threading.Condition(self.mailbox_lock)
+        # split() bookkeeping: sub-states created once per (epoch, color).
+        self.split_epoch = 0
+        self.split_states: Dict[Tuple[int, Any], "_SharedState"] = {}
+        # Set by the launcher when any rank fails, so blocking receives
+        # bail out instead of waiting forever for a dead sender.
+        self.failed = threading.Event()
+
+
+class SimComm:
+    """mpi4py-flavoured communicator for one simulated rank.
+
+    Construct via :func:`repro.mpi.launcher.mpirun`; each rank function
+    receives its own ``SimComm``.
+    """
+
+    def __init__(self, rank: int, state: _SharedState, clock: Optional[VirtualClock] = None):
+        if not (0 <= rank < state.size):
+            raise CommError(f"rank {rank} out of range for size {state.size}")
+        self._rank = rank
+        self._state = state
+        self.clock = clock if clock is not None else VirtualClock()
+        self.stats = CommStats()
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._state.size
+
+    def Get_rank(self) -> int:
+        """mpi4py spelling of :attr:`rank`."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """mpi4py spelling of :attr:`size`."""
+        return self._state.size
+
+    # -- internals --------------------------------------------------------
+    def _exchange(self, value: Any) -> List[Any]:
+        """All-to-all slot exchange: returns the list of all contributions.
+
+        Also synchronises clocks to the max participant time (the
+        "everyone waits for the slowest" semantic of a blocking
+        collective).  Callers add the network cost on top.
+        """
+        st = self._state
+        st.slots[self._rank] = value
+        st.clock_slots[self._rank] = self.clock.now
+        st.barrier.wait()
+        snapshot = list(st.slots)
+        t_sync = max(st.clock_slots)
+        st.barrier.wait()  # all ranks have read; slots may be reused
+        self.clock.sync_to(t_sync)
+        return snapshot
+
+    def _charge(self, cost: float, payload_bytes: int) -> None:
+        self.clock.advance(cost, kind="comm")
+        self.stats.n_collectives += 1
+        self.stats.bytes_sent += payload_bytes
+        self.stats.comm_time += cost
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every rank arrives; clocks sync to the slowest."""
+        self._exchange(None)
+        self._charge(self._state.network.barrier(self.size), 0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast a generic object from ``root`` to every rank."""
+        if not (0 <= root < self.size):
+            raise CommError(f"bcast root {root} out of range")
+        snapshot = self._exchange(obj if self._rank == root else None)
+        payload = snapshot[root]
+        n = nbytes_of(payload)
+        self._charge(self._state.network.bcast(self.size, n), n if self._rank == root else 0)
+        return payload
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Collect one object per rank at ``root`` (None elsewhere)."""
+        if not (0 <= root < self.size):
+            raise CommError(f"gather root {root} out of range")
+        snapshot = self._exchange(obj)
+        total = sum(nbytes_of(v) for v in snapshot)
+        self._charge(self._state.network.gather(self.size, total), nbytes_of(obj))
+        return list(snapshot) if self._rank == root else None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Pool one object per rank onto every rank (generic payloads)."""
+        snapshot = self._exchange(obj)
+        total = sum(nbytes_of(v) for v in snapshot)
+        self._charge(self._state.network.allgatherv(self.size, total), nbytes_of(obj))
+        return list(snapshot)
+
+    def allgatherv(self, obj: Any) -> List[Any]:
+        """The paper's pooling collective.
+
+        Semantically identical to :meth:`allgather` here (payloads are
+        variable-size by construction); kept as a separate name so the
+        parallel Chrysalis code reads like the paper's description, and so
+        the two-phase size exchange is modelled: a small int allgather
+        (the size exchange) precedes the payload allgather.
+        """
+        sizes = self._exchange(nbytes_of(obj))
+        self._charge(self._state.network.allgatherv(self.size, 8 * self.size), 8)
+        snapshot = self._exchange(obj)
+        total = sum(int(s) for s in sizes)
+        self._charge(self._state.network.allgatherv(self.size, total), nbytes_of(obj))
+        return list(snapshot)
+
+    def scatter(self, values: Optional[List[Any]], root: int = 0) -> Any:
+        """Root distributes one object per rank; returns this rank's item."""
+        if not (0 <= root < self.size):
+            raise CommError(f"scatter root {root} out of range")
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                raise CommError(
+                    f"scatter at root needs exactly {self.size} values, got "
+                    f"{None if values is None else len(values)}"
+                )
+        snapshot = self._exchange(values if self._rank == root else None)
+        sendlist = snapshot[root]
+        total = sum(nbytes_of(v) for v in sendlist)
+        self._charge(
+            self._state.network.gather(self.size, total),
+            total if self._rank == root else 0,
+        )
+        return sendlist[self._rank]
+
+    def alltoall(self, values: List[Any]) -> List[Any]:
+        """Personalised exchange: item ``j`` of this rank's list goes to
+        rank ``j``; returns the items addressed to this rank."""
+        if len(values) != self.size:
+            raise CommError(
+                f"alltoall needs exactly {self.size} values, got {len(values)}"
+            )
+        snapshot = self._exchange(values)
+        total = sum(nbytes_of(v) for row in snapshot for v in row)
+        self._charge(
+            self._state.network.alltoall(self.size, total),
+            sum(nbytes_of(v) for v in values),
+        )
+        return [snapshot[src][self._rank] for src in range(self.size)]
+
+    def reduce_max(self, value: float, root: int = 0) -> Optional[float]:
+        """Max-reduce a scalar to ``root`` (None elsewhere)."""
+        vals = self._exchange(float(value))
+        self._charge(self._state.network.gather(self.size, 8 * self.size), 8)
+        return max(vals) if self._rank == root else None
+
+    def allreduce_sum(self, value: float) -> float:
+        """Sum-reduce a scalar onto every rank."""
+        vals = self._exchange(float(value))
+        self._charge(self._state.network.allgatherv(self.size, 8 * self.size), 8)
+        return float(sum(vals))
+
+    # -- buffer-style collectives (mpi4py's uppercase flavour) -------------
+    def Bcast(self, arr: "np.ndarray", root: int = 0) -> "np.ndarray":
+        """Broadcast a numpy array; exact byte accounting, no pickling.
+
+        Returns the root's array on every rank (a shared read-only view
+        in this simulation — callers must not mutate it in place).
+        """
+        import numpy as np
+
+        if self._rank == root and not isinstance(arr, np.ndarray):
+            raise CommError("Bcast requires a numpy array at the root")
+        snapshot = self._exchange(arr if self._rank == root else None)
+        payload = snapshot[root]
+        self._charge(
+            self._state.network.bcast(self.size, payload.nbytes),
+            payload.nbytes if self._rank == root else 0,
+        )
+        return payload
+
+    def Allgatherv(self, arr: "np.ndarray") -> "np.ndarray":
+        """Pool variable-length numpy arrays; returns the concatenation.
+
+        The paper's wire pattern: sizes are exchanged first, then the
+        payloads are pooled on every rank.
+        """
+        import numpy as np
+
+        if not isinstance(arr, np.ndarray):
+            raise CommError("Allgatherv requires a numpy array")
+        sizes = self._exchange(arr.nbytes)
+        self._charge(self._state.network.allgatherv(self.size, 8 * self.size), 8)
+        snapshot = self._exchange(arr)
+        total = sum(int(s) for s in sizes)
+        self._charge(self._state.network.allgatherv(self.size, total), arr.nbytes)
+        return np.concatenate([a for a in snapshot if a.size] or [arr[:0]])
+
+    # -- communicator management -------------------------------------------
+    def split(self, color: Any, key: Optional[int] = None) -> Optional["SimComm"]:
+        """Partition the communicator by ``color`` (MPI_Comm_split).
+
+        Ranks passing the same ``color`` form a new communicator, ordered
+        by ``(key, old rank)`` (``key`` defaults to the old rank).  Pass
+        ``color=None`` to opt out (returns None).  Collective: every rank
+        of this communicator must call it.
+        """
+        st = self._state
+        contributions = self._exchange((color, self._rank if key is None else key))
+        self._charge(st.network.allgatherv(self.size, 16 * self.size), 16)
+        if color is None:
+            # Everyone advances the epoch identically (done below by rank 0).
+            group = None
+        else:
+            group = sorted(
+                (k, r)
+                for r, (c, k) in enumerate(contributions)
+                if c is not None and c == color
+            )
+        # One rank per color creates the sub-state; epoch isolates calls.
+        if self._rank == 0:
+            st.split_epoch += 1
+        st.barrier.wait()
+        epoch = st.split_epoch
+        if group is None:
+            st.barrier.wait()
+            return None
+        my_index = [r for _k, r in group].index(self._rank)
+        key_id = (epoch, color)
+        if my_index == 0:
+            with st.mailbox_lock:
+                st.split_states[key_id] = _SharedState(len(group), st.network)
+        st.barrier.wait()
+        sub_state = st.split_states[key_id]
+        return SimComm(my_index, sub_state, clock=self.clock)
+
+    # -- point-to-point ---------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager point-to-point send (latency charged to the sender)."""
+        if not (0 <= dest < self.size):
+            raise CommError(f"send dest {dest} out of range")
+        if dest == self._rank:
+            raise CommError("send to self is not supported")
+        n = nbytes_of(obj)
+        cost = self._state.network.ptp(n)
+        st = self._state
+        with st.mailbox_cv:
+            st.mailboxes.setdefault((self._rank, dest), deque()).append(
+                (tag, obj, self.clock.now + cost)
+            )
+            st.mailbox_cv.notify_all()
+        self.stats.n_messages += 1
+        self.stats.bytes_sent += n
+        # Eager-send model: sender pays latency only.
+        self.clock.advance(self._state.network.alpha)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive; the clock syncs to the message arrival."""
+        if not (0 <= source < self.size):
+            raise CommError(f"recv source {source} out of range")
+        st = self._state
+        key = (source, self._rank)
+        with st.mailbox_cv:
+            while True:
+                box = st.mailboxes.get(key)
+                if box:
+                    for i, (t, obj, arrive) in enumerate(box):
+                        if t == tag:
+                            del box[i]
+                            self.clock.sync_to(arrive)
+                            return obj
+                if st.failed.is_set():
+                    raise CommError(
+                        f"recv from rank {source} abandoned: a peer rank failed"
+                    )
+                st.mailbox_cv.wait(timeout=0.1)

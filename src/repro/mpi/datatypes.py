@@ -1,0 +1,77 @@
+"""Wire-format helpers mirroring the paper's packing scheme.
+
+GraphFromFasta's loop 1 packs its vector of welding subsequences "into a
+single sequence for MPI communication", exchanges sizes, then Allgatherv's
+the packed payload; loop 2 does the same with integer pair indices.  These
+helpers implement that packing so payload byte counts — which feed the
+network cost model — are faithful.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def pack_strings(strings: Sequence[str]) -> Tuple[bytes, np.ndarray]:
+    """Pack strings into one byte buffer plus a length array.
+
+    Returns ``(payload, lengths)`` where ``payload`` is the concatenation
+    of the ASCII-encoded strings and ``lengths[i]`` is the byte length of
+    string ``i``.
+    """
+    encoded = [s.encode("ascii") for s in strings]
+    lengths = np.array([len(e) for e in encoded], dtype=np.int64)
+    return b"".join(encoded), lengths
+
+
+def unpack_strings(payload: bytes, lengths: np.ndarray) -> List[str]:
+    """Inverse of :func:`pack_strings`."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.sum() != len(payload):
+        raise ValueError(
+            f"length table sums to {int(lengths.sum())} but payload has {len(payload)} bytes"
+        )
+    out: List[str] = []
+    pos = 0
+    for n in lengths.tolist():
+        out.append(payload[pos : pos + n].decode("ascii"))
+        pos += n
+    return out
+
+
+def pack_int_pairs(pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Flatten (i, j) index pairs into a single int64 array (paper loop 2)."""
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) pair array, got shape {arr.shape}")
+    return arr.reshape(-1)
+
+
+def unpack_int_pairs(flat: np.ndarray) -> List[Tuple[int, int]]:
+    """Inverse of :func:`pack_int_pairs`."""
+    flat = np.asarray(flat, dtype=np.int64)
+    if flat.size % 2 != 0:
+        raise ValueError(f"flat pair array has odd length {flat.size}")
+    return [tuple(row) for row in flat.reshape(-1, 2).tolist()]
+
+
+def nbytes_of(obj: object) -> int:
+    """Estimate the wire size of a Python object.
+
+    numpy arrays, bytes and str are sized exactly; everything else falls
+    back to its pickle length (what a generic-object MPI layer would send).
+    """
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if obj is None:
+        return 0
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))

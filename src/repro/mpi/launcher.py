@@ -1,0 +1,120 @@
+"""``mpirun`` for the simulated runtime.
+
+Runs an SPMD function on ``nprocs`` simulated ranks (one thread each) and
+collects per-rank return values, virtual clocks and comm statistics.
+Exceptions on any rank abort the run and are re-raised on the caller with
+the failing rank attached; remaining ranks are released via barrier abort
+so the process never deadlocks on a dead rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.errors import CommError
+from repro.mpi.comm import CommStats, SimComm, _SharedState
+from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+
+
+@dataclass
+class MpiRunResult:
+    """Outcome of one simulated SPMD run."""
+
+    returns: List[Any]
+    elapsed: List[float]  # per-rank final virtual time
+    stats: List[CommStats]
+    traces: Optional[List["RankTrace"]] = None  # set when mpirun(trace=True)
+
+    @property
+    def makespan(self) -> float:
+        """The job's virtual runtime (slowest rank)."""
+        return max(self.elapsed) if self.elapsed else 0.0
+
+    @property
+    def min_rank_time(self) -> float:
+        return min(self.elapsed) if self.elapsed else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """max/min rank time — the paper's load-imbalance measure."""
+        lo = self.min_rank_time
+        return self.makespan / lo if lo > 0 else float("inf")
+
+
+@dataclass
+class _RankFailure:
+    rank: int
+    exc: BaseException
+
+
+def mpirun(
+    fn: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    trace: bool = False,
+    **kwargs: Any,
+) -> MpiRunResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
+
+    ``fn`` must treat ``comm`` (a :class:`SimComm`) as its only channel to
+    other ranks.  Returns an :class:`MpiRunResult` with each rank's return
+    value in rank order.  With ``trace=True``, per-rank compute/wait/comm
+    segment traces are recorded (see :mod:`repro.mpi.trace`).
+    """
+    if nprocs <= 0:
+        raise CommError(f"nprocs must be positive, got {nprocs}")
+    state = _SharedState(nprocs, network)
+    traces: Optional[List["RankTrace"]] = None
+    if trace:
+        from repro.mpi.clock import TracingClock
+        from repro.mpi.trace import RankTrace
+
+        traces = [RankTrace(r) for r in range(nprocs)]
+        comms = [SimComm(r, state, clock=TracingClock(traces[r])) for r in range(nprocs)]
+    else:
+        comms = [SimComm(r, state) for r in range(nprocs)]
+    returns: List[Any] = [None] * nprocs
+    failures: List[_RankFailure] = []
+    failure_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        try:
+            returns[rank] = fn(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must not hang peers
+            with failure_lock:
+                failures.append(_RankFailure(rank, exc))
+            # Release peers stuck at a barrier AND peers blocked in recv.
+            state.failed.set()
+            state.barrier.abort()
+            with state.mailbox_cv:
+                state.mailbox_cv.notify_all()
+
+    if nprocs == 1:
+        # Fast path: no threads for serial "parallel" runs.
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"simmpi-rank-{r}", daemon=True)
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        failures.sort(key=lambda f: f.rank)
+        primary = next(
+            (f for f in failures if not isinstance(f.exc, threading.BrokenBarrierError)),
+            failures[0],
+        )
+        raise CommError(f"rank {primary.rank} failed: {primary.exc!r}") from primary.exc
+    return MpiRunResult(
+        returns=returns,
+        elapsed=[c.clock.now for c in comms],
+        stats=[c.stats for c in comms],
+        traces=traces,
+    )

@@ -1,0 +1,96 @@
+"""Thread-team execution: real results, simulated parallel time.
+
+``ThreadTeam.map`` applies a function to every item serially (so the
+result is exactly what an OpenMP loop would compute — OpenMP loops in
+Chrysalis have no cross-iteration dependencies) and simultaneously
+computes the virtual makespan a team of ``n_threads`` would have achieved
+under the chosen schedule, using either caller-supplied per-item costs or
+measured per-item wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.openmp.schedule import Schedule, simulate_schedule
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass
+class TeamResult:
+    """Results plus timing of one simulated parallel loop."""
+
+    values: List
+    makespan: float  # virtual seconds for the team
+    serial_time: float  # sum of per-item costs
+    n_threads: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_time / self.makespan if self.makespan > 0 else 1.0
+
+
+class ThreadTeam:
+    """A simulated OpenMP thread team.
+
+    Parameters
+    ----------
+    n_threads:
+        Team size (the paper runs 16 threads per node).
+    schedule, chunk:
+        OpenMP loop schedule used for the virtual-time simulation.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        schedule: Schedule = Schedule.DYNAMIC,
+        chunk: int = 1,
+    ) -> None:
+        if n_threads <= 0:
+            raise ScheduleError(f"n_threads must be positive, got {n_threads}")
+        self.n_threads = n_threads
+        self.schedule = schedule
+        self.chunk = chunk
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        costs: Optional[Sequence[float]] = None,
+    ) -> TeamResult:
+        """Apply ``fn`` to every item; simulate the team's makespan.
+
+        If ``costs`` is omitted, per-item wall time is measured and used
+        as the cost vector (adequate for calibration runs); when provided,
+        it must align with ``items``.
+        """
+        values: List[R] = []
+        if costs is None:
+            measured = np.zeros(len(items))
+            for i, item in enumerate(items):
+                t0 = time.perf_counter()
+                values.append(fn(item))
+                measured[i] = time.perf_counter() - t0
+            cost_arr = measured
+        else:
+            cost_arr = np.asarray(costs, dtype=float)
+            if cost_arr.shape != (len(items),):
+                raise ScheduleError(
+                    f"costs shape {cost_arr.shape} does not match {len(items)} items"
+                )
+            values = [fn(item) for item in items]
+        makespan = simulate_schedule(cost_arr, self.n_threads, self.schedule, self.chunk)
+        return TeamResult(
+            values=values,
+            makespan=makespan,
+            serial_time=float(cost_arr.sum()),
+            n_threads=self.n_threads,
+        )

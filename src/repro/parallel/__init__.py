@@ -1,0 +1,40 @@
+"""The paper's contribution: hybrid MPI+OpenMP Chrysalis + MPI Bowtie.
+
+Every module here runs on the simulated MPI runtime (:mod:`repro.mpi`)
+and reuses the serial kernels from :mod:`repro.trinity`, so the parallel
+code paths compute real results whose equivalence to the serial pipeline
+is tested — while per-rank virtual clocks provide the cluster-scale
+timing the paper's Figures 7-11 report.
+
+* :mod:`repro.parallel.chunks` — the chunked round-robin distribution
+  (paper Fig 3).
+* :mod:`repro.parallel.mpi_bowtie` — PyFasta-split Bowtie (SS:III.A).
+* :mod:`repro.parallel.mpi_graph_from_fasta` — hybrid loops 1+2 with
+  Allgatherv pooling (SS:III.B).
+* :mod:`repro.parallel.mpi_reads_to_transcripts` — redundant-read
+  streaming assignment (SS:III.C).
+* :mod:`repro.parallel.merge` — per-rank output merging strategies.
+* :mod:`repro.parallel.driver` — ``Trinity.pl --nprocs`` equivalent.
+* :mod:`repro.parallel.scaling` — calibrated paper-scale replays that
+  regenerate the scaling figures.
+"""
+
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, rank_items
+from repro.parallel.mpi_bowtie import MpiBowtieResult, mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import MpiGffResult, mpi_graph_from_fasta
+from repro.parallel.mpi_reads_to_transcripts import MpiRttResult, mpi_reads_to_transcripts
+from repro.parallel.driver import ParallelTrinityConfig, ParallelTrinityDriver
+
+__all__ = [
+    "chunk_ranges",
+    "chunks_for_rank",
+    "rank_items",
+    "MpiBowtieResult",
+    "mpi_bowtie",
+    "MpiGffResult",
+    "mpi_graph_from_fasta",
+    "MpiRttResult",
+    "mpi_reads_to_transcripts",
+    "ParallelTrinityConfig",
+    "ParallelTrinityDriver",
+]

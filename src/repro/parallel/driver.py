@@ -1,0 +1,204 @@
+"""Parallel Trinity driver: the ``Trinity.pl --nprocs N`` equivalent.
+
+The paper's software methodology (SS:III.C): ``Trinity.pl`` gains an
+``nprocs`` argument; Chrysalis prepends ``mpirun -np nprocs`` to the
+GraphFromFasta and ReadsToTranscripts command lines (and Bowtie runs over
+PyFasta-split pieces).  Mirroring that, this driver runs Jellyfish,
+Inchworm and Butterfly serially — the paper leaves them untouched — and
+launches one simulated ``mpirun`` per Chrysalis substep.
+
+The result object is a :class:`repro.trinity.pipeline.TrinityResult`, so
+serial and parallel outputs feed the same validation harness.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PipelineError
+from repro.monitor import ResourceMonitor
+from repro.mpi import MpiRunResult, mpirun
+from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+from repro.seq.fasta import write_fasta
+from repro.seq.records import SeqRecord
+from repro.trinity.bowtie import BowtieConfig, scaffold_pairs_from_sam
+from repro.trinity.butterfly import butterfly_assemble
+from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
+from repro.trinity.chrysalis.orient import orient_component
+from repro.trinity.chrysalis.quantify import quantify_graph
+from repro.trinity.inchworm import inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+from repro.trinity.pipeline import TrinityConfig, TrinityResult
+from repro.parallel.mpi_bowtie import mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+
+PathLike = Union[str, Path]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ParallelTrinityConfig:
+    """Hybrid-run parameters on top of the serial :class:`TrinityConfig`."""
+
+    trinity: TrinityConfig = TrinityConfig()
+    nprocs: int = 4
+    nthreads: int = 16  # OpenMP threads per rank (paper: 16 per node)
+    network: NetworkModel = IDATAPLEX_FDR10
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise PipelineError(f"nprocs must be positive, got {self.nprocs}")
+        if self.nthreads <= 0:
+            raise PipelineError(f"nthreads must be positive, got {self.nthreads}")
+
+
+@dataclass
+class ParallelStageTimings:
+    """Virtual makespans of the three MPI stages (what Figs 7-10 measure)."""
+
+    bowtie: MpiRunResult
+    gff: MpiRunResult
+    rtt: MpiRunResult
+
+
+class ParallelTrinityDriver:
+    """Run Trinity with the hybrid MPI+OpenMP Chrysalis."""
+
+    def __init__(self, config: Optional[ParallelTrinityConfig] = None) -> None:
+        self.config = config or ParallelTrinityConfig()
+        self.last_timings: Optional[ParallelStageTimings] = None
+
+    def run(
+        self,
+        reads: Sequence[SeqRecord],
+        workdir: Optional[PathLike] = None,
+    ) -> TrinityResult:
+        """Assemble ``reads`` with the hybrid Chrysalis; per-stage MPI
+        timings land in :attr:`last_timings`."""
+        cfg = self.config
+        tcfg = cfg.trinity
+        monitor = ResourceMonitor()
+        files: Dict[str, Path] = {}
+        wd = Path(workdir) if workdir is not None else None
+        if wd is not None:
+            wd.mkdir(parents=True, exist_ok=True)
+
+        logger.info(
+            "parallel trinity: %d reads, nprocs=%d, nthreads=%d",
+            len(reads), cfg.nprocs, cfg.nthreads,
+        )
+
+        # -- serial front end: Jellyfish + Inchworm --------------------------
+        with monitor.stage("jellyfish") as st:
+            counts = jellyfish_count(reads, tcfg.k)
+            st.ram_bytes = counts.memory_bytes()
+        with monitor.stage("inchworm") as st:
+            contigs = inchworm_assemble(counts, tcfg.inchworm())
+            st.ram_bytes = counts.memory_bytes()
+        if not contigs:
+            raise PipelineError("inchworm produced no contigs")
+
+        # -- mpirun Bowtie ----------------------------------------------------
+        with monitor.stage("chrysalis.bowtie[mpi]"):
+            bowtie_run = mpirun(
+                mpi_bowtie,
+                cfg.nprocs,
+                reads,
+                contigs,
+                BowtieConfig(),
+                workdir=wd,
+                network=cfg.network,
+            )
+        sams = bowtie_run.returns[0].records
+        if wd is not None:
+            files["bowtie_sam"] = wd / "bowtie.sam"
+        name_to_idx = {c.name: i for i, c in enumerate(contigs)}
+        lengths = {c.name: len(c.seq) for c in contigs}
+        scaffolds: List[Tuple[int, int]] = []
+        if tcfg.use_bowtie_scaffolds:
+            scaffolds = scaffold_pairs_from_sam(sams, name_to_idx, contig_lengths=lengths)
+
+        # -- mpirun GraphFromFasta ---------------------------------------------
+        with monitor.stage("chrysalis.graph_from_fasta[mpi]"):
+            gff_run = mpirun(
+                mpi_graph_from_fasta,
+                cfg.nprocs,
+                contigs,
+                reads,
+                tcfg.gff(),
+                extra_pairs=scaffolds,
+                nthreads=cfg.nthreads,
+                network=cfg.network,
+            )
+        gff = gff_run.returns[0]
+        from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaResult
+
+        gff_result = GraphFromFastaResult(
+            welds=gff.welds, pairs=gff.pairs, components=gff.components
+        )
+
+        # -- FastaToDebruijn (serial, as in the original) -----------------------
+        with monitor.stage("chrysalis.fasta_to_debruijn"):
+            graphs: Dict[int, DeBruijnGraph] = {
+                comp.id: fasta_to_debruijn(
+                    orient_component([contigs[m].seq for m in comp.members], tcfg.weld_k),
+                    tcfg.k,
+                )
+                for comp in gff_result.components
+            }
+
+        # -- mpirun ReadsToTranscripts ------------------------------------------
+        with monitor.stage("chrysalis.reads_to_transcripts[mpi]"):
+            rtt_run = mpirun(
+                mpi_reads_to_transcripts,
+                cfg.nprocs,
+                reads,
+                contigs,
+                gff_result.components,
+                tcfg.rtt(),
+                nthreads=cfg.nthreads,
+                workdir=wd,
+                network=cfg.network,
+            )
+        assignments = rtt_run.returns[0].assignments
+        if rtt_run.returns[0].out_path is not None:
+            files["reads_to_transcripts"] = rtt_run.returns[0].out_path
+
+        # -- serial back end: QuantifyGraph + Butterfly ---------------------------
+        with monitor.stage("chrysalis.quantify_graph"):
+            quants = quantify_graph(
+                graphs, list(reads), assignments,
+                kmer_counts=counts, min_kmer_count=tcfg.min_kmer_count,
+            )
+        with monitor.stage("butterfly"):
+            transcripts = butterfly_assemble(graphs, tcfg.butterfly())
+            if tcfg.use_pair_reconciliation:
+                from repro.trinity.pairs import reconcile_with_pairs
+
+                transcripts, _pair_stats = reconcile_with_pairs(
+                    transcripts, list(reads), assignments
+                )
+        if wd is not None:
+            files["transcripts"] = wd / "Trinity.fasta"
+            write_fasta(files["transcripts"], [t.to_record() for t in transcripts])
+
+        logger.info(
+            "mpi stage makespans: bowtie=%.3fs gff=%.3fs (imb %.2fx) rtt=%.3fs",
+            bowtie_run.makespan, gff_run.makespan, gff_run.imbalance, rtt_run.makespan,
+        )
+        self.last_timings = ParallelStageTimings(bowtie=bowtie_run, gff=gff_run, rtt=rtt_run)
+        return TrinityResult(
+            transcripts=transcripts,
+            contigs=contigs,
+            gff=gff_result,
+            assignments=assignments,
+            quants=quants,
+            counts=counts,
+            timeline=monitor.timeline,
+            files=files,
+        )

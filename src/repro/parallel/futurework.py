@@ -1,0 +1,196 @@
+"""Implementations of the paper's named future work (SS:VI).
+
+The conclusions list three concrete directions; each is implemented here
+against the same kernels/runtime as the shipped design so they can be
+compared head-to-head (experiments ``fw-*``):
+
+* "continue our work by focusing on the non-parallelized regions of
+  Chrysalis" — :func:`mpi_graph_from_fasta_sharded_setup` shards the
+  weldmer-index build (the dominant serial region) across ranks and
+  merges with an allgather;
+* "investigate more optimal ways to partition the workload" — the
+  ``dynamic`` strategy in :mod:`repro.parallel.scaling`;
+* "exploring MPI-I/O for RNA-Seq data" —
+  :func:`mpi_reads_to_transcripts_striped`, where each rank reads only
+  its own stripe of the input instead of the whole file.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.mpi.comm import SimComm
+from repro.openmp import Schedule, ThreadTeam
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
+from repro.parallel.mpi_graph_from_fasta import MpiGffResult
+from repro.parallel.mpi_reads_to_transcripts import MpiRttResult, _chunk_read_cost
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.components import build_components
+from repro.trinity.chrysalis.graph_from_fasta import (
+    GraphFromFastaConfig,
+    WeldCandidate,
+    build_kmer_to_contigs,
+    build_weld_index,
+    build_weldmer_index,
+    find_weld_pairs_for_contig,
+    harvest_welds_for_contig,
+    shared_seed_codes,
+)
+from repro.trinity.chrysalis.reads_to_transcripts import (
+    ReadAssignment,
+    ReadsToTranscriptsConfig,
+    assign_read,
+    build_kmer_to_component,
+    stream_chunks,
+)
+
+
+def mpi_reads_to_transcripts_striped(
+    comm: SimComm,
+    reads: Sequence[SeqRecord],
+    contigs: Sequence[Contig],
+    components,
+    cfg: Optional[ReadsToTranscriptsConfig] = None,
+    nthreads: int = 16,
+) -> MpiRttResult:
+    """MPI-I/O variant of ReadsToTranscripts.
+
+    Identical chunk ownership (chunk ``i`` -> rank ``i mod size``) and
+    identical assignments to the shipped redundant-read version — a
+    tested invariant — but each rank's virtual clock is charged only for
+    the chunks it actually owns, modelling a collective file view.
+    """
+    cfg = cfg or ReadsToTranscriptsConfig()
+    team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+
+    t0 = time.perf_counter()
+    kmer_map = build_kmer_to_component(contigs, components, cfg.k)
+    setup_time = time.perf_counter() - t0
+    comm.clock.advance(setup_time)
+    comm.clock.advance(0.0005)  # MPI_File_open + Set_view
+
+    loop_t0 = comm.clock.now
+    mine: List[ReadAssignment] = []
+    for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
+        if chunk_idx % comm.size != comm.rank:
+            continue  # striped: other ranks' chunks are never read
+        comm.clock.advance(_chunk_read_cost(chunk))
+        result = team.map(lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk)
+        mine.extend(result.values)
+        comm.clock.advance(result.makespan)
+    loop_time = comm.clock.now - loop_t0
+
+    pooled = comm.allgather(mine)
+    assignments = sorted((a for part in pooled for a in part), key=lambda a: a.read_index)
+    return MpiRttResult(
+        assignments=assignments,
+        loop_time=loop_time,
+        setup_time=setup_time,
+        concat_time=0.0,
+    )
+
+
+def mpi_graph_from_fasta_sharded_setup(
+    comm: SimComm,
+    contigs: Sequence[Contig],
+    reads: Sequence[SeqRecord],
+    cfg: Optional[GraphFromFastaConfig] = None,
+    extra_pairs: Sequence[Tuple[int, int]] = (),
+    nthreads: int = 16,
+    chunk_size: Optional[int] = None,
+) -> MpiGffResult:
+    """GraphFromFasta with the weldmer build parallelized.
+
+    Instead of every rank scanning *all* reads for weldmers (the dominant
+    non-parallel region of Figure 8), each rank scans the reads whose
+    stream-chunk ordinal matches its rank, and the partial weldmer tables
+    are pooled and summed on every rank.  Weld results are identical to
+    :func:`repro.parallel.mpi_graph_from_fasta.mpi_graph_from_fasta` —
+    a tested invariant.
+    """
+    cfg = cfg or GraphFromFastaConfig()
+    team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(contigs), comm.size, nthreads)
+    ranges = chunk_ranges(len(contigs), chunk_size)
+    my_chunks = chunks_for_rank(len(ranges), comm.rank, comm.size)
+
+    # Setup part A (still redundant): contig k-mer map — small.
+    t0 = time.perf_counter()
+    kmer_map = build_kmer_to_contigs(contigs, cfg.k)
+    shared = shared_seed_codes(kmer_map, cfg)
+    serial_time = time.perf_counter() - t0
+    comm.clock.advance(serial_time)
+
+    # Setup part B (sharded): weldmer scan over my slice of the reads.
+    t0 = time.perf_counter()
+    my_reads = [r for i, r in enumerate(reads) if (i // 256) % comm.size == comm.rank]
+    my_weldmers = build_weldmer_index(my_reads, shared, cfg)
+    comm.clock.advance(time.perf_counter() - t0)
+    pooled_tables = comm.allgatherv(my_weldmers)
+    weldmers: Dict[str, int] = {}
+    for table in pooled_tables:
+        for window, count in table.items():
+            weldmers[window] = weldmers.get(window, 0) + count
+
+    # Loops 1 and 2: unchanged from the shipped implementation.
+    loop1_t0 = comm.clock.now
+    my_welds: List[WeldCandidate] = []
+    for c in my_chunks:
+        start, stop = ranges[c]
+        result = team.map(
+            lambda idx: harvest_welds_for_contig(idx, contigs[idx], kmer_map, cfg),
+            list(range(start, stop)),
+        )
+        for welds in result.values:
+            my_welds.extend(welds)
+        comm.clock.advance(result.makespan)
+    loop1_time = comm.clock.now - loop1_t0
+
+    pooled = comm.allgatherv(my_welds)
+    welds: List[WeldCandidate] = [w for part in pooled for w in part]
+
+    t0 = time.perf_counter()
+    weld_index = build_weld_index(welds)
+    dt = time.perf_counter() - t0
+    serial_time += dt
+    comm.clock.advance(dt)
+
+    loop2_t0 = comm.clock.now
+    my_pairs: Set[Tuple[int, int]] = set()
+    for c in my_chunks:
+        start, stop = ranges[c]
+        result = team.map(
+            lambda idx: find_weld_pairs_for_contig(
+                idx, contigs[idx], welds, weld_index, weldmers, cfg
+            ),
+            list(range(start, stop)),
+        )
+        for pairs in result.values:
+            my_pairs.update(pairs)
+        comm.clock.advance(result.makespan)
+    loop2_time = comm.clock.now - loop2_t0
+
+    pooled_pairs = comm.allgatherv(sorted(my_pairs))
+    pair_set: Set[Tuple[int, int]] = set()
+    for part in pooled_pairs:
+        pair_set.update(part)
+    for a, b in extra_pairs:
+        pair_set.add((min(a, b), max(a, b)))
+    pairs = sorted(pair_set)
+
+    t0 = time.perf_counter()
+    components = build_components(len(contigs), pairs)
+    dt = time.perf_counter() - t0
+    serial_time += dt
+    comm.clock.advance(dt)
+
+    return MpiGffResult(
+        welds=welds,
+        pairs=pairs,
+        components=components,
+        loop1_time=loop1_time,
+        loop2_time=loop2_time,
+        serial_time=serial_time,
+    )

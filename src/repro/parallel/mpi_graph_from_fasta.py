@@ -1,0 +1,169 @@
+"""Hybrid MPI+OpenMP GraphFromFasta (paper SS:III.B).
+
+Each of the two compute loops is distributed with the chunked round-robin
+strategy; after each loop the per-rank results are pooled on *every* rank
+with ``allgatherv`` — strings (packed welding subsequences) after loop 1,
+a flat int array (pair indices) after loop 2, exactly the wire formats
+the paper describes.  The non-MPI regions (k-mer setup, weld indexing,
+component construction) run redundantly on every rank, which is why their
+share of total time grows with node count (Figure 8).
+
+The per-contig kernels are imported from the serial implementation, so
+the weld/pair/component *sets* computed here are identical to
+:func:`repro.trinity.chrysalis.graph_from_fasta.graph_from_fasta` — a
+tested invariant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.mpi.comm import SimComm
+from repro.mpi.datatypes import pack_int_pairs, pack_strings, unpack_int_pairs, unpack_strings
+from repro.openmp import Schedule, ThreadTeam
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.components import Component, build_components
+from repro.trinity.chrysalis.graph_from_fasta import (
+    GraphFromFastaConfig,
+    WeldCandidate,
+    build_kmer_to_contigs,
+    build_weld_index,
+    build_weldmer_index,
+    find_weld_pairs_for_contig,
+    harvest_welds_for_contig,
+    shared_seed_codes,
+)
+
+
+@dataclass
+class MpiGffResult:
+    """Per-rank view of the hybrid GraphFromFasta outcome.
+
+    All ranks hold identical ``welds`` / ``pairs`` / ``components`` (the
+    pooling collectives guarantee it — also a tested invariant).
+    """
+
+    welds: List[WeldCandidate]
+    pairs: List[Tuple[int, int]]
+    components: List[Component]
+    loop1_time: float  # this rank's virtual seconds in loop 1
+    loop2_time: float
+    serial_time: float  # non-MPI regions (redundant on every rank)
+
+
+def mpi_graph_from_fasta(
+    comm: SimComm,
+    contigs: Sequence[Contig],
+    reads: Sequence[SeqRecord],
+    cfg: Optional[GraphFromFastaConfig] = None,
+    extra_pairs: Sequence[Tuple[int, int]] = (),
+    nthreads: int = 16,
+    chunk_size: Optional[int] = None,
+) -> MpiGffResult:
+    """SPMD body; run under :func:`repro.mpi.mpirun`."""
+    cfg = cfg or GraphFromFastaConfig()
+    team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(contigs), comm.size, nthreads)
+    ranges = chunk_ranges(len(contigs), chunk_size)
+    my_chunks = chunks_for_rank(len(ranges), comm.rank, comm.size)
+
+    # -- serial region: k-mer -> contigs map + read weldmer index ----------
+    # (redundant on every rank; part of Fig 8's non-parallel share)
+    t0 = time.perf_counter()
+    kmer_map = build_kmer_to_contigs(contigs, cfg.k)
+    weldmers = build_weldmer_index(reads, shared_seed_codes(kmer_map, cfg), cfg)
+    serial_time = time.perf_counter() - t0
+    comm.clock.advance(serial_time)
+
+    # -- loop 1: harvest welds over my chunks ------------------------------
+    loop1_t0 = comm.clock.now
+    my_welds: List[WeldCandidate] = []
+    for c in my_chunks:
+        start, stop = ranges[c]
+        result = team.map(
+            lambda idx: harvest_welds_for_contig(idx, contigs[idx], kmer_map, cfg),
+            list(range(start, stop)),
+        )
+        for welds in result.values:
+            my_welds.extend(welds)
+        comm.clock.advance(result.makespan)
+    loop1_time = comm.clock.now - loop1_t0
+
+    # -- pool welds on every rank (packed strings + Allgatherv) ------------
+    # Wire format mirrors the paper: the vector of welding subsequences is
+    # packed into a single byte sequence (flanks/seed delimited so the
+    # receiving side can rebuild the candidates), sizes exchanged first.
+    payload, lengths = pack_strings(
+        [f"{w.left_flank},{w.seed},{w.right_flank}" for w in my_welds]
+    )
+    owners = np.array([w.owner for w in my_welds], dtype=np.int64)
+    seeds = np.array([w.seed_code for w in my_welds], dtype=np.uint64)
+    pooled = comm.allgatherv((payload, lengths, owners, seeds))
+    welds: List[WeldCandidate] = []
+    for pay, lens, own, sds in pooled:
+        for packed, o, s in zip(unpack_strings(pay, lens), own.tolist(), sds.tolist()):
+            left, seed, right = packed.split(",")
+            welds.append(
+                WeldCandidate(
+                    left_flank=left,
+                    seed=seed,
+                    right_flank=right,
+                    owner=int(o),
+                    seed_code=int(s),
+                )
+            )
+
+    # -- serial region: weld index (redundant on every rank) ---------------
+    t0 = time.perf_counter()
+    weld_index = build_weld_index(welds)
+    dt = time.perf_counter() - t0
+    serial_time += dt
+    comm.clock.advance(dt)
+
+    # -- loop 2: find pairs over my chunks ----------------------------------
+    loop2_t0 = comm.clock.now
+    my_pairs: Set[Tuple[int, int]] = set()
+    for c in my_chunks:
+        start, stop = ranges[c]
+        result = team.map(
+            lambda idx: find_weld_pairs_for_contig(
+                idx, contigs[idx], welds, weld_index, weldmers, cfg
+            ),
+            list(range(start, stop)),
+        )
+        for pairs in result.values:
+            my_pairs.update(pairs)
+        comm.clock.advance(result.makespan)
+    loop2_time = comm.clock.now - loop2_t0
+
+    # -- pool pairs on every rank (flat int array + Allgatherv) ------------
+    flat = pack_int_pairs(sorted(my_pairs))
+    pooled_pairs = comm.allgatherv(flat)
+    pair_set: Set[Tuple[int, int]] = set()
+    for arr in pooled_pairs:
+        pair_set.update(unpack_int_pairs(arr))
+    for a, b in extra_pairs:
+        pair_set.add((min(a, b), max(a, b)))
+    pairs = sorted(pair_set)
+
+    # -- serial region: components (redundant on every rank) ---------------
+    t0 = time.perf_counter()
+    components = build_components(len(contigs), pairs)
+    dt = time.perf_counter() - t0
+    serial_time += dt
+    comm.clock.advance(dt)
+
+    return MpiGffResult(
+        welds=welds,
+        pairs=pairs,
+        components=components,
+        loop1_time=loop1_time,
+        loop2_time=loop2_time,
+        serial_time=serial_time,
+    )

@@ -1,0 +1,390 @@
+"""Calibrated paper-scale replays of the scaling experiments (Figs 7-11).
+
+These functions re-run the paper's *decomposition* — chunked round-robin
+dealing, per-chunk OpenMP dynamic scheduling, Allgatherv pooling, serial
+regions — over the sampled sugarbeet-scale workload, with absolute time
+anchored by :class:`repro.cluster.costmodel.PaperCalibration`.  The
+speedups, shares and imbalances are *outputs* of the schedule simulation,
+not inputs (see DESIGN.md SS:5).
+
+The same chunking code (:mod:`repro.parallel.chunks`) and schedule
+simulators (:mod:`repro.openmp.schedule`) drive both these replays and
+the real miniature runs, so the model cannot drift from the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.costmodel import CALIBRATION, PaperCalibration
+from repro.cluster.workload import ChrysalisWorkload, build_workload
+from repro.errors import ScheduleError
+from repro.monitor.collectl import Timeline
+from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+from repro.openmp.schedule import dynamic_makespan
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, static_block_ranges
+
+
+# ---------------------------------------------------------------------------
+# GraphFromFasta (Figs 7, 8)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GffScalingPoint:
+    """One node count's simulated GraphFromFasta timings (Fig 7 series)."""
+
+    nodes: int
+    loop1_max: float
+    loop1_min: float
+    loop2_max: float
+    loop2_min: float
+    comm_s: float
+    serial_s: float
+
+    @property
+    def loops_s(self) -> float:
+        return self.loop1_max + self.loop2_max
+
+    @property
+    def total_s(self) -> float:
+        return self.loops_s + self.comm_s + self.serial_s
+
+    @property
+    def loops_share(self) -> float:
+        """Fraction of total time in the two MPI loops (Fig 8)."""
+        return self.loops_s / self.total_s
+
+    @property
+    def loop1_imbalance(self) -> float:
+        return self.loop1_max / self.loop1_min if self.loop1_min > 0 else float("inf")
+
+    @property
+    def loop2_imbalance(self) -> float:
+        return self.loop2_max / self.loop2_min if self.loop2_min > 0 else float("inf")
+
+
+def _rank_loop_times(
+    costs: np.ndarray,
+    nodes: int,
+    nthreads: int,
+    chunk_size: int,
+    rank_overhead: float,
+    strategy: str = "round_robin",
+) -> np.ndarray:
+    """Per-rank loop time under one distribution strategy.
+
+    ``round_robin`` — the paper's shipped chunked round-robin;
+    ``static_block`` — the paper's rejected pre-allocation;
+    ``dynamic`` — master-dealt chunks to the next free rank, the
+    "dynamic partitioning strategy to reduce this load imbalance" the
+    paper names as future work (SS:V.A).
+    """
+    ranges = chunk_ranges(costs.size, chunk_size)
+    times = np.zeros(nodes)
+    if strategy == "dynamic":
+        chunk_times = [
+            dynamic_makespan(costs[start:stop], nthreads) for start, stop in ranges
+        ]
+        import heapq
+
+        heap = [(0.0, r) for r in range(nodes)]
+        heapq.heapify(heap)
+        for ct in chunk_times:
+            free_at, r = heapq.heappop(heap)
+            times[r] = free_at + ct
+            heapq.heappush(heap, (times[r], r))
+        return times + rank_overhead
+    for rank in range(nodes):
+        if strategy == "round_robin":
+            my_chunks = chunks_for_rank(len(ranges), rank, nodes)
+            t = 0.0
+            for c in my_chunks:
+                start, stop = ranges[c]
+                t += dynamic_makespan(costs[start:stop], nthreads)
+        elif strategy == "static_block":
+            start, stop = static_block_ranges(costs.size, rank, nodes)
+            t = dynamic_makespan(costs[start:stop], nthreads)
+        else:
+            raise ScheduleError(f"unknown strategy {strategy!r}")
+        times[rank] = t + rank_overhead
+    return times
+
+
+def simulate_gff_point(
+    nodes: int,
+    workload: ChrysalisWorkload,
+    calibration: PaperCalibration = CALIBRATION,
+    nthreads: int = 16,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    strategy: str = "round_robin",
+    parallel_serial_region: bool = False,
+) -> GffScalingPoint:
+    """Simulate hybrid GraphFromFasta at one node count.
+
+    ``parallel_serial_region=True`` models the paper's named future work
+    of "parallelizing other parts of GraphFromFasta": the k-mer/weldmer
+    setup is sharded across ranks and merged with an Allgatherv, so its
+    cost scales ~1/nodes plus communication.
+    """
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    chunk_size = calibration.chunk_size(workload.n_contigs)
+    t1 = _rank_loop_times(
+        workload.loop1_costs, nodes, nthreads, chunk_size,
+        calibration.gff_loop1_rank_overhead_s, strategy,
+    )
+    t2 = _rank_loop_times(
+        workload.loop2_costs, nodes, nthreads, chunk_size,
+        calibration.gff_loop2_rank_overhead_s, strategy,
+    )
+    comm = network.allgatherv(nodes, workload.weld_payload_bytes) + network.allgatherv(
+        nodes, workload.pair_payload_bytes
+    )
+    serial = calibration.gff_serial_region_s
+    if parallel_serial_region and nodes > 1:
+        # Sharded setup: each rank indexes 1/nodes of the reads/contigs,
+        # then pools the tables (weldmer table ~= weld payload x 4).
+        serial = serial / nodes
+        comm += network.allgatherv(nodes, 4 * workload.weld_payload_bytes)
+    return GffScalingPoint(
+        nodes=nodes,
+        loop1_max=float(t1.max()),
+        loop1_min=float(t1.min()),
+        loop2_max=float(t2.max()),
+        loop2_min=float(t2.min()),
+        comm_s=comm,
+        serial_s=serial,
+    )
+
+
+def simulate_gff_scaling(
+    nodes_list: Sequence[int],
+    workload: Optional[ChrysalisWorkload] = None,
+    calibration: PaperCalibration = CALIBRATION,
+    nthreads: int = 16,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    strategy: str = "round_robin",
+) -> List[GffScalingPoint]:
+    """The Figure 7 sweep (paper: 16-192 nodes, 16 threads each)."""
+    workload = workload if workload is not None else build_workload()
+    return [
+        simulate_gff_point(n, workload, calibration, nthreads, network, strategy)
+        for n in nodes_list
+    ]
+
+
+def gff_serial_baseline_s(calibration: PaperCalibration = CALIBRATION) -> float:
+    """The OpenMP-only single-node GraphFromFasta time (paper: 122 610 s)."""
+    loops = (
+        calibration.gff_loop1_thread_work_s + calibration.gff_loop2_thread_work_s
+    ) / 16.0
+    return loops + calibration.gff_serial_region_s
+
+
+# ---------------------------------------------------------------------------
+# ReadsToTranscripts (Fig 9)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RttScalingPoint:
+    """One node count's simulated ReadsToTranscripts timings (Fig 9)."""
+
+    nodes: int
+    loop_max: float
+    loop_min: float
+    setup_s: float  # OpenMP-only k-mer -> bundle assignment
+    concat_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.loop_max + self.setup_s + self.concat_s
+
+    @property
+    def loop_share(self) -> float:
+        return self.loop_max / self.total_s
+
+
+def simulate_rtt_point(
+    nodes: int,
+    workload: ChrysalisWorkload,
+    calibration: PaperCalibration = CALIBRATION,
+    striped_io: bool = False,
+    io_cost_s: Optional[float] = None,
+) -> RttScalingPoint:
+    """Simulate hybrid ReadsToTranscripts at one node count.
+
+    Chunk ``i`` of ``max_mem_reads`` reads is processed by rank
+    ``i mod nodes``.  By default every rank pays the full redundant read
+    (``io_cost_s``, defaulting to the calibrated page-cached constant);
+    with ``striped_io=True`` — the paper's "exploring MPI-I/O for RNA-Seq
+    data" future work — each rank reads only its own stripe, paying
+    ``io_cost_s / nodes`` plus a small collective-open overhead.
+    """
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    io = calibration.rtt_redundant_read_s if io_cost_s is None else io_cost_s
+    if striped_io:
+        io = io / nodes + 0.5  # MPI_File_open + view setup
+    costs = workload.rtt_chunk_costs
+    times = np.zeros(nodes)
+    for rank in range(nodes):
+        mine = chunks_for_rank(costs.size, rank, nodes)
+        times[rank] = costs[mine].sum() + io
+    return RttScalingPoint(
+        nodes=nodes,
+        loop_max=float(times.max()),
+        loop_min=float(times.min()),
+        setup_s=calibration.rtt_assign_s,
+        concat_s=calibration.rtt_concat_s,
+    )
+
+
+def simulate_rtt_scaling(
+    nodes_list: Sequence[int],
+    workload: Optional[ChrysalisWorkload] = None,
+    calibration: PaperCalibration = CALIBRATION,
+) -> List[RttScalingPoint]:
+    """The Figure 9 sweep (paper: 4-32 nodes)."""
+    workload = workload if workload is not None else build_workload()
+    return [simulate_rtt_point(n, workload, calibration) for n in nodes_list]
+
+
+def rtt_serial_baseline_s(calibration: PaperCalibration = CALIBRATION) -> float:
+    """Single-node ReadsToTranscripts (paper: 20 190 s).
+
+    Includes the serial streaming path's residual overhead (see the
+    FLAGGED note in :mod:`repro.cluster.costmodel`).
+    """
+    return (
+        calibration.rtt_loop_work_s
+        + calibration.rtt_assign_s
+        + calibration.rtt_serial_residual_s
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bowtie (Fig 10)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BowtieScalingPoint:
+    """One node count's simulated parallel Bowtie timings (Fig 10)."""
+
+    nodes: int
+    split_s: float  # PyFasta partitioning (serial)
+    bowtie_s: float  # slowest node's index build + alignment
+    merge_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.split_s + self.bowtie_s + self.merge_s
+
+
+def simulate_bowtie_point(
+    nodes: int,
+    n_reads: int,
+    calibration: PaperCalibration = CALIBRATION,
+) -> BowtieScalingPoint:
+    """Simulate the PyFasta-split Bowtie at one node count.
+
+    Per-node time: ``index_build * frac + n_reads * (c0 + c1 * frac^gamma)``
+    with ``frac = 1/nodes`` (PyFasta balances pieces by total bases, so
+    the slowest node's share is ~1/nodes).
+    """
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    frac = 1.0 / nodes
+    split = calibration.pyfasta_split_s if nodes > 1 else 0.0
+    bowtie = calibration.bowtie_index_build_s * frac + n_reads * (
+        calibration.bowtie_read_cost_s
+        + calibration.bowtie_hit_cost_s * frac**calibration.bowtie_gamma
+    )
+    merge = calibration.sam_merge_s_per_piece * nodes if nodes > 1 else 0.0
+    return BowtieScalingPoint(nodes=nodes, split_s=split, bowtie_s=bowtie, merge_s=merge)
+
+
+def simulate_bowtie_scaling(
+    nodes_list: Sequence[int],
+    n_reads: int = 129_800_000,
+    calibration: PaperCalibration = CALIBRATION,
+) -> List[BowtieScalingPoint]:
+    """The Figure 10 sweep."""
+    return [simulate_bowtie_point(n, n_reads, calibration) for n in nodes_list]
+
+
+# ---------------------------------------------------------------------------
+# Whole-workflow timelines (Figs 2, 11)
+# ---------------------------------------------------------------------------
+
+
+def simulate_serial_timeline(calibration: PaperCalibration = CALIBRATION) -> Timeline:
+    """Figure 2: original Trinity on one 16-core, 256 GB node.
+
+    RAM figures come from :func:`repro.cluster.memory.model_stage_memory`
+    — derived from the input statistics, not copied from the figure — and
+    reproduce the paper's narrative: Jellyfish and Inchworm are the
+    memory-hungry stages, Chrysalis/Butterfly are CPU-bound.
+    """
+    from repro.cluster.memory import model_stage_memory
+
+    mem = model_stage_memory(nprocs=1)
+    tl = Timeline()
+    tl.append("jellyfish", calibration.jellyfish_serial_s, mem.jellyfish_gb)
+    tl.append("inchworm", calibration.inchworm_serial_s, mem.inchworm_gb)
+    tl.append("chrysalis.bowtie", calibration.bowtie_serial_total_s, mem.bowtie_gb)
+    tl.append("chrysalis.graph_from_fasta", calibration.gff_serial_total_s, mem.gff_gb)
+    tl.append("chrysalis.reads_to_transcripts", calibration.rtt_serial_total_s, mem.rtt_gb)
+    tl.append("chrysalis.misc", calibration.chrysalis_misc_serial_s, mem.gff_gb)
+    tl.append("butterfly", calibration.butterfly_serial_s, mem.butterfly_gb)
+    return tl
+
+
+def simulate_parallel_timeline(
+    nodes: int = 16,
+    workload: Optional[ChrysalisWorkload] = None,
+    calibration: PaperCalibration = CALIBRATION,
+    nthreads: int = 16,
+    network: NetworkModel = IDATAPLEX_FDR10,
+) -> Timeline:
+    """Figure 11: hybrid Trinity at ``nodes`` nodes (paper plots 16).
+
+    Per the paper's caption, the Jellyfish/Inchworm front end is "not
+    recorded" in the parallel trace; we include them (serial) so the
+    Chrysalis reduction is visible in context, matching the figure's
+    intent.  Per-node RAM drops to the 128 GB nodes' envelope.
+    """
+    from repro.cluster.memory import model_stage_memory
+
+    workload = workload if workload is not None else build_workload()
+    gff = simulate_gff_point(nodes, workload, calibration, nthreads, network)
+    rtt = simulate_rtt_point(nodes, workload, calibration)
+    bowtie = simulate_bowtie_point(nodes, 129_800_000, calibration)
+    mem = model_stage_memory(nprocs=nodes)
+    tl = Timeline()
+    # Jellyfish/Inchworm still run on the big-memory node in the paper's
+    # workflow ("Running instances of Inchworm/Jellyfish are not recorded
+    # for MPI-parallelized Trinity", Fig 11 caption).
+    tl.append("jellyfish", calibration.jellyfish_serial_s, mem.jellyfish_gb)
+    tl.append("inchworm", calibration.inchworm_serial_s, mem.inchworm_gb)
+    tl.append("chrysalis.bowtie[mpi]", bowtie.total_s, mem.bowtie_gb)
+    tl.append("chrysalis.graph_from_fasta[mpi]", gff.total_s, mem.gff_gb)
+    tl.append("chrysalis.reads_to_transcripts[mpi]", rtt.total_s, mem.rtt_gb)
+    tl.append("chrysalis.misc", calibration.chrysalis_misc_serial_s, mem.gff_gb)
+    tl.append("butterfly", calibration.butterfly_serial_s, mem.butterfly_gb)
+    return tl
+
+
+def chrysalis_total_s(
+    gff: GffScalingPoint,
+    rtt: RttScalingPoint,
+    bowtie: BowtieScalingPoint,
+    calibration: PaperCalibration = CALIBRATION,
+) -> float:
+    """Total Chrysalis time for one configuration (headline number)."""
+    return gff.total_s + rtt.total_s + bowtie.total_s + calibration.chrysalis_misc_serial_s

@@ -1,0 +1,53 @@
+"""Sequence substrate: alphabets, k-mer codec, FASTA/FASTQ/SAM I/O, PyFasta.
+
+Everything the Trinity reimplementation needs to touch nucleotide data
+lives here.  The k-mer codec is numpy-vectorised (2 bits/base) because the
+assembly stages spend most of their time extracting and hashing k-mers.
+"""
+
+from repro.seq.alphabet import (
+    BASES,
+    complement,
+    reverse_complement,
+    is_valid_dna,
+    sanitize,
+)
+from repro.seq.kmers import (
+    encode_kmer,
+    decode_kmer,
+    kmer_array,
+    canonical_kmers,
+    kmer_set,
+)
+from repro.seq.records import SeqRecord, ReadPair
+from repro.seq.fasta import read_fasta, write_fasta, iter_fasta
+from repro.seq.fastq import read_fastq, write_fastq, iter_fastq
+from repro.seq.sam import SamRecord, write_sam, read_sam, merge_sam_files
+from repro.seq.pyfasta import FastaIndex, split_fasta
+
+__all__ = [
+    "BASES",
+    "complement",
+    "reverse_complement",
+    "is_valid_dna",
+    "sanitize",
+    "encode_kmer",
+    "decode_kmer",
+    "kmer_array",
+    "canonical_kmers",
+    "kmer_set",
+    "SeqRecord",
+    "ReadPair",
+    "read_fasta",
+    "write_fasta",
+    "iter_fasta",
+    "read_fastq",
+    "write_fastq",
+    "iter_fastq",
+    "SamRecord",
+    "write_sam",
+    "read_sam",
+    "merge_sam_files",
+    "FastaIndex",
+    "split_fasta",
+]

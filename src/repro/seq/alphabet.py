@@ -1,0 +1,95 @@
+"""DNA alphabet primitives.
+
+The canonical alphabet is ``ACGT`` with 2-bit codes A=0, C=1, G=2, T=3
+(the ordering Jellyfish uses).  Ambiguity codes are not modelled; reads
+containing ``N`` are sanitised by the read simulator / loaders before they
+reach the assembly stages, mirroring Trinity's behaviour of discarding
+k-mers containing non-ACGT characters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SequenceError
+
+#: The DNA bases in 2-bit code order.
+BASES = "ACGT"
+
+#: base character -> 2-bit code
+BASE_TO_CODE = {b: i for i, b in enumerate(BASES)}
+
+#: 2-bit code -> base character
+CODE_TO_BASE = np.frombuffer(BASES.encode(), dtype=np.uint8)
+
+# Translation table for complementing a DNA string (bytes-level, fast).
+_COMPLEMENT_TABLE = bytes.maketrans(b"ACGTacgtNn", b"TGCAtgcaNn")
+
+# uint8 lookup: ASCII byte -> 2-bit code, 255 for invalid.
+ASCII_TO_CODE = np.full(256, 255, dtype=np.uint8)
+for _b, _c in BASE_TO_CODE.items():
+    ASCII_TO_CODE[ord(_b)] = _c
+    ASCII_TO_CODE[ord(_b.lower())] = _c
+
+
+def complement(base: str) -> str:
+    """Complement a single base.
+
+    >>> complement("A")
+    'T'
+    """
+    if len(base) != 1:
+        raise SequenceError(f"complement() takes one base, got {base!r}")
+    out = base.translate(str.maketrans("ACGTacgt", "TGCAtgca"))
+    if out == base and base.upper() not in "AT":
+        # translate() leaves unknown characters untouched
+        if base.upper() not in "ACGT":
+            raise SequenceError(f"invalid base {base!r}")
+    return out
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse-complement a DNA string (``N`` is preserved).
+
+    >>> reverse_complement("ACCGT")
+    'ACGGT'
+    """
+    return seq.encode().translate(_COMPLEMENT_TABLE)[::-1].decode()
+
+
+def is_valid_dna(seq: str) -> bool:
+    """True if ``seq`` consists only of ``ACGT`` (upper case)."""
+    if not seq:
+        return True
+    arr = np.frombuffer(seq.encode(), dtype=np.uint8)
+    codes = ASCII_TO_CODE[arr]
+    # lowercase also maps to valid codes; require strict upper-case ACGT
+    return bool(np.all(codes != 255)) and seq == seq.upper()
+
+
+def sanitize(seq: str) -> str:
+    """Upper-case ``seq`` and verify it is ACGTN; raise otherwise.
+
+    ``N`` characters are allowed through — k-mer extraction skips windows
+    containing them — but anything else is rejected loudly.
+    """
+    up = seq.upper()
+    allowed = set("ACGTN")
+    bad = set(up) - allowed
+    if bad:
+        raise SequenceError(f"invalid characters in sequence: {sorted(bad)!r}")
+    return up
+
+
+def encode_bases(seq: str) -> np.ndarray:
+    """Encode a DNA string to a uint8 code array (255 marks non-ACGT)."""
+    raw = np.frombuffer(seq.upper().encode(), dtype=np.uint8)
+    return ASCII_TO_CODE[raw]
+
+
+def decode_bases(codes: np.ndarray) -> str:
+    """Decode a uint8 code array back to a DNA string."""
+    codes = np.asarray(codes)
+    if codes.size and (codes.max(initial=0) > 3):
+        raise SequenceError("code array contains invalid codes")
+    return CODE_TO_BASE[codes].tobytes().decode()

@@ -1,0 +1,76 @@
+"""Minimal FASTQ support (RNA-seq inputs arrive as FASTA or FASTQ)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.errors import FastaFormatError
+from repro.seq.records import SeqRecord
+
+PathLike = Union[str, Path]
+
+#: Phred+33 quality for a "good" simulated base.
+DEFAULT_QUAL_CHAR = "I"
+
+
+def iter_fastq(path: PathLike) -> Iterator[Tuple[SeqRecord, str]]:
+    """Yield ``(record, quality_string)`` pairs from a FASTQ file
+    (``.gz`` transparently decompressed)."""
+    from repro.seq.fasta import open_text
+
+    with open_text(path) as fh:
+        lines = (ln.rstrip("\n") for ln in fh)
+        while True:
+            try:
+                header = next(lines)
+            except StopIteration:
+                return
+            if not header:
+                continue
+            if not header.startswith("@"):
+                raise FastaFormatError(f"expected '@' header, got {header!r}")
+            try:
+                seq = next(lines)
+                plus = next(lines)
+                qual = next(lines)
+            except StopIteration:
+                raise FastaFormatError(f"truncated FASTQ record {header!r}") from None
+            if not plus.startswith("+"):
+                raise FastaFormatError(f"expected '+' separator in record {header!r}")
+            if len(qual) != len(seq):
+                raise FastaFormatError(
+                    f"quality length {len(qual)} != sequence length {len(seq)} in {header!r}"
+                )
+            parts = header[1:].split(None, 1)
+            yield SeqRecord(parts[0], seq, parts[1] if len(parts) > 1 else ""), qual
+
+
+def read_fastq(path: PathLike) -> List[Tuple[SeqRecord, str]]:
+    """Read an entire FASTQ file into memory."""
+    return list(iter_fastq(path))
+
+
+def write_fastq(
+    path: PathLike,
+    records: Iterable[SeqRecord],
+    quals: Iterable[str] = None,
+) -> int:
+    """Write records as FASTQ; constant quality if ``quals`` is omitted."""
+    from repro.seq.fasta import open_text
+
+    n = 0
+    with open_text(path, "w") as fh:
+        if quals is None:
+            for rec in records:
+                fh.write(f"@{rec.header}\n{rec.seq}\n+\n{DEFAULT_QUAL_CHAR * len(rec.seq)}\n")
+                n += 1
+        else:
+            for rec, q in zip(records, quals):
+                if len(q) != len(rec.seq):
+                    raise FastaFormatError(
+                        f"quality length {len(q)} != sequence length {len(rec.seq)}"
+                    )
+                fh.write(f"@{rec.header}\n{rec.seq}\n+\n{q}\n")
+                n += 1
+    return n

@@ -1,0 +1,157 @@
+"""Vectorised 2-bit k-mer codec.
+
+A k-mer (k <= 31) is packed into a Python/numpy ``uint64``: the first base
+occupies the highest-order bit pair, so lexicographic order of strings is
+numeric order of codes.  All hot paths (sliding-window extraction,
+canonicalisation) are numpy-vectorised, per the optimisation guides: no
+per-base Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import BASES, encode_bases
+
+MAX_K = 31
+
+
+def _check_k(k: int) -> None:
+    if not (1 <= k <= MAX_K):
+        raise SequenceError(f"k must be in [1, {MAX_K}], got {k}")
+
+
+def encode_kmer(kmer: str) -> int:
+    """Pack one k-mer string into an int code.
+
+    >>> encode_kmer("ACGT")
+    27
+    """
+    _check_k(len(kmer))
+    codes = encode_bases(kmer)
+    if np.any(codes == 255):
+        raise SequenceError(f"k-mer contains non-ACGT characters: {kmer!r}")
+    val = 0
+    for c in codes:
+        val = (val << 2) | int(c)
+    return val
+
+
+def decode_kmer(code: int, k: int) -> str:
+    """Unpack an int code back into the k-mer string.
+
+    >>> decode_kmer(27, 4)
+    'ACGT'
+    """
+    _check_k(k)
+    if code < 0 or code >= (1 << (2 * k)):
+        raise SequenceError(f"code {code} out of range for k={k}")
+    out = []
+    for shift in range(2 * (k - 1), -1, -2):
+        out.append(BASES[(code >> shift) & 3])
+    return "".join(out)
+
+
+def kmer_array(seq: str, k: int) -> np.ndarray:
+    """All k-mer codes of ``seq``, in order, as a uint64 array.
+
+    Windows containing non-ACGT characters (e.g. ``N``) are dropped, the
+    same policy Jellyfish/Inchworm use.  Returns an empty array if
+    ``len(seq) < k``.
+    """
+    _check_k(k)
+    codes = encode_bases(seq)
+    n = codes.size - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.uint64)
+    valid = codes != 255
+    # Rolling pack: cumulative base-4 polynomial via a strided dot product.
+    weights = (np.uint64(1) << (np.uint64(2) * np.arange(k - 1, -1, -1, dtype=np.uint64)))
+    safe = np.where(valid, codes, 0).astype(np.uint64)
+    windows = np.lib.stride_tricks.sliding_window_view(safe, k)
+    vals = windows @ weights
+    window_ok = np.all(np.lib.stride_tricks.sliding_window_view(valid, k), axis=1)
+    return vals[window_ok].astype(np.uint64)
+
+
+def revcomp_codes(codes: np.ndarray, k: int) -> np.ndarray:
+    """Reverse-complement packed k-mer codes, vectorised.
+
+    Complement is bitwise NOT of each 2-bit field; reversal swaps fields.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint64)
+    mask2 = np.uint64(0x3)
+    out = np.zeros_like(codes)
+    comp = (~codes) & np.uint64((1 << (2 * k)) - 1)
+    for i in range(k):
+        field = (comp >> np.uint64(2 * i)) & mask2
+        out |= field << np.uint64(2 * (k - 1 - i))
+    return out
+
+
+# Byte table: reverse the four 2-bit fields of a byte AND complement them.
+# Used by the scalar fast path below (4 bases per lookup).
+_RC_BYTE = [0] * 256
+for _b in range(256):
+    _v = 0
+    for _i in range(4):
+        _field = (_b >> (2 * _i)) & 0x3
+        _v = (_v << 2) | (_field ^ 0x3)
+    _RC_BYTE[_b] = _v
+
+
+def revcomp_code(code: int, k: int) -> int:
+    """Scalar reverse-complement of one packed k-mer code.
+
+    Table-driven (4 bases per lookup) — the hot path of Inchworm's
+    per-candidate canonicalisation, where a vectorised call on a
+    1-element array costs ~100x more than this.
+    """
+    _check_k(k)
+    nbits = 2 * k
+    nbytes = (nbits + 7) // 8
+    out = 0
+    for _ in range(nbytes):
+        out = (out << 8) | _RC_BYTE[code & 0xFF]
+        code >>= 8
+    return out >> (8 * nbytes - nbits)
+
+
+def canonical_code(code: int, k: int) -> int:
+    """min(code, revcomp) — the canonical form of one packed k-mer."""
+    rc = revcomp_code(code, k)
+    return code if code <= rc else rc
+
+
+def canonical_kmers(seq: str, k: int) -> np.ndarray:
+    """Canonical (min of forward / reverse-complement) k-mer codes."""
+    fwd = kmer_array(seq, k)
+    if fwd.size == 0:
+        return fwd
+    rev = revcomp_codes(fwd, k)
+    return np.minimum(fwd, rev)
+
+
+def kmer_set(seq: str, k: int, canonical: bool = False) -> Set[int]:
+    """Distinct k-mer codes of ``seq`` as a Python set of ints."""
+    arr = canonical_kmers(seq, k) if canonical else kmer_array(seq, k)
+    return set(int(v) for v in np.unique(arr))
+
+
+def count_kmers_into(counts: Dict[int, int], seq: str, k: int, canonical: bool = False) -> None:
+    """Accumulate k-mer counts of ``seq`` into ``counts`` (in place)."""
+    arr = canonical_kmers(seq, k) if canonical else kmer_array(seq, k)
+    if arr.size == 0:
+        return
+    vals, cnts = np.unique(arr, return_counts=True)
+    for v, c in zip(vals.tolist(), cnts.tolist()):
+        counts[v] = counts.get(v, 0) + c
+
+
+def shared_kmer_count(a: Iterable[int], b: Set[int]) -> int:
+    """Number of codes from ``a`` (with multiplicity) present in set ``b``."""
+    return sum(1 for v in a if v in b)

@@ -1,0 +1,188 @@
+"""PyFasta-equivalent: FASTA random-access index and even record splitting.
+
+The paper speeds up Bowtie by splitting the Inchworm-contig FASTA across
+MPI ranks with the PyFasta tool (``pyfasta split -n N``).  PyFasta's
+splitter balances *total sequence length* across pieces by greedily
+assigning each record to the currently lightest piece; we reproduce that
+semantic because the resulting balance determines each node's Bowtie
+index-build + alignment time in Figure 10.
+
+PyFasta is single-threaded — the paper calls its serial split time "a
+possible overhead to be worked on"; the cost model charges it serially.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FastaFormatError
+from repro.seq.fasta import iter_fasta, write_fasta
+from repro.seq.records import SeqRecord
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Byte-level location of one record inside a FASTA file."""
+
+    name: str
+    offset: int  # byte offset of the '>' character
+    length: int  # sequence length in bases
+
+
+class FastaIndex:
+    """Byte-offset index over a FASTA file (pyfasta's ``.flat`` analogue).
+
+    Supports O(1) lookup of a record's location and lazy sequence fetch
+    without loading the whole file.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.entries: List[IndexEntry] = []
+        self._by_name: Dict[str, IndexEntry] = {}
+        self._build()
+
+    def _build(self) -> None:
+        offset = 0
+        name = None
+        rec_offset = 0
+        seq_len = 0
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                if raw.startswith(b">"):
+                    if name is not None:
+                        self._add(name, rec_offset, seq_len)
+                    header = raw[1:].split()[0] if raw[1:].split() else b""
+                    if not header:
+                        raise FastaFormatError(f"empty header at byte {offset}")
+                    name = header.decode("ascii")
+                    rec_offset = offset
+                    seq_len = 0
+                elif name is not None:
+                    seq_len += len(raw.strip())
+                offset += len(raw)
+            if name is not None:
+                self._add(name, rec_offset, seq_len)
+
+    def _add(self, name: str, offset: int, length: int) -> None:
+        if name in self._by_name:
+            raise FastaFormatError(f"duplicate record name {name!r}")
+        entry = IndexEntry(name, offset, length)
+        self.entries.append(entry)
+        self._by_name[name] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def length_of(self, name: str) -> int:
+        return self._by_name[name].length
+
+    def names(self) -> List[str]:
+        return [e.name for e in self.entries]
+
+    def fetch(self, name: str) -> SeqRecord:
+        """Read one record from disk by name."""
+        entry = self._by_name[name]
+        chunks: List[str] = []
+        desc = ""
+        with open(self.path, "r", encoding="ascii") as fh:
+            fh.seek(entry.offset)
+            header = fh.readline()
+            parts = header[1:].strip().split(None, 1)
+            desc = parts[1] if len(parts) > 1 else ""
+            for line in fh:
+                if line.startswith(">"):
+                    break
+                chunks.append(line.strip())
+        return SeqRecord(entry.name, "".join(chunks), desc)
+
+    @property
+    def total_bases(self) -> int:
+        return sum(e.length for e in self.entries)
+
+    # -- persistence (pyfasta's .gdx analogue) ------------------------------
+    def save(self, path: Optional[PathLike] = None) -> Path:
+        """Write the index as JSON next to the FASTA (``<name>.gdx.json``)."""
+        import json
+
+        out = Path(path) if path is not None else self.path.with_suffix(
+            self.path.suffix + ".gdx.json"
+        )
+        payload = {
+            "fasta": str(self.path),
+            "entries": [
+                {"name": e.name, "offset": e.offset, "length": e.length}
+                for e in self.entries
+            ],
+        }
+        out.write_text(json.dumps(payload))
+        return out
+
+    @classmethod
+    def load(cls, index_path: PathLike) -> "FastaIndex":
+        """Rebuild an index from :meth:`save` output without rescanning.
+
+        The FASTA file must still exist (``fetch`` reads from it); its
+        size is not revalidated — rebuild the index if the FASTA changed.
+        """
+        import json
+
+        payload = json.loads(Path(index_path).read_text())
+        obj = cls.__new__(cls)
+        obj.path = Path(payload["fasta"])
+        obj.entries = [
+            IndexEntry(e["name"], e["offset"], e["length"]) for e in payload["entries"]
+        ]
+        obj._by_name = {e.name: e for e in obj.entries}
+        return obj
+
+
+def plan_split(lengths: Sequence[int], n_pieces: int) -> List[List[int]]:
+    """Assign record indices to pieces, balancing total bases.
+
+    Greedy longest-first into the lightest piece (classic LPT), which is
+    what pyfasta's even-split achieves in effect.  Returns ``n_pieces``
+    lists of record indices; pieces may be empty when there are fewer
+    records than pieces.
+    """
+    if n_pieces <= 0:
+        raise ValueError(f"n_pieces must be positive, got {n_pieces}")
+    order = sorted(range(len(lengths)), key=lambda i: (-lengths[i], i))
+    heap: List[Tuple[int, int]] = [(0, p) for p in range(n_pieces)]
+    heapq.heapify(heap)
+    pieces: List[List[int]] = [[] for _ in range(n_pieces)]
+    for idx in order:
+        load, p = heapq.heappop(heap)
+        pieces[p].append(idx)
+        heapq.heappush(heap, (load + lengths[idx], p))
+    for piece in pieces:
+        piece.sort()  # preserve input order within a piece
+    return pieces
+
+
+def split_fasta(path: PathLike, n_pieces: int, out_dir: PathLike = None) -> List[Path]:
+    """Split a FASTA file into ``n_pieces`` balanced files.
+
+    Output files are named ``<stem>.<i>.fasta`` in ``out_dir`` (default:
+    alongside the input).  Every piece file is created even if empty, so
+    rank *i* can always open piece *i*.
+    """
+    path = Path(path)
+    out_dir = Path(out_dir) if out_dir is not None else path.parent
+    out_dir.mkdir(parents=True, exist_ok=True)
+    records = list(iter_fasta(path))
+    pieces = plan_split([len(r) for r in records], n_pieces)
+    out_paths: List[Path] = []
+    for i, piece in enumerate(pieces):
+        out_path = out_dir / f"{path.stem}.{i}.fasta"
+        write_fasta(out_path, (records[j] for j in piece))
+        out_paths.append(out_path)
+    return out_paths

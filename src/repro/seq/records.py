@@ -1,0 +1,88 @@
+"""Sequence record types shared across the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SequenceError
+
+
+@dataclass(frozen=True)
+class SeqRecord:
+    """A named nucleotide sequence (one FASTA record).
+
+    ``description`` holds anything after the first whitespace on the
+    header line; Trinity uses it to carry provenance annotations.
+    """
+
+    name: str
+    seq: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SequenceError("SeqRecord requires a non-empty name")
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    @property
+    def header(self) -> str:
+        """The FASTA header line content (without the leading ``>``)."""
+        return f"{self.name} {self.description}".strip()
+
+
+@dataclass(frozen=True)
+class ReadPair:
+    """A paired-end read.  ``right`` is ``None`` for single-end reads.
+
+    The sugarbeet dataset in the paper mixes 79.2 M single-end/left reads
+    with 50.6 M right reads, so single-end pairs are first-class here.
+    """
+
+    left: SeqRecord
+    right: Optional[SeqRecord] = None
+
+    @property
+    def is_paired(self) -> bool:
+        return self.right is not None
+
+
+@dataclass
+class Contig:
+    """An assembled contig (Inchworm output).
+
+    ``coverage`` is the mean k-mer abundance along the contig, which
+    GraphFromFasta uses when deciding weld support.
+    """
+
+    name: str
+    seq: str
+    coverage: float = 0.0
+    component: int = -1  # assigned by Chrysalis clustering; -1 = unassigned
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def to_record(self) -> SeqRecord:
+        desc = f"cov={self.coverage:.2f}"
+        if self.component >= 0:
+            desc += f" comp={self.component}"
+        return SeqRecord(self.name, self.seq, desc)
+
+
+@dataclass
+class Transcript:
+    """A reconstructed transcript (Butterfly output)."""
+
+    name: str
+    seq: str
+    component: int
+    path: tuple = field(default_factory=tuple)  # de Bruijn node ids traversed
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def to_record(self) -> SeqRecord:
+        return SeqRecord(self.name, self.seq, f"comp={self.component} len={len(self.seq)}")

@@ -1,0 +1,146 @@
+"""Minimal SAM records, writer, reader, and the multi-file merger.
+
+The MPI Bowtie step in the paper produces one SAM file per node, merged
+into a single file at the end of the job; :func:`merge_sam_files`
+implements that merge (headers deduplicated, alignment lines concatenated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.errors import SequenceError
+
+PathLike = Union[str, Path]
+
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+
+@dataclass(frozen=True)
+class SamRecord:
+    """One SAM alignment line (subset of fields Bowtie emits)."""
+
+    qname: str
+    flag: int
+    rname: str
+    pos: int  # 1-based leftmost position; 0 for unmapped
+    mapq: int
+    cigar: str
+    seq: str
+    nm: int = -1  # edit distance (NM tag); -1 = not recorded
+
+    def __post_init__(self) -> None:
+        if self.pos < 0:
+            raise SequenceError(f"SAM pos must be >= 0, got {self.pos}")
+
+    @property
+    def is_unmapped(self) -> bool:
+        return bool(self.flag & FLAG_UNMAPPED)
+
+    @property
+    def is_reverse(self) -> bool:
+        return bool(self.flag & FLAG_REVERSE)
+
+    def to_line(self) -> str:
+        fields = [
+            self.qname,
+            str(self.flag),
+            self.rname,
+            str(self.pos),
+            str(self.mapq),
+            self.cigar,
+            "*",  # RNEXT
+            "0",  # PNEXT
+            "0",  # TLEN
+            self.seq,
+            "*",  # QUAL
+        ]
+        if self.nm >= 0:
+            fields.append(f"NM:i:{self.nm}")
+        return "\t".join(fields)
+
+    @classmethod
+    def from_line(cls, line: str) -> "SamRecord":
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) < 10:
+            raise SequenceError(f"malformed SAM line: {line!r}")
+        nm = -1
+        for tag in parts[11:]:
+            if tag.startswith("NM:i:"):
+                nm = int(tag[5:])
+                break
+        return cls(
+            qname=parts[0],
+            flag=int(parts[1]),
+            rname=parts[2],
+            pos=int(parts[3]),
+            mapq=int(parts[4]),
+            cigar=parts[5],
+            seq=parts[9],
+            nm=nm,
+        )
+
+
+def sam_header(reference_lengths: Sequence[tuple]) -> List[str]:
+    """Build @HD/@SQ header lines for ``(name, length)`` references."""
+    lines = ["@HD\tVN:1.6\tSO:unsorted"]
+    for name, length in reference_lengths:
+        lines.append(f"@SQ\tSN:{name}\tLN:{length}")
+    return lines
+
+
+def write_sam(path: PathLike, records: Iterable[SamRecord], header: Sequence[str] = ()) -> int:
+    """Write header lines then alignment records; returns record count."""
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for h in header:
+            fh.write(h + "\n")
+        for rec in records:
+            fh.write(rec.to_line() + "\n")
+            n += 1
+    return n
+
+
+def read_sam(path: PathLike) -> Iterator[SamRecord]:
+    """Yield alignment records, skipping header lines."""
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("@") or not line.strip():
+                continue
+            yield SamRecord.from_line(line)
+
+
+def merge_sam_files(out_path: PathLike, part_paths: Sequence[PathLike]) -> int:
+    """Merge per-node SAM files into one (paper SS:III.A final step).
+
+    Headers are taken from the first part; @SQ lines present only in later
+    parts are appended (the paper's split-by-contig scheme gives each part
+    a disjoint @SQ set).  Returns the number of alignment lines written.
+    """
+    hd_lines: List[str] = []
+    other_lines: List[str] = []
+    seen: set = set()
+    n_align = 0
+    with open(out_path, "w", encoding="ascii") as out:
+        # First pass: the union of header lines, @HD first, in part order.
+        for part in part_paths:
+            with open(part, "r", encoding="ascii") as fh:
+                for line in fh:
+                    if not line.startswith("@"):
+                        break
+                    if line in seen:
+                        continue
+                    seen.add(line)
+                    (hd_lines if line.startswith("@HD") else other_lines).append(line)
+        out.writelines(hd_lines + other_lines)
+        for part in part_paths:
+            with open(part, "r", encoding="ascii") as fh:
+                for line in fh:
+                    if line.startswith("@") or not line.strip():
+                        continue
+                    out.write(line)
+                    n_align += 1
+    return n_align

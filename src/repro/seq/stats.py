@@ -1,0 +1,84 @@
+"""Assembly statistics: N50 and friends.
+
+Standard transcriptome-assembly summary numbers used by the examples and
+validation reports when comparing runs (the paper's SS:IV talks about "a
+distribution of metrics of the transcriptome" across repeated runs —
+these are those metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AssemblyStats:
+    """Summary of one set of assembled sequences."""
+
+    n_sequences: int
+    total_bases: int
+    min_len: int
+    max_len: int
+    mean_len: float
+    median_len: float
+    n50: int
+    n90: int
+    gc_fraction: float
+
+    def as_row(self) -> List[object]:
+        return [
+            self.n_sequences,
+            self.total_bases,
+            self.n50,
+            f"{self.mean_len:.0f}",
+            self.max_len,
+            f"{self.gc_fraction:.3f}",
+        ]
+
+
+def nx(lengths: Sequence[int], fraction: float) -> int:
+    """The Nx statistic: the length L such that contigs >= L cover at
+    least ``fraction`` of the total bases.
+
+    >>> nx([2, 3, 4, 5, 10], 0.5)
+    5
+    """
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    arr = np.sort(np.asarray(lengths, dtype=np.int64))[::-1]
+    if arr.size == 0:
+        return 0
+    target = fraction * arr.sum()
+    cum = np.cumsum(arr)
+    idx = int(np.searchsorted(cum, target))
+    return int(arr[min(idx, arr.size - 1)])
+
+
+def gc_fraction(seqs: Sequence[str]) -> float:
+    """Fraction of G/C bases over all sequences (0 when empty)."""
+    total = sum(len(s) for s in seqs)
+    if total == 0:
+        return 0.0
+    gc = sum(s.count("G") + s.count("C") for s in seqs)
+    return gc / total
+
+
+def assembly_stats(seqs: Sequence[str]) -> AssemblyStats:
+    """Compute the full summary for a set of sequences."""
+    lengths = np.asarray([len(s) for s in seqs], dtype=np.int64)
+    if lengths.size == 0:
+        return AssemblyStats(0, 0, 0, 0, 0.0, 0.0, 0, 0, 0.0)
+    return AssemblyStats(
+        n_sequences=int(lengths.size),
+        total_bases=int(lengths.sum()),
+        min_len=int(lengths.min()),
+        max_len=int(lengths.max()),
+        mean_len=float(lengths.mean()),
+        median_len=float(np.median(lengths)),
+        n50=nx(lengths, 0.5),
+        n90=nx(lengths, 0.9),
+        gc_fraction=gc_fraction(seqs),
+    )

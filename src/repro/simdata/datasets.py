@@ -1,0 +1,185 @@
+"""Named dataset recipes and paper-scale workload descriptors.
+
+Two kinds of object live here:
+
+* :class:`DatasetRecipe` — miniature synthetic datasets that actually run
+  through the full pipeline on a laptop (used by tests, examples and the
+  validation experiments).  Named after the paper's datasets.
+* :class:`PaperScaleWorkload` — *descriptors* of the paper's full-size
+  inputs (read counts, contig counts, length distributions).  These feed
+  the calibrated cluster simulator that regenerates the scaling figures;
+  they are never materialised as sequence data.
+
+Substitution note (DESIGN.md SS:2): the real sugarbeet/whitefly/reference
+datasets are not available; miniatures exercise the identical code paths
+and the paper-scale descriptors carry the statistics that determine
+scaling shape (item counts and long-tailed per-item costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.seq.fasta import write_fasta
+from repro.seq.records import ReadPair
+from repro.simdata.expression import lognormal_expression
+from repro.simdata.reads import ReadSimulator, flatten_reads
+from repro.simdata.transcriptome import Transcriptome, generate_transcriptome
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class DatasetRecipe:
+    """A reproducible miniature dataset."""
+
+    name: str
+    n_genes: int
+    n_reads: int
+    read_len: int = 75
+    error_rate: float = 0.005
+    paired_fraction: float = 1.0
+    expression_sigma: float = 1.0
+    shared_utr_prob: float = 0.0  # fused-transcript proneness (Fig 6)
+    description: str = ""
+
+    def materialize(self, seed: int = 0) -> Tuple[Transcriptome, List[ReadPair]]:
+        """Generate the transcriptome and simulated reads."""
+        txome = generate_transcriptome(
+            self.n_genes, seed=seed, shared_utr_prob=self.shared_utr_prob
+        )
+        isoforms = txome.isoforms
+        expr = lognormal_expression(len(isoforms), seed=seed, sigma=self.expression_sigma)
+        sim = ReadSimulator(
+            read_len=self.read_len,
+            error_rate=self.error_rate,
+            paired_fraction=self.paired_fraction,
+        )
+        pairs = sim.simulate([iso.seq for iso in isoforms], expr, self.n_reads, seed=seed)
+        return txome, pairs
+
+    def write(self, out_dir, seed: int = 0) -> Dict[str, Path]:
+        """Materialise to FASTA files: reads + reference transcripts."""
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        txome, pairs = self.materialize(seed=seed)
+        reads_path = out / f"{self.name}.reads.fasta"
+        ref_path = out / f"{self.name}.reference.fasta"
+        write_fasta(reads_path, flatten_reads(pairs))
+        write_fasta(ref_path, txome.records())
+        return {"reads": reads_path, "reference": ref_path}
+
+
+#: Miniature stand-ins for the paper's four datasets.  Sizes are chosen so
+#: the full pipeline (including 10-run validation sweeps) completes in
+#: seconds while still producing multi-isoform components.
+_RECIPES: Dict[str, DatasetRecipe] = {
+    r.name: r
+    for r in [
+        DatasetRecipe(
+            name="sugarbeet-mini",
+            n_genes=120,
+            n_reads=16000,
+            paired_fraction=0.61,  # paper: 79.2 M single/left + 50.6 M right
+            expression_sigma=1.2,
+            description="Miniature of the 129.8 M-read sugarbeet benchmark input",
+        ),
+        DatasetRecipe(
+            name="whitefly-mini",
+            n_genes=40,
+            n_reads=4200,  # paper: ~420 k reads; 1:100 scale
+            expression_sigma=1.0,
+            description="Miniature of the whitefly validation dataset (Fig 4)",
+        ),
+        DatasetRecipe(
+            name="fission-yeast-mini",
+            n_genes=60,
+            n_reads=14000,  # paper's 'Schizophrenia' [sic] set: 15.35 M reads
+            expression_sigma=1.0,
+            shared_utr_prob=0.2,
+            description="Miniature of the paper's 'Schizophrenia' reference-validation set (Figs 5-6)",
+        ),
+        DatasetRecipe(
+            name="drosophila-mini",
+            n_genes=80,
+            n_reads=16000,  # paper: 50 M reads
+            expression_sigma=1.1,
+            shared_utr_prob=0.2,
+            description="Miniature of the Drosophila reference-validation set (Figs 5-6)",
+        ),
+        DatasetRecipe(
+            name="smoke",
+            n_genes=8,
+            n_reads=600,
+            error_rate=0.0,
+            description="Tiny error-free dataset for unit tests",
+        ),
+    ]
+}
+
+
+def get_recipe(name: str) -> DatasetRecipe:
+    """Look up a recipe by name; raises KeyError listing known names."""
+    try:
+        return _RECIPES[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(_RECIPES)}") from None
+
+
+def list_recipes() -> List[str]:
+    return sorted(_RECIPES)
+
+
+@dataclass(frozen=True)
+class PaperScaleWorkload:
+    """Statistics of a full-size input for the cluster simulator.
+
+    ``contig_len_mu/sigma`` parameterise the lognormal Inchworm-contig
+    length distribution; the long tail ("some lengths in tens of
+    thousands") is the source of GraphFromFasta's load imbalance.
+    """
+
+    name: str
+    n_reads: int
+    n_contigs: int
+    contig_len_mu: float
+    contig_len_sigma: float
+    read_len: int
+    disk_gb: float
+    description: str = ""
+
+    def contig_lengths(self, seed: int = 0, clip: int = 30000) -> np.ndarray:
+        """Sample the contig length distribution (deterministic by seed)."""
+        rng = spawn_rng(seed, "paperscale", self.name)
+        lengths = rng.lognormal(self.contig_len_mu, self.contig_len_sigma, self.n_contigs)
+        return np.clip(lengths, 100, clip).astype(np.int64)
+
+
+#: The sugarbeet benchmark input as the paper describes it: 15 GB on disk,
+#: 129.8 M reads.  The Inchworm contig count is not stated in the paper;
+#: 1.1 M contigs with median ~450 bp is typical for Trinity at this scale
+#: (Grabherr et al. 2011 report ~10^6 contigs for ~100 M reads).
+SUGARBEET_PAPER = PaperScaleWorkload(
+    name="sugarbeet-paper",
+    n_reads=129_800_000,
+    n_contigs=1_100_000,
+    contig_len_mu=6.1,  # median ~450 bp
+    contig_len_sigma=0.95,  # 99.9th percentile > 8 kbp, max tens of kbp
+    read_len=100,
+    disk_gb=15.0,
+    description="129.8 M-read sugarbeet RNA-seq benchmark input (paper SS:II.B, SS:V)",
+)
+
+_PAPER_WORKLOADS = {w.name: w for w in [SUGARBEET_PAPER]}
+
+
+def get_paper_workload(name: str) -> PaperScaleWorkload:
+    try:
+        return _PAPER_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper workload {name!r}; known: {sorted(_PAPER_WORKLOADS)}"
+        ) from None

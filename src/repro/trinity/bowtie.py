@@ -1,0 +1,231 @@
+"""A Bowtie-like seed-and-extend short-read aligner.
+
+Trinity uses Bowtie (a third-party tool) to align the input reads to the
+Inchworm contigs; read pairs whose mates land on the single ends of two
+different contigs contribute scaffolding welds to Chrysalis (paper
+SS:III.A).  This module provides the same interface surface: build an
+index over a contig FASTA, align reads to SAM, and extract scaffold pairs
+from the SAM output.
+
+Substitution note: real Bowtie is an FM-index aligner; a hashed seed-and-
+extend aligner has the same inputs, outputs and accuracy regime at our
+error rates, and — crucially for the reproduction — the same *parallel
+structure*: per-target-piece indexes can be built and queried
+independently, which is what the paper's PyFasta split exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.kmers import kmer_array
+from repro.seq.records import Contig, SeqRecord
+from repro.seq.sam import FLAG_REVERSE, FLAG_UNMAPPED, SamRecord, sam_header
+
+
+@dataclass(frozen=True)
+class BowtieConfig:
+    """Aligner parameters (seed length mirrors bowtie -l default 28,
+    shortened for 75 bp simulated reads)."""
+
+    seed_len: int = 20
+    max_mismatches: int = 3
+    n_seed_offsets: int = 3  # distinct seed positions tried per read
+
+    def __post_init__(self) -> None:
+        if self.seed_len < 8:
+            raise PipelineError(f"seed_len too small: {self.seed_len}")
+        if self.max_mismatches < 0:
+            raise PipelineError("max_mismatches must be >= 0")
+
+
+class BowtieIndex:
+    """Hashed seed index over a set of target contigs."""
+
+    def __init__(self, contigs: Sequence[Contig], cfg: Optional[BowtieConfig] = None):
+        self.cfg = cfg or BowtieConfig()
+        self.contigs = list(contigs)
+        self._seeds: Dict[int, List[Tuple[int, int]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        s = self.cfg.seed_len
+        for cidx, contig in enumerate(self.contigs):
+            arr = kmer_array(contig.seq, s)
+            for pos, code in enumerate(arr.tolist()):
+                self._seeds.setdefault(code, []).append((cidx, pos))
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self._seeds)
+
+    def candidates(self, seed_code: int) -> List[Tuple[int, int]]:
+        return self._seeds.get(seed_code, [])
+
+    def header(self) -> List[str]:
+        return sam_header([(c.name, len(c.seq)) for c in self.contigs])
+
+
+def _mismatches(a: str, b: str, limit: int) -> int:
+    """Hamming distance with early exit once past ``limit``."""
+    mm = 0
+    for x, y in zip(a, b):
+        if x != y:
+            mm += 1
+            if mm > limit:
+                return mm
+    return mm
+
+
+def _try_align(
+    read_seq: str, index: BowtieIndex, cfg: BowtieConfig
+) -> Optional[Tuple[int, int, int]]:
+    """Best (contig, pos, mismatches) for one orientation, or None."""
+    s = cfg.seed_len
+    if len(read_seq) < s:
+        return None
+    arr = kmer_array(read_seq, s)
+    if arr.size == 0:
+        return None
+    n_offsets = min(cfg.n_seed_offsets, arr.size)
+    offsets = np.linspace(0, arr.size - 1, n_offsets).astype(int)
+    best: Optional[Tuple[int, int, int]] = None
+    seen: set = set()
+    for off in offsets.tolist():
+        for cidx, pos in index.candidates(int(arr[off])):
+            start = pos - off
+            key = (cidx, start)
+            if key in seen:
+                continue
+            seen.add(key)
+            contig_seq = index.contigs[cidx].seq
+            if start < 0 or start + len(read_seq) > len(contig_seq):
+                continue
+            mm = _mismatches(read_seq, contig_seq[start : start + len(read_seq)], cfg.max_mismatches)
+            if mm > cfg.max_mismatches:
+                continue
+            cand = (mm, cidx, start)
+            if best is None or cand < (best[2], best[0], best[1]):
+                best = (cidx, start, mm)
+    return best
+
+
+def align_read_detail(
+    read: SeqRecord, index: BowtieIndex
+) -> Tuple[Optional[Tuple[int, int, int]], Optional[Tuple[int, int, int]]]:
+    """Per-orientation bests: ``(fwd, rev)``, each ``(contig, pos, mm)``.
+
+    Exposed separately so the MPI Bowtie can merge per-piece bests with
+    exactly the serial tie-break (forward preferred on equal mismatches;
+    then lowest contig index, then position).
+    """
+    cfg = index.cfg
+    fwd = _try_align(read.seq, index, cfg)
+    rev = _try_align(reverse_complement(read.seq), index, cfg)
+    return fwd, rev
+
+
+def resolve_orientation(
+    read: SeqRecord,
+    fwd: Optional[Tuple[int, int, int]],
+    rev: Optional[Tuple[int, int, int]],
+    contig_name: "callable",
+) -> SamRecord:
+    """Build the final SAM record from per-orientation bests.
+
+    ``contig_name(idx)`` maps a contig index (in whatever index space the
+    bests were computed) to its reference name.
+    """
+    choice = None
+    flag = 0
+    seq = read.seq
+    if fwd is not None and (rev is None or fwd[2] <= rev[2]):
+        choice = fwd
+    elif rev is not None:
+        choice = rev
+        flag = FLAG_REVERSE
+        seq = reverse_complement(read.seq)
+    if choice is None:
+        return SamRecord(read.name, FLAG_UNMAPPED, "*", 0, 0, "*", read.seq)
+    cidx, start, mm = choice
+    return SamRecord(
+        qname=read.name,
+        flag=flag,
+        rname=contig_name(cidx),
+        pos=start + 1,  # SAM is 1-based
+        mapq=255,
+        cigar=f"{len(read.seq)}M",
+        seq=seq,
+        nm=mm,
+    )
+
+
+def align_read(read: SeqRecord, index: BowtieIndex) -> SamRecord:
+    """Align one read; returns an unmapped record when nothing clears the
+    mismatch budget."""
+    fwd, rev = align_read_detail(read, index)
+    return resolve_orientation(read, fwd, rev, lambda i: index.contigs[i].name)
+
+
+def bowtie_align(
+    reads: Sequence[SeqRecord],
+    contigs: Sequence[Contig],
+    cfg: Optional[BowtieConfig] = None,
+) -> List[SamRecord]:
+    """Align all reads against all contigs (single-node Bowtie run)."""
+    index = BowtieIndex(contigs, cfg)
+    return [align_read(r, index) for r in reads]
+
+
+def scaffold_pairs_from_sam(
+    records: Sequence[SamRecord],
+    contig_name_to_idx: Dict[str, int],
+    end_window: int = 300,
+    contig_lengths: Optional[Dict[str, int]] = None,
+    min_support: int = 2,
+) -> List[Tuple[int, int]]:
+    """Contig pairs supported by read pairs spanning two contigs.
+
+    A mate pair ``x/1``, ``x/2`` mapping to *different* contigs, each
+    within ``end_window`` of a contig end, is evidence the contigs belong
+    to one transcript (paper SS:III.A); pairs with at least
+    ``min_support`` spanning mate pairs are emitted.
+    """
+    by_base: Dict[str, List[SamRecord]] = {}
+    for rec in records:
+        if rec.is_unmapped:
+            continue
+        base = rec.qname.rsplit("/", 1)[0] if "/" in rec.qname else rec.qname
+        by_base.setdefault(base, []).append(rec)
+    support: Dict[Tuple[int, int], int] = {}
+    for base, recs in by_base.items():
+        if len(recs) != 2:
+            continue
+        a, b = recs
+        if a.rname == b.rname:
+            continue
+        if contig_lengths is not None and not (
+            _near_end(a, end_window, contig_lengths) and _near_end(b, end_window, contig_lengths)
+        ):
+            continue
+        ia = contig_name_to_idx.get(a.rname)
+        ib = contig_name_to_idx.get(b.rname)
+        if ia is None or ib is None:
+            continue
+        key = (min(ia, ib), max(ia, ib))
+        support[key] = support.get(key, 0) + 1
+    return sorted(pair for pair, n in support.items() if n >= min_support)
+
+
+def _near_end(rec: SamRecord, window: int, lengths: Dict[str, int]) -> bool:
+    length = lengths.get(rec.rname)
+    if length is None:
+        return False
+    start = rec.pos - 1
+    end = start + len(rec.seq)
+    return start < window or end > length - window

@@ -1,0 +1,101 @@
+"""Union-find clustering of Inchworm contigs into components.
+
+A *component* (the paper also says "Inchworm bundle") is a set of contigs
+connected by welds (GraphFromFasta) and/or scaffolding read pairs
+(Bowtie).  Component identity is canonicalised — the component id is the
+smallest member contig index — so clustering is invariant to the order in
+which pairs are discovered, which is what makes the serial and MPI code
+paths comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def groups(self) -> Dict[int, List[int]]:
+        """Map canonical (minimum) member -> sorted member list."""
+        by_root: Dict[int, List[int]] = {}
+        for x in range(len(self._parent)):
+            by_root.setdefault(self.find(x), []).append(x)
+        return {min(members): sorted(members) for members in by_root.values()}
+
+
+@dataclass(frozen=True)
+class Component:
+    """One cluster of contig indices (an Inchworm bundle)."""
+
+    id: int  # == min(members)
+    members: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("component must have at least one member")
+        if self.id != min(self.members):
+            raise ValueError("component id must equal its smallest member")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def build_components(n_contigs: int, pairs: Iterable[Tuple[int, int]]) -> List[Component]:
+    """Cluster ``n_contigs`` contigs given welding/scaffold pairs.
+
+    Singleton contigs become singleton components (Chrysalis keeps them —
+    a gene with one isoform and no paralogs is a component of one contig).
+    Output is sorted by component id, hence deterministic.
+    """
+    uf = UnionFind(n_contigs)
+    for i, j in pairs:
+        if not (0 <= i < n_contigs and 0 <= j < n_contigs):
+            raise ValueError(f"pair ({i}, {j}) out of range for {n_contigs} contigs")
+        uf.union(i, j)
+    comps = [
+        Component(id=cid, members=tuple(members))
+        for cid, members in sorted(uf.groups().items())
+    ]
+    return comps
+
+
+def component_of_map(components: Sequence[Component], n_contigs: int) -> List[int]:
+    """contig index -> component id lookup table."""
+    table = [-1] * n_contigs
+    for comp in components:
+        for m in comp.members:
+            table[m] = comp.id
+    if any(t < 0 for t in table):
+        raise ValueError("components do not cover all contigs")
+    return table

@@ -1,0 +1,362 @@
+"""GraphFromFasta: weld harvesting, pair discovery, contig clustering.
+
+The module is organised around the paper's two compute-intensive loops so
+that the hybrid MPI+OpenMP version (:mod:`repro.parallel.mpi_graph_from_fasta`)
+can reuse the exact same per-contig kernels:
+
+* **Loop 1** (:func:`harvest_welds_for_contig`): for one contig, find the
+  weld-k-mers it shares with other contigs and harvest "welding"
+  subsequences of size 2k — the seed k-mer plus k/2-base left and right
+  flanks (paper SS:III.B).
+* **Loop 2** (:func:`find_weld_pairs_for_contig`): for one contig, check
+  every harvested weld whose seed occurs in this contig; the two contigs
+  are welded if a *junction weldmer* — one contig's flank, the shared
+  seed, the other contig's flank — occurs verbatim in the reads ("welding
+  pairs of contigs together if read support exists").
+
+Weld k-mer size: Inchworm consumes each assembly k-mer exactly once, so
+two contigs never share a full assembly k-mer — they overlap by k-1 bases
+at de Bruijn branch points.  Welding therefore runs at ``k_weld = k - 1``
+(Trinity: Inchworm k=25, welding/graph k=24), which is also the node size
+of the component de Bruijn graphs, so welded contigs thread through
+shared nodes downstream.
+
+Read support ("weldmers"): because no single assembly k-mer can span from
+one contig's flank across the whole seed into the other's flank, k-mer
+abundances cannot distinguish a genuine junction from two contigs that
+merely share a repeat.  GraphFromFasta therefore scans the *reads* for
+2k-base weldmers around every shared seed (the serial setup region before
+loop 2); a junction counts as supported only if its exact weldmer occurs
+in at least ``min_weld_read_support`` reads.
+
+The shared read-only inputs of the loops — the weld-k-mer -> contigs map
+and the weldmer table built from the reads — are the "non-parallel
+regions" of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.kmers import kmer_array, revcomp_codes
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.components import Component, build_components
+
+
+@dataclass(frozen=True)
+class GraphFromFastaConfig:
+    """Parameters of the welding stage.
+
+    ``k`` is the *weld* k-mer size and must be even (the window carries
+    k/2 flanks); with assembly k-mers of ``k + 1`` this is Trinity's
+    24/25 pairing.
+    """
+
+    k: int = 24  # weld seed size; must be even (k/2 flanks)
+    min_weld_read_support: int = 2
+    min_contigs_sharing: int = 2  # seed must occur in >= this many contigs
+
+    def __post_init__(self) -> None:
+        if self.k % 2 != 0:
+            raise PipelineError(f"weld k must be even (k/2 flanks), got {self.k}")
+        if self.k < 4:
+            raise PipelineError(f"weld k too small: {self.k}")
+
+    @property
+    def window(self) -> int:
+        """Weldmer size: seed k-mer plus two k/2 flanks = 2k."""
+        return 2 * self.k
+
+
+@dataclass(frozen=True)
+class WeldCandidate:
+    """A welding subsequence harvested in loop 1.
+
+    Flanks are in the owner contig's frame; flanks that would run past
+    the contig's ends come out shorter than k/2 and loop 2 only forms
+    junctions for the sides whose flanks are complete.
+    """
+
+    left_flank: str
+    seed: str
+    right_flank: str
+    owner: int  # contig index it was harvested from
+    seed_code: int  # canonical packed code of the seed k-mer
+
+    def __post_init__(self) -> None:
+        if not self.seed:
+            raise PipelineError("weld seed must be non-empty")
+
+    @property
+    def window(self) -> str:
+        return self.left_flank + self.seed + self.right_flank
+
+
+# --------------------------------------------------------------------------
+# Shared setup (the serial region before the loops)
+# --------------------------------------------------------------------------
+
+
+def weld_kmer_codes(seq: str, k: int) -> np.ndarray:
+    """Canonical weld-k-mer codes along a sequence."""
+    arr = kmer_array(seq, k)
+    if arr.size == 0:
+        return arr
+    return np.minimum(arr, revcomp_codes(arr, k))
+
+
+def build_kmer_to_contigs(contigs: Sequence[Contig], k: int) -> Dict[int, Set[int]]:
+    """Canonical weld-k-mer code -> set of contig indices containing it."""
+    table: Dict[int, Set[int]] = {}
+    for idx, contig in enumerate(contigs):
+        for code in np.unique(weld_kmer_codes(contig.seq, k)).tolist():
+            table.setdefault(code, set()).add(idx)
+    return table
+
+
+def shared_seed_codes(kmer_to_contigs: Dict[int, Set[int]], cfg: GraphFromFastaConfig) -> Set[int]:
+    """Seeds occurring in >= ``min_contigs_sharing`` contigs."""
+    return {
+        code
+        for code, members in kmer_to_contigs.items()
+        if len(members) >= cfg.min_contigs_sharing
+    }
+
+
+def canonical_weldmer(window: str) -> str:
+    """Strand-canonical form of a weldmer string."""
+    rc = reverse_complement(window)
+    return window if window <= rc else rc
+
+
+def build_weldmer_index(
+    reads: Iterable[SeqRecord],
+    shared_seeds: Set[int],
+    cfg: GraphFromFastaConfig,
+) -> Dict[str, int]:
+    """Scan the reads for 2k weldmers centred on shared seeds.
+
+    Returns canonical weldmer string -> read-occurrence count.  This is
+    the read-support evidence loop 2 consults; it is the memory- and
+    time-heavy serial region of GraphFromFasta.
+    """
+    if not shared_seeds:
+        return {}
+    k = cfg.k
+    half = k // 2
+    shared_arr = np.fromiter(shared_seeds, dtype=np.uint64, count=len(shared_seeds))
+    shared_arr.sort()
+    index: Dict[str, int] = {}
+    for read in reads:
+        seq = read.seq
+        if len(seq) < cfg.window:
+            continue
+        canon = weld_kmer_codes(seq, k)
+        # Positions where a full 2k window fits: pos in [half, L-k-half].
+        view = canon[half : len(seq) - k - half + 1]
+        if view.size == 0:
+            continue
+        hits = np.nonzero(_in_sorted(view, shared_arr))[0]
+        for off in hits.tolist():
+            pos = off + half
+            weldmer = canonical_weldmer(seq[pos - half : pos + k + half])
+            index[weldmer] = index.get(weldmer, 0) + 1
+    return index
+
+
+def _in_sorted(values: np.ndarray, sorted_arr: np.ndarray) -> np.ndarray:
+    """Vectorised membership of ``values`` in a sorted uint64 array."""
+    idx = np.searchsorted(sorted_arr, values)
+    idx[idx == sorted_arr.size] = 0
+    return sorted_arr[idx] == values
+
+
+# --------------------------------------------------------------------------
+# Loop 1 kernel
+# --------------------------------------------------------------------------
+
+
+def harvest_welds_for_contig(
+    contig_idx: int,
+    contig: Contig,
+    kmer_to_contigs: Dict[int, Set[int]],
+    cfg: GraphFromFastaConfig,
+) -> List[WeldCandidate]:
+    """Loop-1 body: harvest welding candidates from one contig.
+
+    A candidate is any seed k-mer shared with at least one *other*
+    contig, packaged with this contig's flanks.
+    """
+    k = cfg.k
+    half = k // 2
+    seq = contig.seq
+    if len(seq) < k:
+        return []
+    canon = weld_kmer_codes(seq, k)
+    out: List[WeldCandidate] = []
+    seen_seeds: Set[int] = set()
+    for pos in range(canon.size):
+        code = int(canon[pos])
+        others = kmer_to_contigs.get(code)
+        if others is None or len(others) < cfg.min_contigs_sharing:
+            continue
+        if code in seen_seeds:
+            continue
+        seen_seeds.add(code)
+        out.append(
+            WeldCandidate(
+                left_flank=seq[max(0, pos - half) : pos],
+                seed=seq[pos : pos + k],
+                right_flank=seq[pos + k : pos + k + half],
+                owner=contig_idx,
+                seed_code=code,
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Between-loop pooling (serial region between the loops)
+# --------------------------------------------------------------------------
+
+
+def build_weld_index(welds: Sequence[WeldCandidate]) -> Dict[int, List[int]]:
+    """Canonical seed code -> indices into the pooled weld list."""
+    index: Dict[int, List[int]] = {}
+    for i, weld in enumerate(welds):
+        index.setdefault(weld.seed_code, []).append(i)
+    return index
+
+
+# --------------------------------------------------------------------------
+# Loop 2 kernel
+# --------------------------------------------------------------------------
+
+
+def find_weld_pairs_for_contig(
+    contig_idx: int,
+    contig: Contig,
+    welds: Sequence[WeldCandidate],
+    weld_index: Dict[int, List[int]],
+    weldmers: Dict[str, int],
+    cfg: GraphFromFastaConfig,
+) -> List[Tuple[int, int]]:
+    """Loop-2 body: read-supported weld pairs involving this contig.
+
+    For every weld whose seed occurs in this contig, build the two
+    possible junction weldmers (owner's left flank + seed + this contig's
+    right flank, and vice versa, orientation-corrected) and weld the pair
+    if either occurs in the reads often enough.
+    """
+    k = cfg.k
+    half = k // 2
+    seq = contig.seq
+    if len(seq) < k:
+        return []
+    fwd = kmer_array(seq, k)
+    if fwd.size == 0:
+        return []
+    canon = np.minimum(fwd, revcomp_codes(fwd, k))
+    pairs: Set[Tuple[int, int]] = set()
+    for pos in range(canon.size):
+        hits = weld_index.get(int(canon[pos]))
+        if not hits:
+            continue
+        my_left = seq[max(0, pos - half) : pos]
+        my_seed = seq[pos : pos + k]
+        my_right = seq[pos + k : pos + k + half]
+        for widx in hits:
+            weld = welds[widx]
+            if weld.owner == contig_idx:
+                continue
+            pair = (min(weld.owner, contig_idx), max(weld.owner, contig_idx))
+            if pair in pairs:
+                continue
+            if _junction_supported(weld, my_left, my_seed, my_right, weldmers, cfg):
+                pairs.add(pair)
+    return sorted(pairs)
+
+
+def _junction_supported(
+    weld: WeldCandidate,
+    my_left: str,
+    my_seed: str,
+    my_right: str,
+    weldmers: Dict[str, int],
+    cfg: GraphFromFastaConfig,
+) -> bool:
+    """Check the two chimeric junction weldmers against the read index.
+
+    The weld's flanks are in the owner's frame; if this contig carries
+    the seed on the opposite strand, its flanks are reverse-complemented
+    into the owner's frame first.
+    """
+    half = cfg.k // 2
+    if my_seed == weld.seed:
+        left, right = my_left, my_right
+    else:
+        left = reverse_complement(my_right)
+        right = reverse_complement(my_left)
+    support = cfg.min_weld_read_support
+    # Junction A: owner's left flank + seed + this contig's right flank.
+    if len(weld.left_flank) == half and len(right) == half:
+        window = canonical_weldmer(weld.left_flank + weld.seed + right)
+        if weldmers.get(window, 0) >= support:
+            return True
+    # Junction B: this contig's left flank + seed + owner's right flank.
+    if len(left) == half and len(weld.right_flank) == half:
+        window = canonical_weldmer(left + weld.seed + weld.right_flank)
+        if weldmers.get(window, 0) >= support:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Serial driver (the original OpenMP-only GraphFromFasta)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GraphFromFastaResult:
+    """Everything GraphFromFasta produces."""
+
+    welds: List[WeldCandidate]
+    pairs: List[Tuple[int, int]]
+    components: List[Component]
+
+
+def graph_from_fasta(
+    contigs: Sequence[Contig],
+    reads: Sequence[SeqRecord],
+    cfg: Optional[GraphFromFastaConfig] = None,
+    extra_pairs: Sequence[Tuple[int, int]] = (),
+) -> GraphFromFastaResult:
+    """Reference serial GraphFromFasta.
+
+    ``reads`` provide the weldmer evidence; ``extra_pairs`` carries the
+    Bowtie scaffolding pairs that are "later combined with welding pairs
+    ... for full construction of Inchworm bundles" (paper SS:III.A).
+    """
+    cfg = cfg or GraphFromFastaConfig()
+    kmer_map = build_kmer_to_contigs(contigs, cfg.k)  # serial region
+    shared = shared_seed_codes(kmer_map, cfg)
+    weldmers = build_weldmer_index(reads, shared, cfg)  # serial region
+    welds: List[WeldCandidate] = []
+    for idx, contig in enumerate(contigs):  # loop 1
+        welds.extend(harvest_welds_for_contig(idx, contig, kmer_map, cfg))
+    weld_index = build_weld_index(welds)  # serial region
+    pair_set: Set[Tuple[int, int]] = set()
+    for idx, contig in enumerate(contigs):  # loop 2
+        pair_set.update(
+            find_weld_pairs_for_contig(idx, contig, welds, weld_index, weldmers, cfg)
+        )
+    for a, b in extra_pairs:
+        pair_set.add((min(a, b), max(a, b)))
+    pairs = sorted(pair_set)
+    components = build_components(len(contigs), pairs)  # serial region (output)
+    return GraphFromFastaResult(welds=welds, pairs=pairs, components=components)

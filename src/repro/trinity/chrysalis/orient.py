@@ -1,0 +1,61 @@
+"""Strand orientation of contigs within a component.
+
+Inchworm contigs come out on arbitrary strands (reads are strand-
+symmetric), but a component's de Bruijn graph must be single-stranded so
+Butterfly's paths spell consistent transcripts.  Chrysalis reorients each
+component's members onto one strand before FastaToDebruijn; we do the
+same with a greedy pass: the first member anchors the frame, each later
+member keeps the orientation sharing more directed (k-1)-mers with the
+already-oriented set.  Weld seeds are (k-1)-mers, so welded neighbours
+always share some and the greedy pass is well-determined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.seq.alphabet import reverse_complement
+from repro.seq.kmers import kmer_array
+
+
+def directed_kmer_set(seq: str, k: int) -> Set[int]:
+    """Directed (non-canonical) k-mer codes of a sequence."""
+    return set(kmer_array(seq, k).tolist())
+
+
+def orient_component(seqs: Sequence[str], k: int) -> List[str]:
+    """Reorient a component's contig sequences onto one strand.
+
+    ``k`` is the de Bruijn node size (assembly k - 1).  Deterministic:
+    members are processed in the given (component-member) order and ties
+    keep the forward strand.
+    """
+    if not seqs:
+        return []
+    oriented = [seqs[0]]
+    anchor = directed_kmer_set(seqs[0], k)
+    for seq in seqs[1:]:
+        fwd = directed_kmer_set(seq, k)
+        rc_seq = reverse_complement(seq)
+        rev = directed_kmer_set(rc_seq, k)
+        if len(rev & anchor) > len(fwd & anchor):
+            oriented.append(rc_seq)
+            anchor |= rev
+        else:
+            oriented.append(seq)
+            anchor |= fwd
+    return oriented
+
+
+def best_orientation(seq: str, node_set: Set[str], k: int) -> str:
+    """Orient one sequence (e.g. a read) against a graph's node strings.
+
+    Returns the orientation sharing more (k-1)-mer nodes with the graph;
+    forward wins ties.  Used by QuantifyGraph to thread reads.
+    """
+    fwd_nodes = {seq[i : i + k - 1] for i in range(len(seq) - k + 2)}
+    rc = reverse_complement(seq)
+    rev_nodes = {rc[i : i + k - 1] for i in range(len(rc) - k + 2)}
+    if len(rev_nodes & node_set) > len(fwd_nodes & node_set):
+        return rc
+    return seq

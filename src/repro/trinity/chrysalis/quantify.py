@@ -1,0 +1,91 @@
+"""QuantifyGraph: weight each component's de Bruijn graph with its reads.
+
+The last Chrysalis substep (paper SS:II.B lists it among the Chrysalis
+phases): reads assigned by ReadsToTranscripts are threaded through their
+component's graph so Butterfly can prune read-unsupported branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.seq.records import SeqRecord
+from repro.trinity.chrysalis.debruijn import DeBruijnGraph
+from repro.trinity.chrysalis.orient import best_orientation
+from repro.trinity.chrysalis.reads_to_transcripts import ReadAssignment
+
+
+@dataclass
+class ComponentQuant:
+    """Read-support statistics for one component."""
+
+    component: int
+    n_reads: int
+    graph: DeBruijnGraph
+    read_edge_weight: float  # total edge weight contributed by reads
+
+    @property
+    def mean_support(self) -> float:
+        n_edges = self.graph.n_edges
+        return self.read_edge_weight / n_edges if n_edges else 0.0
+
+
+def quantify_graph(
+    graphs: Mapping[int, DeBruijnGraph],
+    reads: Sequence[SeqRecord],
+    assignments: Iterable[ReadAssignment],
+    kmer_counts=None,
+    min_kmer_count: int = 2,
+) -> Dict[int, ComponentQuant]:
+    """Thread each assigned read through its component's graph.
+
+    ``reads`` must be indexable by ``ReadAssignment.read_index``.  Reads
+    assigned to components without a graph (or unassigned, component=-1)
+    are skipped.  Edge weights added by reads come on top of the contig
+    weights FastaToDebruijn installed.
+
+    If ``kmer_counts`` (a :class:`~repro.trinity.jellyfish.JellyfishCounts`)
+    is given, only *solid* read k-mers — abundance >= ``min_kmer_count``
+    — are threaded, so sequencing errors do not grow junk branches that
+    Butterfly would then have to prune.
+    """
+    import numpy as np
+
+    from repro.seq.kmers import kmer_array, revcomp_codes
+
+    quants: Dict[int, ComponentQuant] = {}
+    base_weight = {cid: g.total_weight() for cid, g in graphs.items()}
+    counts: Dict[int, int] = {}
+    node_sets = {cid: set(g.edges) for cid, g in graphs.items()}
+    solid_codes = None
+    if kmer_counts is not None:
+        solid_codes = {
+            code for code, n in kmer_counts.counts.items() if n >= min_kmer_count
+        }
+    for a in assignments:
+        if a.component < 0 or a.component not in graphs:
+            continue
+        graph = graphs[a.component]
+        read = reads[a.read_index]
+        # Reads are strand-symmetric; thread the orientation that shares
+        # more nodes with the (single-stranded) component graph.
+        oriented = best_orientation(read.seq, node_sets[a.component], graph.k)
+        if solid_codes is None:
+            graph.add_sequence(oriented)
+        else:
+            arr = kmer_array(oriented, graph.k)
+            if arr.size == 0:
+                continue
+            canon = np.minimum(arr, revcomp_codes(arr, graph.k))
+            mask = [int(c) in solid_codes for c in canon]
+            graph.add_sequence_masked(oriented, mask)
+        counts[a.component] = counts.get(a.component, 0) + 1
+    for cid, graph in graphs.items():
+        quants[cid] = ComponentQuant(
+            component=cid,
+            n_reads=counts.get(cid, 0),
+            graph=graph,
+            read_edge_weight=graph.total_weight() - base_weight[cid],
+        )
+    return quants

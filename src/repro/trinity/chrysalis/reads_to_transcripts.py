@@ -1,0 +1,192 @@
+"""ReadsToTranscripts: assign each read to the best-matching component.
+
+The paper (SS:II.A, SS:III.C): "assigns each read to the component with
+which it shares the largest number of k-mers, as well as determining the
+regions within each read that contribute k-mers to the component", using a
+*streaming reads model* — reads are uploaded in chunks of
+``max_mem_reads`` rather than loaded wholesale (the input file can exceed
+memory).
+
+Split into kernels so the hybrid MPI version can reuse them:
+
+* :func:`build_kmer_to_component` — the OpenMP-only "assignment of k-mers
+  to Inchworm bundles" setup step (the non-MPI share of Figure 9);
+* :func:`assign_read` — the per-read body of the MPI-enabled main loop;
+* :func:`reads_to_transcripts` — the serial streaming driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.seq.kmers import kmer_array, revcomp_codes
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.components import Component, component_of_map
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ReadsToTranscriptsConfig:
+    """Parameters of the read-assignment stage."""
+
+    k: int = 24
+    max_mem_reads: int = 1000  # reads uploaded into memory at a time
+    min_shared_kmers: int = 1  # below this, the read is unassigned
+
+    def __post_init__(self) -> None:
+        if self.max_mem_reads <= 0:
+            raise PipelineError(f"max_mem_reads must be positive, got {self.max_mem_reads}")
+
+
+@dataclass(frozen=True)
+class ReadAssignment:
+    """One read's component assignment."""
+
+    read_index: int
+    read_name: str
+    component: int  # -1 = unassigned
+    shared_kmers: int
+    region_start: int  # first base of the read contributing a k-mer
+    region_end: int  # one past the last contributing base
+
+    def to_line(self) -> str:
+        return (
+            f"{self.read_index}\t{self.read_name}\t{self.component}"
+            f"\t{self.shared_kmers}\t{self.region_start}\t{self.region_end}"
+        )
+
+    @classmethod
+    def from_line(cls, line: str) -> "ReadAssignment":
+        parts = line.rstrip("\n").split("\t")
+        if len(parts) != 6:
+            raise PipelineError(f"malformed assignment line: {line!r}")
+        return cls(
+            read_index=int(parts[0]),
+            read_name=parts[1],
+            component=int(parts[2]),
+            shared_kmers=int(parts[3]),
+            region_start=int(parts[4]),
+            region_end=int(parts[5]),
+        )
+
+
+def build_kmer_to_component(
+    contigs: Sequence[Contig],
+    components: Sequence[Component],
+    k: int,
+) -> Dict[int, int]:
+    """Canonical k-mer code -> component id.
+
+    K-mers occurring in several components map to the smallest component
+    id (deterministic; such k-mers are rare once welding has merged the
+    overlapping contigs).
+    """
+    table = component_of_map(components, len(contigs))
+    out: Dict[int, int] = {}
+    for idx, contig in enumerate(contigs):
+        comp = table[idx]
+        arr = kmer_array(contig.seq, k)
+        if arr.size == 0:
+            continue
+        canon = np.minimum(arr, revcomp_codes(arr, k))
+        for code in np.unique(canon).tolist():
+            prev = out.get(code)
+            if prev is None or comp < prev:
+                out[code] = comp
+    return out
+
+
+def assign_read(
+    read_index: int,
+    read: SeqRecord,
+    kmer_to_component: Dict[int, int],
+    cfg: ReadsToTranscriptsConfig,
+) -> ReadAssignment:
+    """Main-loop body: link one read to its best component."""
+    arr = kmer_array(read.seq, cfg.k)
+    if arr.size == 0:
+        return ReadAssignment(read_index, read.name, -1, 0, 0, 0)
+    canon = np.minimum(arr, revcomp_codes(arr, cfg.k))
+    shared: Dict[int, int] = {}
+    first_pos: Dict[int, int] = {}
+    last_pos: Dict[int, int] = {}
+    for pos, code in enumerate(canon.tolist()):
+        comp = kmer_to_component.get(code)
+        if comp is None:
+            continue
+        shared[comp] = shared.get(comp, 0) + 1
+        if comp not in first_pos:
+            first_pos[comp] = pos
+        last_pos[comp] = pos
+    if not shared:
+        return ReadAssignment(read_index, read.name, -1, 0, 0, 0)
+    # Largest shared count; ties -> smallest component id (deterministic).
+    best = min(shared, key=lambda c: (-shared[c], c))
+    if shared[best] < cfg.min_shared_kmers:
+        return ReadAssignment(read_index, read.name, -1, 0, 0, 0)
+    return ReadAssignment(
+        read_index=read_index,
+        read_name=read.name,
+        component=best,
+        shared_kmers=shared[best],
+        region_start=first_pos[best],
+        region_end=last_pos[best] + cfg.k,
+    )
+
+
+def stream_chunks(
+    reads: Iterable[SeqRecord], chunk_size: int
+) -> Iterator[List[Tuple[int, SeqRecord]]]:
+    """Yield (global index, read) chunks of ``chunk_size`` — the streaming
+    reads model (``max_mem_reads`` uploads)."""
+    chunk: List[Tuple[int, SeqRecord]] = []
+    for i, read in enumerate(reads):
+        chunk.append((i, read))
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def reads_to_transcripts(
+    reads: Iterable[SeqRecord],
+    contigs: Sequence[Contig],
+    components: Sequence[Component],
+    cfg: Optional[ReadsToTranscriptsConfig] = None,
+    out_path: Optional[PathLike] = None,
+) -> List[ReadAssignment]:
+    """Serial streaming driver.
+
+    If ``out_path`` is given, assignments are also written as the
+    tab-separated file downstream stages consume (one line per read).
+    """
+    cfg = cfg or ReadsToTranscriptsConfig()
+    kmer_map = build_kmer_to_component(contigs, components, cfg.k)  # OpenMP-only setup
+    out: List[ReadAssignment] = []
+    for chunk in stream_chunks(reads, cfg.max_mem_reads):  # streaming model
+        for idx, read in chunk:  # the MPI-enabled loop in the hybrid version
+            out.append(assign_read(idx, read, kmer_map, cfg))
+    if out_path is not None:
+        write_assignments(out_path, out)
+    return out
+
+
+def write_assignments(path: PathLike, assignments: Iterable[ReadAssignment]) -> int:
+    n = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for a in assignments:
+            fh.write(a.to_line() + "\n")
+            n += 1
+    return n
+
+
+def read_assignments(path: PathLike) -> List[ReadAssignment]:
+    with open(path, "r", encoding="ascii") as fh:
+        return [ReadAssignment.from_line(line) for line in fh if line.strip()]

@@ -1,0 +1,180 @@
+"""De Bruijn graph simplification: tip pruning and bubble popping.
+
+Sequencing errors grow two artifact shapes in a de Bruijn graph:
+
+* **tips** — short dead-end branches (an error near a read's end breaks
+  reconvergence);
+* **bubbles** — parallel paths of node-length ~k that reconverge (an
+  error mid-read).
+
+Butterfly's path enumeration degrades combinatorially on such graphs, so
+Chrysalis-style assemblers clean them before enumeration.  Our pipeline
+avoids most artifacts up front by threading only solid k-mers
+(:func:`repro.trinity.chrysalis.quantify.quantify_graph`), so
+simplification is off by default (``ButterflyConfig.simplify``) and acts
+as a second line of defence for noisy configurations
+(``min_kmer_count=1`` or external graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.trinity.chrysalis.debruijn import DeBruijnGraph
+
+
+@dataclass(frozen=True)
+class SimplifyConfig:
+    """Artifact-removal thresholds."""
+
+    max_tip_nodes: int = 0  # 0 -> use 2*(k-1), the error-tip scale
+    tip_weight_ratio: float = 0.25  # tip must be this much weaker than sibling
+    bubble_weight_ratio: float = 0.25  # weak bubble arm vs strong arm
+    max_bubble_nodes: int = 0  # 0 -> use 2*(k-1)
+
+    def resolved_tip_len(self, k: int) -> int:
+        return self.max_tip_nodes if self.max_tip_nodes > 0 else 2 * (k - 1)
+
+    def resolved_bubble_len(self, k: int) -> int:
+        return self.max_bubble_nodes if self.max_bubble_nodes > 0 else 2 * (k - 1)
+
+
+@dataclass
+class SimplifyStats:
+    """What a simplification pass removed."""
+
+    tips_removed: int = 0
+    bubbles_popped: int = 0
+    nodes_removed: int = 0
+
+
+def _remove_node(graph: DeBruijnGraph, node: str) -> None:
+    for succ in list(graph.edges.get(node, {})):
+        graph._in_edges[succ].discard(node)
+    for pred in list(graph._in_edges.get(node, ())):
+        graph.edges[pred].pop(node, None)
+    graph.edges.pop(node, None)
+    graph._in_edges.pop(node, None)
+
+
+def _walk_tip(graph: DeBruijnGraph, start: str, max_len: int) -> Optional[List[str]]:
+    """Collect a dead-end chain starting at an out-degree-0 node, walking
+    backwards while the chain stays unbranched; None if too long."""
+    chain = [start]
+    cur = start
+    while len(chain) <= max_len:
+        preds = graph.predecessors(cur)
+        if len(preds) != 1:
+            return chain  # reached the branch point (or an orphan)
+        (pred,) = preds
+        if graph.out_degree(pred) > 1:
+            chain.append(pred)  # branch node marks the tip's attachment
+            return chain[:-1]
+        chain.append(pred)
+        cur = pred
+    return None
+
+
+def prune_tips(
+    graph: DeBruijnGraph, cfg: Optional[SimplifyConfig] = None
+) -> SimplifyStats:
+    """Remove weakly-supported short dead ends, in place."""
+    cfg = cfg or SimplifyConfig()
+    stats = SimplifyStats()
+    max_len = cfg.resolved_tip_len(graph.k)
+    changed = True
+    while changed:
+        changed = False
+        dead_ends = [n for n in list(graph.edges) if graph.out_degree(n) == 0]
+        for node in dead_ends:
+            if node not in graph.edges:
+                continue
+            chain = _walk_tip(graph, node, max_len)
+            if chain is None or len(chain) > max_len:
+                continue
+            # The tip hangs off the predecessor of its last chain node.
+            anchor_preds = graph.predecessors(chain[-1])
+            if not anchor_preds:
+                continue  # isolated chain, not a tip
+            (anchor,) = anchor_preds if len(anchor_preds) == 1 else (None,)
+            if anchor is None:
+                continue
+            tip_w = graph.successors(anchor).get(chain[-1], 0.0)
+            siblings = [w for v, w in graph.successors(anchor).items() if v != chain[-1]]
+            if not siblings or tip_w > cfg.tip_weight_ratio * max(siblings):
+                continue
+            for n in chain:
+                _remove_node(graph, n)
+                stats.nodes_removed += 1
+            stats.tips_removed += 1
+            changed = True
+    return stats
+
+
+def _follow_arm(
+    graph: DeBruijnGraph, first: str, max_len: int
+) -> Optional[Tuple[List[str], str, float]]:
+    """Follow an unbranched arm from ``first``; return (interior nodes,
+    reconvergence node, min edge weight), or None if it branches/ends."""
+    arm = [first]
+    weight = float("inf")
+    cur = first
+    for _ in range(max_len + 1):
+        if graph.out_degree(cur) != 1:
+            return None
+        if len(graph.predecessors(cur)) > 1 and cur != first:
+            return None
+        (nxt,) = graph.successors(cur)
+        weight = min(weight, graph.successors(cur)[nxt])
+        if len(graph.predecessors(nxt)) > 1:
+            return arm, nxt, weight
+        arm.append(nxt)
+        cur = nxt
+    return None
+
+
+def pop_bubbles(
+    graph: DeBruijnGraph, cfg: Optional[SimplifyConfig] = None
+) -> SimplifyStats:
+    """Collapse weak parallel arms that reconverge, in place."""
+    cfg = cfg or SimplifyConfig()
+    stats = SimplifyStats()
+    max_len = cfg.resolved_bubble_len(graph.k)
+    for node in list(graph.edges):
+        if node not in graph.edges or graph.out_degree(node) < 2:
+            continue
+        arms = []
+        for succ, w_in in list(graph.successors(node).items()):
+            followed = _follow_arm(graph, succ, max_len)
+            if followed is not None:
+                interior, join, w_min = followed
+                arms.append((succ, interior, join, min(w_in, w_min)))
+        # Group arms by reconvergence node; pop the weak ones.
+        by_join = {}
+        for arm in arms:
+            by_join.setdefault(arm[2], []).append(arm)
+        for join, group in by_join.items():
+            if len(group) < 2:
+                continue
+            group.sort(key=lambda a: -a[3])
+            strongest = group[0][3]
+            for _succ, interior, _join, w in group[1:]:
+                if w <= cfg.bubble_weight_ratio * strongest:
+                    for n in interior:
+                        _remove_node(graph, n)
+                        stats.nodes_removed += 1
+                    stats.bubbles_popped += 1
+    return stats
+
+
+def simplify_graph(
+    graph: DeBruijnGraph, cfg: Optional[SimplifyConfig] = None
+) -> SimplifyStats:
+    """Tips first (they expose bubbles), then bubbles."""
+    cfg = cfg or SimplifyConfig()
+    stats = prune_tips(graph, cfg)
+    b = pop_bubbles(graph, cfg)
+    stats.bubbles_popped += b.bubbles_popped
+    stats.nodes_removed += b.nodes_removed
+    return stats

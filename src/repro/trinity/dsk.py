@@ -1,0 +1,167 @@
+"""DSK-style disk-partitioned k-mer counting.
+
+The paper (SS:II.A) notes Jellyfish's memory hunger and points to DSK
+(Rizk, Lavenier & Chikhi 2013) — "k-mer counting with very low memory
+usage" — as a candidate replacement that "is not part of the Trinity
+pipeline yet".  This module implements that alternative so the memory/
+time trade-off can be studied (see ``exp-dsk`` in the ablation benches).
+
+DSK's idea: hash every k-mer to one of P disk partitions, then count one
+partition at a time, so peak memory is ~1/P of the k-mer table.  Our
+implementation is a faithful miniature: partitions are written as binary
+uint64 files and counted with one in-memory dict each.
+
+The result is bit-identical to :func:`repro.trinity.jellyfish.jellyfish_count`
+— a tested invariant.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.seq.kmers import kmer_array, revcomp_codes
+from repro.seq.records import SeqRecord
+from repro.trinity.jellyfish import JellyfishCounts
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class DskConfig:
+    """Partitioned-counting parameters."""
+
+    n_partitions: int = 8
+    buffer_kmers: int = 65_536  # per-partition write buffer
+
+    def __post_init__(self) -> None:
+        if self.n_partitions <= 0:
+            raise PipelineError(f"n_partitions must be positive, got {self.n_partitions}")
+        if self.buffer_kmers <= 0:
+            raise PipelineError(f"buffer_kmers must be positive, got {self.buffer_kmers}")
+
+
+@dataclass
+class DskStats:
+    """Observability for the memory/IO trade-off study."""
+
+    n_kmers_streamed: int = 0
+    bytes_spilled: int = 0
+    peak_partition_kmers: int = 0
+
+    def peak_memory_bytes(self) -> int:
+        """Peak resident size: one partition's dict at a time."""
+        return 100 * self.peak_partition_kmers
+
+
+def _partition_of(codes: np.ndarray, n_partitions: int) -> np.ndarray:
+    """Stable partition assignment (multiplicative hash on the code)."""
+    mixed = codes * np.uint64(0x9E3779B97F4A7C15)
+    return (mixed >> np.uint64(40)) % np.uint64(n_partitions)
+
+
+def dsk_count(
+    reads: Iterable[SeqRecord],
+    k: int,
+    config: Optional[DskConfig] = None,
+    workdir: Optional[PathLike] = None,
+    canonical: bool = True,
+) -> JellyfishCounts:
+    """Count k-mers with DSK's partition-then-count strategy.
+
+    ``workdir`` holds the partition spill files (a temp dir by default,
+    removed afterwards).  Returns the same :class:`JellyfishCounts` as
+    Jellyfish would.
+    """
+    counts, _stats = dsk_count_with_stats(reads, k, config, workdir, canonical)
+    return counts
+
+
+def dsk_count_with_stats(
+    reads: Iterable[SeqRecord],
+    k: int,
+    config: Optional[DskConfig] = None,
+    workdir: Optional[PathLike] = None,
+    canonical: bool = True,
+):
+    """:func:`dsk_count` plus a :class:`DskStats` (for the memory bench)."""
+    cfg = config or DskConfig()
+    stats = DskStats()
+    own_tmp = workdir is None
+    tmp = Path(tempfile.mkdtemp(prefix="dsk-")) if own_tmp else Path(workdir)
+    tmp.mkdir(parents=True, exist_ok=True)
+    part_paths = [tmp / f"partition{p}.u64" for p in range(cfg.n_partitions)]
+    try:
+        _spill(reads, k, cfg, part_paths, stats, canonical)
+        merged: Dict[int, int] = {}
+        for path in part_paths:
+            part_counts = _count_partition(path)
+            stats.peak_partition_kmers = max(stats.peak_partition_kmers, len(part_counts))
+            merged.update(part_counts)
+        return JellyfishCounts(k=k, counts=merged, canonical=canonical), stats
+    finally:
+        for path in part_paths:
+            path.unlink(missing_ok=True)
+        if own_tmp:
+            try:
+                tmp.rmdir()
+            except OSError:  # pragma: no cover - leftover files
+                pass
+
+
+def _spill(
+    reads: Iterable[SeqRecord],
+    k: int,
+    cfg: DskConfig,
+    part_paths: List[Path],
+    stats: DskStats,
+    canonical: bool,
+) -> None:
+    """Pass 1: stream reads, hash each k-mer to its partition file."""
+    buffers: List[List[np.ndarray]] = [[] for _ in part_paths]
+    buffered: List[int] = [0] * len(part_paths)
+    handles = [open(p, "wb") for p in part_paths]
+    try:
+        for rec in reads:
+            arr = kmer_array(rec.seq, k)
+            if arr.size == 0:
+                continue
+            if canonical:
+                arr = np.minimum(arr, revcomp_codes(arr, k))
+            stats.n_kmers_streamed += int(arr.size)
+            parts = _partition_of(arr, cfg.n_partitions)
+            for p in np.unique(parts).tolist():
+                chunk = arr[parts == p]
+                buffers[p].append(chunk)
+                buffered[p] += chunk.size
+                if buffered[p] >= cfg.buffer_kmers:
+                    _flush(handles[p], buffers[p], stats)
+                    buffers[p] = []
+                    buffered[p] = 0
+        for p, handle in enumerate(handles):
+            if buffers[p]:
+                _flush(handle, buffers[p], stats)
+    finally:
+        for handle in handles:
+            handle.close()
+
+
+def _flush(handle, chunks: List[np.ndarray], stats: DskStats) -> None:
+    data = np.concatenate(chunks).astype(np.uint64)
+    handle.write(data.tobytes())
+    stats.bytes_spilled += data.nbytes
+
+
+def _count_partition(path: Path) -> Dict[int, int]:
+    """Pass 2: count one partition's spilled codes."""
+    raw = path.read_bytes()
+    if not raw:
+        return {}
+    codes = np.frombuffer(raw, dtype=np.uint64)
+    vals, cnts = np.unique(codes, return_counts=True)
+    return dict(zip(vals.tolist(), cnts.tolist()))

@@ -1,0 +1,175 @@
+"""Inchworm: greedy contig assembly from a k-mer dictionary.
+
+Implements the algorithm as the paper summarises it (SS:II.A):
+
+1. construct a k-mer dictionary from all reads, removing likely
+   error-containing k-mers, sorted by decreasing abundance;
+2. seed a contig with the most frequent unused k-mer;
+3. extend in each direction with the highest-count k-mer sharing a
+   (k-1)-overlap (Fig 1);
+4. report the linear contig; repeat until the dictionary is exhausted.
+
+Trinity's output is "slightly indeterministic" because thread scheduling
+perturbs tie-breaking; we model that with a seed-dependent tie-break among
+equal-abundance k-mers so repeated runs with different seeds reproduce the
+output *distribution* the paper's validation (SS:IV) studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.seq.kmers import canonical_code, decode_kmer
+from repro.seq.records import Contig
+from repro.trinity.jellyfish import JellyfishCounts
+from repro.util.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class InchwormConfig:
+    """Inchworm parameters (defaults mirror Trinity's spirit, scaled)."""
+
+    min_kmer_count: int = 2  # error-kmer removal threshold
+    min_contig_length: int = 0  # 0 -> use 2*k (GraphFromFasta window size)
+    max_contig_length: int = 200_000  # cycle guard
+    seed: int = 0  # tie-break stream
+
+    def resolved_min_length(self, k: int) -> int:
+        return self.min_contig_length if self.min_contig_length > 0 else 2 * k
+
+
+class _KmerView:
+    """Count lookups over canonical counts, by *directed* k-mer code."""
+
+    __slots__ = ("k", "_counts", "_canonical")
+
+    def __init__(self, counts: JellyfishCounts) -> None:
+        self.k = counts.k
+        self._counts = counts.counts
+        self._canonical = counts.canonical
+
+    def canon(self, code: int) -> int:
+        if not self._canonical:
+            return code
+        return canonical_code(code, self.k)
+
+    def count(self, code: int) -> int:
+        return self._counts.get(self.canon(code), 0)
+
+
+def inchworm_assemble(
+    counts: JellyfishCounts,
+    config: Optional[InchwormConfig] = None,
+) -> List[Contig]:
+    """Assemble contigs from k-mer counts; deterministic given the seed."""
+    cfg = config or InchwormConfig()
+    k = counts.k
+    if k < 2:
+        raise PipelineError(f"inchworm needs k >= 2, got {k}")
+    view = _KmerView(counts)
+    filtered = {c: n for c, n in counts.counts.items() if n >= cfg.min_kmer_count}
+    if not filtered:
+        return []
+
+    # Decreasing abundance; ties broken by a seed-salted hash then code, so
+    # different seeds explore equal-abundance seeds in different orders
+    # (the modelled source of Trinity's run-to-run variation).
+    salt = derive_seed(cfg.seed, "inchworm-ties")
+    order = sorted(
+        filtered,
+        key=lambda c: (-filtered[c], (c * 0x9E3779B97F4A7C15 ^ salt) & 0xFFFFFFFF, c),
+    )
+
+    used: Set[int] = set()
+    contigs: List[Contig] = []
+    min_len = cfg.resolved_min_length(k)
+    mask = (1 << (2 * k)) - 1
+    suffix_mask = (1 << (2 * (k - 1))) - 1
+
+    for seed_code in order:
+        if view.canon(seed_code) in used:
+            continue
+        seq_codes = [seed_code]
+        used.add(view.canon(seed_code))
+        # Extend right.
+        cur = seed_code
+        while len(seq_codes) < cfg.max_contig_length:
+            nxt = _best_extension(view, filtered, used, cur, mask, salt, right=True)
+            if nxt is None:
+                break
+            seq_codes.append(nxt)
+            used.add(view.canon(nxt))
+            cur = nxt
+        # Extend left.
+        cur = seed_code
+        left_codes: List[int] = []
+        while len(seq_codes) + len(left_codes) < cfg.max_contig_length:
+            nxt = _best_extension(view, filtered, used, cur, suffix_mask, salt, right=False)
+            if nxt is None:
+                break
+            left_codes.append(nxt)
+            used.add(view.canon(nxt))
+            cur = nxt
+        all_codes = left_codes[::-1] + seq_codes
+        seq = _codes_to_seq(all_codes, k)
+        if len(seq) < min_len:
+            continue
+        coverage = float(np.mean([view.count(c) for c in all_codes]))
+        contigs.append(Contig(name=f"iw_contig_{len(contigs)}", seq=seq, coverage=coverage))
+    return contigs
+
+
+def _best_extension(
+    view: _KmerView,
+    filtered: Dict[int, int],
+    used: Set[int],
+    cur: int,
+    mask: int,
+    salt: int,
+    right: bool,
+) -> Optional[int]:
+    """Highest-count unused (k-1)-overlap neighbour, or None.
+
+    Ties between equal-count candidates are broken by a seed-salted hash
+    — the modelled analogue of the thread-race nondeterminism that makes
+    real Trinity's repeated runs differ slightly (paper SS:IV).  A fixed
+    salt keeps each individual run fully reproducible.
+    """
+    k = view.k
+    best: Optional[Tuple[int, int, int]] = None  # (count, -tiebreak, candidate)
+    for b in range(4):
+        if right:
+            cand = ((cur << 2) | b) & mask
+        else:
+            cand = (b << (2 * (k - 1))) | (cur >> 2)
+        canon = view.canon(cand)
+        if canon in used or canon not in filtered:
+            continue
+        cnt = filtered[canon]
+        tie = (cand * 0x9E3779B97F4A7C15 ^ salt) & 0xFFFFFFFF
+        if best is None or (cnt, -tie) > (best[0], best[1]):
+            best = (cnt, -tie, cand)
+    return best[2] if best else None
+
+
+def _codes_to_seq(codes: List[int], k: int) -> str:
+    """Reconstruct the contig string from consecutive overlapping codes."""
+    first = decode_kmer(codes[0], k)
+    tail = [decode_kmer(c, k)[-1] for c in codes[1:]]
+    return first + "".join(tail)
+
+
+def mean_coverage(contig_seq: str, counts: JellyfishCounts) -> float:
+    """Mean k-mer abundance along a sequence (used by GraphFromFasta)."""
+    from repro.seq.kmers import kmer_array, revcomp_codes
+
+    arr = kmer_array(contig_seq, counts.k)
+    if arr.size == 0:
+        return 0.0
+    if counts.canonical:
+        arr = np.minimum(arr, revcomp_codes(arr, counts.k))
+    return float(np.mean([counts.counts.get(int(c), 0) for c in arr]))

@@ -1,0 +1,93 @@
+"""Wall-clock timers used by the pipeline monitor and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class StageRecord:
+    """One named stage's measured interval."""
+
+    name: str
+    start: float
+    stop: float
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named, possibly repeated, stage intervals.
+
+    Used by :mod:`repro.monitor` to build the Figure 2 / Figure 11
+    stage-resolved timelines.
+    """
+
+    records: List[StageRecord] = field(default_factory=list)
+    _open: Dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        if name in self._open:
+            raise ValueError(f"stage {name!r} already running")
+        self._open[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        try:
+            t0 = self._open.pop(name)
+        except KeyError:
+            raise ValueError(f"stage {name!r} was never started") from None
+        t1 = time.perf_counter()
+        self.records.append(StageRecord(name, t0, t1))
+        return t1 - t0
+
+    def stage(self, name: str):
+        """Context manager timing one stage."""
+        timer = self
+
+        class _Ctx:
+            def __enter__(self):
+                timer.start(name)
+                return timer
+
+            def __exit__(self, *exc):
+                timer.stop(name)
+
+        return _Ctx()
+
+    def total(self, name: str) -> float:
+        """Total accumulated duration across all intervals named ``name``."""
+        return sum(r.duration for r in self.records if r.name == name)
+
+    def names(self) -> List[str]:
+        seen: List[str] = []
+        for r in self.records:
+            if r.name not in seen:
+                seen.append(r.name)
+        return seen

@@ -1,0 +1,41 @@
+"""Validation harness for parallel-vs-serial Trinity (paper SS:IV).
+
+Two tests, exactly as the paper runs them:
+
+1. **All-vs-all Smith-Waterman** (:mod:`repro.validation.fasta_align`):
+   every transcript from one run is aligned against the transcripts of a
+   reference run; matches are categorised as (a) 100 % identical over the
+   full length, (b) <100 % identical over the full length, (c) partial-
+   length, with (d) the identity distribution of category (c) — Figure 4.
+2. **Reference-transcript recovery** (:mod:`repro.validation.reference`):
+   counts of genes/isoforms reconstructed full-length, and of "fused"
+   reconstructions spanning multiple reference genes — Figures 5 and 6.
+
+Both are compared across 10 repeated runs per code version with a
+two-sample t-test (:mod:`repro.validation.stats`).
+"""
+
+from repro.validation.smith_waterman import sw_align, sw_score, AlignmentResult
+from repro.validation.fasta_align import (
+    all_vs_all_best_hits,
+    categorize_matches,
+    MatchCategories,
+)
+from repro.validation.reference import (
+    reference_recovery,
+    RecoveryCounts,
+)
+from repro.validation.stats import two_sample_ttest, TTestResult
+
+__all__ = [
+    "sw_align",
+    "sw_score",
+    "AlignmentResult",
+    "all_vs_all_best_hits",
+    "categorize_matches",
+    "MatchCategories",
+    "reference_recovery",
+    "RecoveryCounts",
+    "two_sample_ttest",
+    "TTestResult",
+]

@@ -1,0 +1,152 @@
+"""All-vs-all transcript alignment and the Figure 4 match categories.
+
+The paper aligns "all reconstructed transcripts from the hybrid
+parallelized Trinity ... to those from the original Trinity" and buckets
+the best hits into:
+
+(a) 100 % identical match over the full length,
+(b) <100 % identical match over the full length,
+(c) <100 % identical match over partial length,
+(d) the identity/similarity distribution within (c).
+
+A k-mer prescreen (shared-24-mer candidate filter, the same heuristic
+family the FASTA program uses) keeps the all-vs-all pass near-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.seq.kmers import kmer_set
+from repro.validation.smith_waterman import AlignmentResult, SWParams, sw_align_both_strands
+
+PRESCREEN_K = 24
+
+
+@dataclass(frozen=True)
+class BestHit:
+    """A query transcript's best target and alignment."""
+
+    query_index: int
+    target_index: int  # -1 when nothing passed the prescreen
+    alignment: AlignmentResult
+    query_len: int
+
+    @property
+    def full_length(self) -> bool:
+        """The alignment spans (>= 99 % of) the query."""
+        return (
+            self.target_index >= 0
+            and self.alignment.query_coverage(self.query_len) >= 0.99
+        )
+
+    @property
+    def identical(self) -> bool:
+        return self.target_index >= 0 and self.alignment.identity >= 0.999999
+
+
+def _kmer_index(seqs: Sequence[str], k: int) -> Dict[int, Set[int]]:
+    index: Dict[int, Set[int]] = {}
+    for i, seq in enumerate(seqs):
+        for code in kmer_set(seq, k, canonical=True):
+            index.setdefault(code, set()).add(i)
+    return index
+
+
+def prescreen_candidates(
+    query: str, index: Dict[int, Set[int]], k: int = PRESCREEN_K, min_shared: int = 2
+) -> List[int]:
+    """Target indices sharing at least ``min_shared`` canonical k-mers."""
+    shared: Dict[int, int] = {}
+    for code in kmer_set(query, k, canonical=True):
+        for t in index.get(code, ()):
+            shared[t] = shared.get(t, 0) + 1
+    return sorted(t for t, n in shared.items() if n >= min_shared)
+
+
+def all_vs_all_best_hits(
+    queries: Sequence[str],
+    targets: Sequence[str],
+    params: SWParams = SWParams(),
+    min_shared: int = 2,
+) -> List[BestHit]:
+    """Best Smith-Waterman hit of each query among prescreened targets."""
+    if not targets:
+        raise ValidationError("no target transcripts to align against")
+    index = _kmer_index(targets, PRESCREEN_K)
+    hits: List[BestHit] = []
+    for qi, query in enumerate(queries):
+        best: Optional[Tuple[int, AlignmentResult]] = None
+        for ti in prescreen_candidates(query, index, min_shared=min_shared):
+            aln = sw_align_both_strands(query, targets[ti], params)
+            if best is None or aln.score > best[1].score:
+                best = (ti, aln)
+        if best is None:
+            hits.append(BestHit(qi, -1, AlignmentResult(0, (0, 0), (0, 0), 0, 0), len(query)))
+        else:
+            hits.append(BestHit(qi, best[0], best[1], len(query)))
+    return hits
+
+
+@dataclass
+class MatchCategories:
+    """Figure 4's buckets over one set of best hits."""
+
+    n_queries: int
+    full_identical: int  # (a)
+    full_partial_identity: int  # (b)
+    partial_length: int  # (c)
+    unmatched: int
+    partial_identities: List[float] = field(default_factory=list)  # (d)
+
+    @property
+    def frac_full_identical(self) -> float:
+        return self.full_identical / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def frac_full(self) -> float:
+        return (
+            (self.full_identical + self.full_partial_identity) / self.n_queries
+            if self.n_queries
+            else 0.0
+        )
+
+
+def identity_histogram(
+    cats: "MatchCategories", bins: int = 10
+) -> List[Tuple[float, int]]:
+    """Figure 4(d): the identity distribution of partial-length matches.
+
+    Returns ``(bin_lower_edge, count)`` pairs over [0, 1].
+    """
+    if bins <= 0:
+        raise ValidationError(f"bins must be positive, got {bins}")
+    counts = [0] * bins
+    for identity in cats.partial_identities:
+        idx = min(int(identity * bins), bins - 1)
+        counts[idx] += 1
+    return [(i / bins, counts[i]) for i in range(bins)]
+
+
+def categorize_matches(hits: Sequence[BestHit]) -> MatchCategories:
+    """Bucket best hits into the paper's (a)/(b)/(c) categories."""
+    cat = MatchCategories(
+        n_queries=len(hits),
+        full_identical=0,
+        full_partial_identity=0,
+        partial_length=0,
+        unmatched=0,
+    )
+    for hit in hits:
+        if hit.target_index < 0:
+            cat.unmatched += 1
+        elif hit.full_length and hit.identical:
+            cat.full_identical += 1
+        elif hit.full_length:
+            cat.full_partial_identity += 1
+        else:
+            cat.partial_length += 1
+            cat.partial_identities.append(hit.alignment.identity)
+    return cat

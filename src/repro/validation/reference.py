@@ -1,0 +1,90 @@
+"""Reference-transcript recovery counts (Figures 5 and 6).
+
+Four numbers per run, as the paper defines them (SS:IV):
+
+* genes with >= 1 isoform reconstructed in full length;
+* isoforms reconstructed in full length;
+* genes with >= 1 reconstructed isoform that is a *fusion* of multiple
+  full-length reference transcripts (from different genes);
+* reconstructed isoforms that are such fusions.
+
+"Full length" means a reference transcript is covered >= ``min_coverage``
+of its length at >= ``min_identity`` identity by (part of) one
+reconstructed transcript — the standard Trinity full-length criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Set
+
+from repro.errors import ValidationError
+from repro.seq.records import SeqRecord
+from repro.validation.fasta_align import PRESCREEN_K, _kmer_index, prescreen_candidates
+from repro.validation.smith_waterman import SWParams, sw_align_both_strands
+
+
+@dataclass(frozen=True)
+class RecoveryCounts:
+    """One run's recovery against one reference set."""
+
+    genes_full_length: int
+    isoforms_full_length: int
+    fused_genes: int
+    fused_isoforms: int
+    n_reference_genes: int
+    n_reference_isoforms: int
+
+
+def _gene_of(rec: SeqRecord) -> str:
+    """Reference records carry ``gene=<name>`` in their description."""
+    for token in rec.description.split():
+        if token.startswith("gene="):
+            return token[5:]
+    raise ValidationError(
+        f"reference record {rec.name!r} lacks a gene=... annotation"
+    )
+
+
+def reference_recovery(
+    transcripts: Sequence[str],
+    reference: Sequence[SeqRecord],
+    min_identity: float = 0.95,
+    min_coverage: float = 0.95,
+    params: SWParams = SWParams(),
+) -> RecoveryCounts:
+    """Count full-length and fused reconstructions against a reference."""
+    if not reference:
+        raise ValidationError("empty reference transcript set")
+    if not (0 < min_identity <= 1 and 0 < min_coverage <= 1):
+        raise ValidationError("thresholds must be in (0, 1]")
+    genes = {_gene_of(r) for r in reference}
+    # Index the *reconstructed* transcripts; queries are reference isoforms.
+    index = _kmer_index(list(transcripts), PRESCREEN_K)
+
+    # reconstructed transcript index -> set of genes it fully contains
+    contained_genes: Dict[int, Set[str]] = {}
+    full_isoforms: Set[str] = set()
+    full_genes: Set[str] = set()
+    for ref in reference:
+        gene = _gene_of(ref)
+        for ti in prescreen_candidates(ref.seq, index):
+            aln = sw_align_both_strands(ref.seq, transcripts[ti], params)
+            coverage = (aln.query_span[1] - aln.query_span[0]) / len(ref.seq)
+            if coverage >= min_coverage and aln.identity >= min_identity:
+                full_isoforms.add(ref.name)
+                full_genes.add(gene)
+                contained_genes.setdefault(ti, set()).add(gene)
+
+    fused_transcript_ids = {ti for ti, gs in contained_genes.items() if len(gs) >= 2}
+    fused_genes: Set[str] = set()
+    for ti in fused_transcript_ids:
+        fused_genes.update(contained_genes[ti])
+    return RecoveryCounts(
+        genes_full_length=len(full_genes),
+        isoforms_full_length=len(full_isoforms),
+        fused_genes=len(fused_genes),
+        fused_isoforms=len(fused_transcript_ids),
+        n_reference_genes=len(genes),
+        n_reference_isoforms=len(reference),
+    )

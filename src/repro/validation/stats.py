@@ -1,0 +1,57 @@
+"""Two-sample significance testing for the validation sweeps.
+
+The paper: the Figure 4/5/6 distributions from 10 repeated runs of each
+code version "show no significant difference between the two versions of
+the code according to a two sample t-test".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Outcome of one two-sample t-test."""
+
+    statistic: float
+    pvalue: float
+    mean_a: float
+    mean_b: float
+    n_a: int
+    n_b: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the null (equal means) is rejected at ``alpha``."""
+        return self.pvalue < alpha
+
+
+def two_sample_ttest(a: Sequence[float], b: Sequence[float]) -> TTestResult:
+    """Welch's two-sample t-test (does not assume equal variances).
+
+    Degenerate but common validation case: when both samples are constant
+    and equal (e.g. every run reconstructed exactly the same count), the
+    t-statistic is 0/0; we report statistic 0, p-value 1 — "no
+    difference" — instead of NaN.
+    """
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.size < 2 or b_arr.size < 2:
+        raise ValidationError("each sample needs at least 2 observations")
+    if np.ptp(a_arr) == 0 and np.ptp(b_arr) == 0 and a_arr[0] == b_arr[0]:
+        return TTestResult(0.0, 1.0, float(a_arr[0]), float(b_arr[0]), a_arr.size, b_arr.size)
+    t, p = stats.ttest_ind(a_arr, b_arr, equal_var=False)
+    return TTestResult(
+        statistic=float(t),
+        pvalue=float(p),
+        mean_a=float(a_arr.mean()),
+        mean_b=float(b_arr.mean()),
+        n_a=a_arr.size,
+        n_b=b_arr.size,
+    )

@@ -1,0 +1,38 @@
+"""Shared fixtures: small deterministic datasets and pipeline artefacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+from repro.trinity import TrinityConfig, TrinityPipeline
+from repro.trinity.jellyfish import jellyfish_count
+
+
+@pytest.fixture(scope="session")
+def smoke_data():
+    """(transcriptome, reads) for the tiny error-free dataset."""
+    txome, pairs = get_recipe("smoke").materialize(seed=1)
+    return txome, flatten_reads(pairs)
+
+
+@pytest.fixture(scope="session")
+def smoke_reads(smoke_data):
+    return smoke_data[1]
+
+
+@pytest.fixture(scope="session")
+def smoke_txome(smoke_data):
+    return smoke_data[0]
+
+
+@pytest.fixture(scope="session")
+def smoke_counts(smoke_reads):
+    return jellyfish_count(smoke_reads, k=25)
+
+
+@pytest.fixture(scope="session")
+def smoke_result(smoke_reads):
+    """One full serial pipeline run on the smoke dataset."""
+    return TrinityPipeline(TrinityConfig(seed=1)).run(smoke_reads)

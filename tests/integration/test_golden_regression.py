@@ -1,0 +1,65 @@
+"""Golden regression test: pinned output summary of a reference run.
+
+Guards against silent behavioural drift — any change to the assembly
+algorithms, tie-breaking, or seeding shows up here first.  If a change is
+*intentional*, regenerate the constants with:
+
+    python -c "import sys; sys.path.insert(0, 'tests/integration'); \\
+               from test_golden_regression import summarize; print(summarize())"
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.seq.stats import assembly_stats
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+from repro.trinity import TrinityConfig, TrinityPipeline
+
+
+def summarize() -> dict:
+    _txome, pairs = get_recipe("smoke").materialize(seed=1)
+    reads = flatten_reads(pairs)
+    result = TrinityPipeline(TrinityConfig(seed=1)).run(reads)
+    stats = assembly_stats([t.seq for t in result.transcripts])
+    digest = hashlib.sha256(
+        "\n".join(sorted(t.seq for t in result.transcripts)).encode()
+    ).hexdigest()[:16]
+    return {
+        "n_reads": len(reads),
+        "n_contigs": len(result.contigs),
+        "n_components": result.n_components,
+        "n_transcripts": len(result.transcripts),
+        "n50": stats.n50,
+        "total_bases": stats.total_bases,
+        "transcript_digest": digest,
+    }
+
+
+#: Regenerate with the command in the module docstring when an
+#: intentional behaviour change lands.
+PINNED = {
+    "n_reads": 600,
+    "n_contigs": 32,
+    "n_components": 22,
+    "n_transcripts": 26,
+    "n50": 514,
+    "total_bases": 5428,
+    "transcript_digest": "dfaf3ae08066ca0c",
+}
+
+
+@pytest.fixture(scope="module")
+def golden_summary():
+    return summarize()
+
+
+class TestGolden:
+    def test_summary_stable_across_runs(self, golden_summary):
+        assert golden_summary == summarize()
+
+    def test_summary_matches_pin(self, golden_summary):
+        assert golden_summary == PINNED

@@ -1,0 +1,137 @@
+"""Integration tests for the three MPI stages run standalone."""
+
+import pytest
+
+from repro.mpi import mpirun
+from repro.parallel.mpi_bowtie import mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_reads_to_transcripts import (
+    mpi_reads_to_transcripts,
+    mpi_reads_to_transcripts_master_slave,
+)
+from repro.seq.sam import read_sam
+from repro.trinity.bowtie import BowtieConfig, bowtie_align
+from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig, graph_from_fasta
+from repro.trinity.chrysalis.reads_to_transcripts import (
+    ReadsToTranscriptsConfig,
+    reads_to_transcripts,
+)
+from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+
+
+@pytest.fixture(scope="module")
+def artefacts(smoke_reads):
+    counts = jellyfish_count(smoke_reads, 25)
+    contigs = inchworm_assemble(counts, InchwormConfig(seed=1))
+    gff = graph_from_fasta(contigs, smoke_reads, GraphFromFastaConfig(k=24))
+    return counts, contigs, gff
+
+
+class TestMpiBowtie:
+    def test_matches_single_index_alignment(self, smoke_reads, artefacts):
+        _counts, contigs, _gff = artefacts
+        serial = bowtie_align(smoke_reads, contigs, BowtieConfig())
+        run = mpirun(mpi_bowtie, 3, smoke_reads, contigs, BowtieConfig())
+        merged = run.returns[0].records
+        assert [r.to_line() for r in merged] == [r.to_line() for r in serial]
+
+    def test_writes_parts_and_merged_sam(self, smoke_reads, artefacts, tmp_path):
+        _counts, contigs, _gff = artefacts
+        run = mpirun(mpi_bowtie, 2, smoke_reads, contigs, BowtieConfig(), workdir=tmp_path)
+        assert (tmp_path / "bowtie.part0.sam").exists()
+        assert (tmp_path / "bowtie.part1.sam").exists()
+        merged = list(read_sam(tmp_path / "bowtie.sam"))
+        assert len(merged) == len(smoke_reads)
+
+    def test_split_time_charged_once(self, smoke_reads, artefacts):
+        _counts, contigs, _gff = artefacts
+        run = mpirun(mpi_bowtie, 3, smoke_reads, contigs, BowtieConfig())
+        split_times = [r.split_time for r in run.returns]
+        assert split_times[0] > 0
+        assert all(t == 0.0 for t in split_times[1:])
+
+
+class TestMpiGff:
+    def test_matches_serial(self, smoke_reads, artefacts):
+        _counts, contigs, gff = artefacts
+        run = mpirun(
+            mpi_graph_from_fasta, 4, contigs, smoke_reads, GraphFromFastaConfig(k=24), nthreads=2
+        )
+        assert run.returns[0].pairs == gff.pairs
+        assert run.returns[0].components == gff.components
+
+    def test_loop_times_positive(self, smoke_reads, artefacts):
+        _counts, contigs, _gff = artefacts
+        run = mpirun(
+            mpi_graph_from_fasta, 2, contigs, smoke_reads, GraphFromFastaConfig(k=24), nthreads=2
+        )
+        r = run.returns[0]
+        assert r.loop1_time >= 0
+        assert r.serial_time > 0
+
+    def test_explicit_chunk_size(self, smoke_reads, artefacts):
+        _counts, contigs, gff = artefacts
+        run = mpirun(
+            mpi_graph_from_fasta,
+            2,
+            contigs,
+            smoke_reads,
+            GraphFromFastaConfig(k=24),
+            nthreads=2,
+            chunk_size=1,
+        )
+        assert run.returns[0].pairs == gff.pairs
+
+
+class TestMpiRtt:
+    def test_matches_serial(self, smoke_reads, artefacts):
+        _counts, contigs, gff = artefacts
+        cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
+        serial = reads_to_transcripts(smoke_reads, contigs, gff.components, cfg)
+        run = mpirun(
+            mpi_reads_to_transcripts, 3, smoke_reads, contigs, gff.components, cfg, nthreads=2
+        )
+        assert run.returns[0].assignments == serial
+
+    def test_master_slave_strategy_same_result(self, smoke_reads, artefacts):
+        _counts, contigs, gff = artefacts
+        cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
+        serial = reads_to_transcripts(smoke_reads, contigs, gff.components, cfg)
+        run = mpirun(
+            mpi_reads_to_transcripts_master_slave,
+            3,
+            smoke_reads,
+            contigs,
+            gff.components,
+            cfg,
+            nthreads=2,
+        )
+        assert run.returns[0].assignments == serial
+
+    def test_output_concatenation(self, smoke_reads, artefacts, tmp_path):
+        _counts, contigs, gff = artefacts
+        cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
+        run = mpirun(
+            mpi_reads_to_transcripts,
+            2,
+            smoke_reads,
+            contigs,
+            gff.components,
+            cfg,
+            nthreads=2,
+            workdir=tmp_path,
+        )
+        out = run.returns[0].out_path
+        assert out is not None and out.exists()
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == len(smoke_reads)
+
+    def test_every_rank_holds_full_table(self, smoke_reads, artefacts):
+        _counts, contigs, gff = artefacts
+        cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
+        run = mpirun(
+            mpi_reads_to_transcripts, 4, smoke_reads, contigs, gff.components, cfg, nthreads=2
+        )
+        for r in run.returns:
+            assert len(r.assignments) == len(smoke_reads)

@@ -1,0 +1,86 @@
+"""Integration tests for the top-level repro CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.seq.fasta import read_fasta
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-data")
+    assert main(["simulate", "--recipe", "smoke", "--seed", "5", "--out", str(out)]) == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def assembled(dataset, tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-asm") / "serial.fasta"
+    rc = main(
+        ["assemble", "--reads", str(dataset / "smoke.reads.fasta"), "--out", str(out), "--seed", "5"]
+    )
+    assert rc == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_both_files(self, dataset):
+        assert (dataset / "smoke.reads.fasta").exists()
+        assert (dataset / "smoke.reference.fasta").exists()
+
+    def test_reference_annotated(self, dataset):
+        recs = read_fasta(dataset / "smoke.reference.fasta")
+        assert all("gene=" in r.description for r in recs)
+
+
+class TestAssemble:
+    def test_output_fasta_nonempty(self, assembled):
+        assert read_fasta(assembled)
+
+    def test_parallel_matches_serial(self, dataset, assembled, tmp_path):
+        out = tmp_path / "hybrid.fasta"
+        rc = main(
+            [
+                "assemble",
+                "--reads",
+                str(dataset / "smoke.reads.fasta"),
+                "--out",
+                str(out),
+                "--seed",
+                "5",
+                "--nprocs",
+                "3",
+            ]
+        )
+        assert rc == 0
+        serial = sorted(r.seq for r in read_fasta(assembled))
+        hybrid = sorted(r.seq for r in read_fasta(out))
+        assert serial == hybrid
+
+
+class TestAnalysis:
+    def test_validate_self_is_identical(self, assembled, capsys):
+        assert main(["validate", "--query", str(assembled), "--target", str(assembled)]) == 0
+        out = capsys.readouterr().out
+        assert "1.000" in out
+
+    def test_recovery(self, dataset, assembled, capsys):
+        rc = main(
+            [
+                "recovery",
+                "--transcripts",
+                str(assembled),
+                "--reference",
+                str(dataset / "smoke.reference.fasta"),
+            ]
+        )
+        assert rc == 0
+        assert "full-length" in capsys.readouterr().out
+
+    def test_stats(self, assembled, capsys):
+        assert main(["stats", str(assembled)]) == 0
+        assert "N50" in capsys.readouterr().out
+
+    def test_experiments_passthrough(self, capsys):
+        assert main(["experiments", "fig10"]) == 0
+        assert "Figure 10" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Integration tests for the strand-specific library mode."""
+
+import pytest
+
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import SeqRecord
+from repro.simdata.transcriptome import generate_transcriptome
+from repro.trinity import TrinityConfig, TrinityPipeline
+
+
+def forward_reads(txome, read_len=75, stride=7):
+    reads = []
+    for iso in txome.isoforms:
+        for start in range(0, max(1, len(iso.seq) - read_len), stride):
+            reads.append(SeqRecord(f"r{len(reads)}", iso.seq[start : start + read_len]))
+    return reads
+
+
+@pytest.fixture(scope="module")
+def txome():
+    return generate_transcriptome(3, seed=2)
+
+
+class TestStrandSpecific:
+    def test_contigs_on_forward_strand(self, txome):
+        reads = forward_reads(txome)
+        res = TrinityPipeline(TrinityConfig(seed=0, strand_specific=True)).run(reads)
+        for c in res.contigs:
+            assert any(c.seq in iso.seq for iso in txome.isoforms), (
+                "strand-specific contig must lie on the forward strand"
+            )
+
+    def test_default_mode_may_flip_strands(self, txome):
+        reads = forward_reads(txome)
+        res = TrinityPipeline(TrinityConfig(seed=0, strand_specific=False)).run(reads)
+        # Canonical counting loses strand: contigs match fwd OR rc.
+        for c in res.contigs:
+            assert any(
+                c.seq in iso.seq or c.seq in reverse_complement(iso.seq)
+                for iso in txome.isoforms
+            )
+
+    def test_antisense_kept_apart(self, txome):
+        """A forward and an antisense transcript must not share k-mer
+        counts in strand-specific mode."""
+        from repro.trinity.jellyfish import jellyfish_count
+
+        iso = txome.isoforms[0]
+        fwd = [SeqRecord("f", iso.seq)]
+        rev = [SeqRecord("r", reverse_complement(iso.seq))]
+        ss_f = jellyfish_count(fwd, 25, canonical=False)
+        ss_r = jellyfish_count(rev, 25, canonical=False)
+        assert not set(ss_f.counts) & set(ss_r.counts)
+        default_f = jellyfish_count(fwd, 25, canonical=True)
+        default_r = jellyfish_count(rev, 25, canonical=True)
+        assert set(default_f.counts) == set(default_r.counts)

@@ -1,0 +1,87 @@
+"""Property-based tests for the k-mer codec (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.alphabet import reverse_complement
+from repro.seq.kmers import (
+    canonical_code,
+    canonical_kmers,
+    decode_kmer,
+    encode_kmer,
+    kmer_array,
+    revcomp_code,
+    revcomp_codes,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=200)
+kmers = st.text(alphabet="ACGT", min_size=1, max_size=31)
+ks = st.integers(min_value=1, max_value=31)
+
+
+@given(kmers)
+def test_encode_decode_roundtrip(kmer):
+    assert decode_kmer(encode_kmer(kmer), len(kmer)) == kmer
+
+
+@given(kmers)
+def test_revcomp_code_matches_string(kmer):
+    k = len(kmer)
+    assert revcomp_code(encode_kmer(kmer), k) == encode_kmer(reverse_complement(kmer))
+
+
+@given(kmers)
+def test_revcomp_involution(kmer):
+    k = len(kmer)
+    code = encode_kmer(kmer)
+    assert revcomp_code(revcomp_code(code, k), k) == code
+
+
+@given(kmers)
+def test_canonical_is_min(kmer):
+    k = len(kmer)
+    code = encode_kmer(kmer)
+    canon = canonical_code(code, k)
+    assert canon == min(code, revcomp_code(code, k))
+
+
+@given(dna, ks)
+def test_kmer_array_window_count(seq, k):
+    arr = kmer_array(seq, k)
+    expected = max(0, len(seq) - k + 1)
+    assert arr.size == expected
+
+
+@given(dna, ks)
+def test_kmer_array_windows_decode_to_substrings(seq, k):
+    arr = kmer_array(seq, k)
+    for i, code in enumerate(arr.tolist()):
+        assert decode_kmer(int(code), k) == seq[i : i + k]
+
+
+@given(dna, st.integers(min_value=2, max_value=12))
+def test_canonical_kmers_strand_symmetric(seq, k):
+    fwd = sorted(canonical_kmers(seq, k).tolist())
+    rev = sorted(canonical_kmers(reverse_complement(seq), k).tolist())
+    assert fwd == rev
+
+
+@given(dna, ks)
+def test_vectorised_revcomp_matches_scalar(seq, k):
+    arr = kmer_array(seq, k)
+    if arr.size == 0:
+        return
+    vec = revcomp_codes(arr, k)
+    for code, rc in zip(arr.tolist()[:16], vec.tolist()[:16]):
+        assert revcomp_code(int(code), k) == int(rc)
+
+
+@given(st.text(alphabet="ACGTN", min_size=1, max_size=120), st.integers(min_value=1, max_value=8))
+def test_n_windows_never_encoded(seq, k):
+    arr = kmer_array(seq, k)
+    # Every produced window must decode to an N-free substring of seq.
+    decoded = {decode_kmer(int(c), k) for c in arr.tolist()}
+    for d in decoded:
+        assert "N" not in d
+        assert d in seq

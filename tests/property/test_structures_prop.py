@@ -1,0 +1,96 @@
+"""Property-based tests for union-find, FASTA round-trips, SW and packing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.datatypes import pack_int_pairs, pack_strings, unpack_int_pairs, unpack_strings
+from repro.seq.fasta import parse_fasta
+from repro.seq.pyfasta import plan_split
+from repro.seq.records import SeqRecord
+from repro.trinity.chrysalis.components import build_components
+from repro.validation.smith_waterman import sw_align, sw_score
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)), max_size=60),
+)
+def test_components_partition_and_canonical(n, raw_pairs):
+    pairs = [(a % n, b % n) for a, b in raw_pairs]
+    comps = build_components(n, pairs)
+    members = sorted(m for c in comps for m in c.members)
+    assert members == list(range(n))  # exact partition
+    for c in comps:
+        assert c.id == min(c.members)
+    # order-invariance
+    assert build_components(n, list(reversed(pairs))) == comps
+
+
+@given(st.lists(st.tuples(st.text(alphabet="abcXYZ09", min_size=1, max_size=8), dna), max_size=10))
+def test_fasta_write_parse_roundtrip(items):
+    # unique names
+    records = [SeqRecord(f"{name}_{i}", seq) for i, (name, seq) in enumerate(items)]
+    lines = []
+    for r in records:
+        lines.append(f">{r.header}")
+        lines.append(r.seq)
+    assert list(parse_fasta(lines)) == records
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), max_size=64), st.integers(1, 16))
+def test_plan_split_is_partition(lengths, pieces):
+    plan = plan_split(lengths, pieces)
+    assert sorted(i for p in plan for i in p) == list(range(len(lengths)))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=64))
+def test_plan_split_lpt_bound(lengths):
+    """LPT guarantee: max load <= mean + max item."""
+    pieces = 4
+    plan = plan_split(lengths, pieces)
+    loads = [sum(lengths[i] for i in p) for p in plan]
+    assert max(loads) <= sum(lengths) / pieces + max(lengths)
+
+
+@given(st.lists(st.text(alphabet="ACGT", max_size=30), max_size=20))
+def test_pack_strings_roundtrip(strings):
+    payload, lengths = pack_strings(strings)
+    assert unpack_strings(payload, lengths) == strings
+
+
+@given(st.lists(st.tuples(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9)), max_size=50))
+def test_pack_pairs_roundtrip(pairs):
+    assert unpack_int_pairs(pack_int_pairs(pairs)) == pairs
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna, dna)
+def test_sw_symmetry_of_score(a, b):
+    assert sw_score(a, b) == sw_score(b, a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna)
+def test_sw_self_alignment_perfect(seq):
+    aln = sw_align(seq, seq)
+    assert aln.identity == 1.0
+    assert aln.query_span == (0, len(seq))
+
+
+@settings(max_examples=40, deadline=None)
+@given(dna, dna)
+def test_sw_align_score_matches_score_only(a, b):
+    assert sw_align(a, b).score == sw_score(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(dna, st.integers(0, 3))
+def test_sw_substring_full_coverage(seq, offset):
+    if offset >= len(seq):
+        return
+    sub = seq[offset:]
+    aln = sw_align(sub, seq)
+    assert aln.query_coverage(len(sub)) == 1.0
+    assert aln.identity == 1.0

@@ -1,0 +1,73 @@
+"""API-surface tests: public exports exist, errors form one hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_pipeline_exported(self):
+        assert hasattr(repro, "TrinityPipeline")
+        assert hasattr(repro, "TrinityConfig")
+
+
+PACKAGES = [
+    "repro.seq",
+    "repro.simdata",
+    "repro.trinity",
+    "repro.trinity.chrysalis",
+    "repro.mpi",
+    "repro.openmp",
+    "repro.cluster",
+    "repro.parallel",
+    "repro.monitor",
+    "repro.validation",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{package}.__all__ lists missing {name}"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PipelineError("x")
+
+    def test_distinct_categories(self):
+        assert not issubclass(errors.SequenceError, errors.PipelineError)
+        assert issubclass(errors.FastaFormatError, errors.SequenceError)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_packages_documented(self, package):
+        mod = importlib.import_module(package)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40
+
+    def test_public_classes_documented(self):
+        from repro.trinity import TrinityPipeline
+        from repro.parallel import ParallelTrinityDriver
+        from repro.mpi import SimComm
+
+        for cls in (TrinityPipeline, ParallelTrinityDriver, SimComm):
+            assert cls.__doc__
+            for name, member in vars(cls).items():
+                if callable(member) and not name.startswith("_"):
+                    assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"

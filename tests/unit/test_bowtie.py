@@ -1,0 +1,143 @@
+"""Unit tests for the Bowtie-like aligner and scaffold-pair extraction."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import Contig, SeqRecord
+from repro.seq.sam import FLAG_REVERSE
+from repro.trinity.bowtie import (
+    BowtieConfig,
+    BowtieIndex,
+    align_read,
+    align_read_detail,
+    bowtie_align,
+    scaffold_pairs_from_sam,
+)
+
+C1 = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCATTTGGCCAATGGCAT"
+C2 = "TTGACCGTAGGCTAACCGTTAGGCCTATGCGATCAGGCTTATTACCGGCAG"
+
+
+@pytest.fixture
+def index():
+    return BowtieIndex([Contig("c1", C1), Contig("c2", C2)], BowtieConfig(seed_len=12))
+
+
+class TestAlignment:
+    def test_exact_forward(self, index):
+        rec = align_read(SeqRecord("r", C1[5:35]), index)
+        assert rec.rname == "c1"
+        assert rec.pos == 6  # 1-based
+        assert rec.nm == 0
+        assert not rec.is_reverse
+
+    def test_exact_reverse(self, index):
+        rec = align_read(SeqRecord("r", reverse_complement(C2[10:40])), index)
+        assert rec.rname == "c2"
+        assert rec.pos == 11
+        assert rec.flag & FLAG_REVERSE
+
+    def test_mismatches_tolerated(self, index):
+        read = list(C1[5:35])
+        read[10] = "A" if read[10] != "A" else "C"
+        rec = align_read(SeqRecord("r", "".join(read)), index)
+        assert rec.rname == "c1"
+        assert rec.nm == 1
+
+    def test_too_many_mismatches_unmapped(self, index):
+        read = list(C1[0:30])
+        for i in (14, 17, 20, 23):  # 4 > max_mismatches=3, away from seeds
+            read[i] = "A" if read[i] != "A" else "C"
+        rec = align_read(SeqRecord("r", "".join(read)), index)
+        # Either unmapped or aligned with nm <= 3 via another seed; must not
+        # report an alignment with more than max_mismatches.
+        assert rec.is_unmapped or rec.nm <= 3
+
+    def test_unrelated_read_unmapped(self, index):
+        rec = align_read(SeqRecord("r", "A" * 30), index)
+        assert rec.is_unmapped
+        assert rec.rname == "*"
+
+    def test_read_shorter_than_seed_unmapped(self, index):
+        rec = align_read(SeqRecord("r", "ACGT"), index)
+        assert rec.is_unmapped
+
+    def test_detail_exposes_orientations(self, index):
+        fwd, rev = align_read_detail(SeqRecord("r", C1[5:35]), index)
+        assert fwd is not None and fwd[2] == 0
+        assert rev is None or rev[2] > 0
+
+    def test_bowtie_align_batch(self):
+        reads = [SeqRecord("a", C1[0:30]), SeqRecord("b", C2[0:30])]
+        records = bowtie_align(reads, [Contig("c1", C1), Contig("c2", C2)], BowtieConfig(seed_len=12))
+        assert [r.rname for r in records] == ["c1", "c2"]
+
+    def test_config_validation(self):
+        with pytest.raises(PipelineError):
+            BowtieConfig(seed_len=4)
+        with pytest.raises(PipelineError):
+            BowtieConfig(max_mismatches=-1)
+
+    def test_header_lists_contigs(self, index):
+        header = index.header()
+        assert any("SN:c1" in h for h in header)
+        assert any("SN:c2" in h for h in header)
+
+
+class TestScaffoldPairs:
+    def _sam(self, qname, rname, pos, seq="ACGTACGTAC"):
+        from repro.seq.sam import SamRecord
+
+        return SamRecord(qname, 0, rname, pos, 255, f"{len(seq)}M", seq)
+
+    def test_spanning_pairs_detected(self):
+        records = []
+        for i in range(2):  # two supporting pairs (min_support=2)
+            records.append(self._sam(f"p{i}/1", "c1", 40))
+            records.append(self._sam(f"p{i}/2", "c2", 1))
+        pairs = scaffold_pairs_from_sam(
+            records,
+            {"c1": 0, "c2": 1},
+            end_window=20,
+            contig_lengths={"c1": len(C1), "c2": len(C2)},
+        )
+        assert pairs == [(0, 1)]
+
+    def test_single_support_ignored(self):
+        records = [self._sam("p0/1", "c1", 40), self._sam("p0/2", "c2", 1)]
+        pairs = scaffold_pairs_from_sam(
+            records,
+            {"c1": 0, "c2": 1},
+            end_window=20,
+            contig_lengths={"c1": len(C1), "c2": len(C2)},
+        )
+        assert pairs == []
+
+    def test_same_contig_pairs_ignored(self):
+        records = []
+        for i in range(3):
+            records.append(self._sam(f"p{i}/1", "c1", 1))
+            records.append(self._sam(f"p{i}/2", "c1", 30))
+        assert scaffold_pairs_from_sam(records, {"c1": 0}, contig_lengths={"c1": len(C1)}) == []
+
+    def test_mid_contig_mates_ignored(self):
+        # Mates far from both contig ends do not scaffold.
+        long1, long2 = "A" * 2000, "C" * 2000
+        records = []
+        for i in range(3):
+            records.append(self._sam(f"p{i}/1", "c1", 900))
+            records.append(self._sam(f"p{i}/2", "c2", 900))
+        pairs = scaffold_pairs_from_sam(
+            records,
+            {"c1": 0, "c2": 1},
+            end_window=300,
+            contig_lengths={"c1": 2000, "c2": 2000},
+        )
+        assert pairs == []
+
+    def test_unmapped_records_skipped(self):
+        from repro.seq.sam import FLAG_UNMAPPED, SamRecord
+
+        records = [SamRecord("p0/1", FLAG_UNMAPPED, "*", 0, 0, "*", "ACGT")]
+        assert scaffold_pairs_from_sam(records, {}, contig_lengths={}) == []

@@ -1,0 +1,104 @@
+"""Unit tests for Butterfly transcript reconstruction."""
+
+import pytest
+
+from repro.trinity.butterfly import (
+    ButterflyConfig,
+    _dedup_contained,
+    butterfly_assemble,
+    butterfly_component,
+)
+from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
+
+SRC = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCAT"
+
+
+class TestLinearComponent:
+    def test_single_path_reconstructed(self):
+        g = fasta_to_debruijn([SRC], k=9)
+        out = butterfly_component(0, g, ButterflyConfig())
+        assert [t.seq for t in out] == [SRC]
+
+    def test_transcript_metadata(self):
+        g = fasta_to_debruijn([SRC], k=9)
+        (t,) = butterfly_component(7, g, ButterflyConfig())
+        assert t.component == 7
+        assert t.name == "comp7_seq0"
+
+    def test_min_length_filter(self):
+        g = fasta_to_debruijn(["ACGTACGTA"], k=4)
+        out = butterfly_component(0, g, ButterflyConfig(min_transcript_length=100))
+        assert out == []
+
+
+class TestIsoforms:
+    def _two_isoform_graph(self):
+        # Shared prefix/suffix with alternative middles (exon skipping).
+        prefix = "ATCGGATTACAG"
+        mid = "TCCGGTTAACGA"
+        suffix = "GCTTGGCATGCA"
+        iso1 = prefix + mid + suffix
+        iso2 = prefix + suffix
+        g = DeBruijnGraph(k=7)
+        g.add_sequence(iso1, weight=5)
+        g.add_sequence(iso2, weight=5)
+        return g, iso1, iso2
+
+    def test_both_isoforms_enumerated(self):
+        g, iso1, iso2 = self._two_isoform_graph()
+        out = butterfly_component(0, g, ButterflyConfig())
+        seqs = {t.seq for t in out}
+        assert iso1 in seqs
+        assert iso2 in seqs
+
+    def test_weak_branch_pruned(self):
+        g, iso1, iso2 = self._two_isoform_graph()
+        # Make the skip path's support negligible.
+        g.reweight(lambda u, v, w: 0.1 if v == iso2[len("ATCGGATTACAG")- 6 : len("ATCGGATTACAG")] else w)
+        out = butterfly_component(0, g, ButterflyConfig(min_edge_fraction=0.3))
+        seqs = {t.seq for t in out}
+        assert iso1 in seqs
+
+    def test_max_paths_cap(self):
+        g, _i1, _i2 = self._two_isoform_graph()
+        out = butterfly_component(0, g, ButterflyConfig(max_paths_per_component=1))
+        assert len(out) == 1
+
+
+class TestCyclicFallback:
+    def test_cyclic_graph_yields_unitigs(self):
+        g = DeBruijnGraph(k=4)
+        g.add_sequence("ACGTACGTACGT")  # cycle: no sources
+        assert g.sources() == []
+        out = butterfly_component(0, g, ButterflyConfig(min_transcript_length=1))
+        assert isinstance(out, list)
+
+
+class TestDedup:
+    def test_contained_removed(self):
+        assert _dedup_contained(["ACGTACGT", "CGTA"]) == ["ACGTACGT"]
+
+    def test_distinct_kept(self):
+        out = _dedup_contained(["ACGTAAAA", "TTTTACGT"])
+        assert sorted(out) == ["ACGTAAAA", "TTTTACGT"]
+
+    def test_duplicates_collapsed(self):
+        assert _dedup_contained(["ACGT", "ACGT"]) == ["ACGT"]
+
+
+class TestAssemble:
+    def test_component_order_deterministic(self):
+        g1 = fasta_to_debruijn([SRC], k=9)
+        g2 = fasta_to_debruijn([SRC[::-1].translate(str.maketrans("ACGT", "TGCA"))], k=9)
+        out = butterfly_assemble({5: g1, 2: g2}, ButterflyConfig())
+        comps = [t.component for t in out]
+        assert comps == sorted(comps)
+
+    def test_seed_perturbs_branch_order_not_validity(self):
+        prefix, mid, suffix = "ATCGGATTACAG", "TCCGGTTAACGA", "GCTTGGCATGCA"
+        g = DeBruijnGraph(k=7)
+        g.add_sequence(prefix + mid + suffix, weight=5)
+        g.add_sequence(prefix + suffix, weight=5)
+        a = butterfly_component(0, g, ButterflyConfig(seed=1))
+        b = butterfly_component(0, g, ButterflyConfig(seed=2))
+        assert {t.seq for t in a} == {t.seq for t in b}  # same full set here

@@ -1,0 +1,102 @@
+"""Unit tests for the chunked round-robin distribution (paper Fig 3)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.parallel.chunks import (
+    chunk_ranges,
+    chunks_for_rank,
+    default_chunk_size,
+    n_chunks,
+    rank_items,
+    static_block_ranges,
+)
+
+
+class TestChunkRanges:
+    def test_exact_division(self):
+        assert chunk_ranges(6, 2) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_final_partial_chunk_clipped(self):
+        # The paper's caveat: "the end index of the inner thread loop
+        # might have to be changed depending on how many ... are left".
+        assert chunk_ranges(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 5) == []
+
+    def test_chunk_bigger_than_items(self):
+        assert chunk_ranges(3, 10) == [(0, 3)]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ScheduleError):
+            chunk_ranges(5, 0)
+
+    def test_n_chunks(self):
+        assert n_chunks(10, 3) == 4
+        assert n_chunks(9, 3) == 3
+
+
+class TestRoundRobin:
+    def test_paper_figure3_dealing(self):
+        # 16 chunks over 4 ranks, as illustrated in Figure 3.
+        assert chunks_for_rank(16, 0, 4) == [0, 4, 8, 12]
+        assert chunks_for_rank(16, 3, 4) == [3, 7, 11, 15]
+
+    def test_all_chunks_covered_once(self):
+        total = 23
+        seen = []
+        for r in range(5):
+            seen.extend(chunks_for_rank(total, r, 5))
+        assert sorted(seen) == list(range(total))
+
+    def test_fewer_chunks_than_ranks(self):
+        assert chunks_for_rank(2, 3, 8) == []
+        assert chunks_for_rank(2, 1, 8) == [1]
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(ScheduleError):
+            chunks_for_rank(4, 4, 4)
+        with pytest.raises(ScheduleError):
+            chunks_for_rank(4, 0, 0)
+
+    def test_rank_items_partition(self):
+        n, cs, p = 103, 7, 4
+        seen = set()
+        for r in range(p):
+            for start, stop in rank_items(n, cs, r, p):
+                for i in range(start, stop):
+                    assert i not in seen
+                    seen.add(i)
+        assert seen == set(range(n))
+
+
+class TestDefaults:
+    def test_default_chunk_size_oversubscribes(self):
+        cs = default_chunk_size(1_100_000, 16, 16)
+        assert 1 <= cs <= 1_100_000 // (16 * 16)
+
+    def test_default_chunk_size_floor_one(self):
+        assert default_chunk_size(3, 16, 16) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ScheduleError):
+            default_chunk_size(10, 0, 16)
+
+
+class TestStaticBlocks:
+    def test_partition(self):
+        blocks = [static_block_ranges(10, r, 3) for r in range(3)]
+        assert blocks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_covers_everything(self):
+        n, p = 101, 7
+        covered = []
+        for r in range(p):
+            a, b = static_block_ranges(n, r, p)
+            covered.extend(range(a, b))
+        assert covered == list(range(n))
+
+    def test_bad_rank(self):
+        with pytest.raises(ScheduleError):
+            static_block_ranges(10, 5, 5)

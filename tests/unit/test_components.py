@@ -1,0 +1,90 @@
+"""Unit tests for union-find clustering and components."""
+
+import pytest
+
+from repro.trinity.chrysalis.components import (
+    Component,
+    UnionFind,
+    build_components,
+    component_of_map,
+)
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(3)
+        assert uf.find(0) != uf.find(1)
+
+    def test_union_merges(self):
+        uf = UnionFind(3)
+        assert uf.union(0, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(0, 1)
+
+    def test_transitivity(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_groups_canonical_keys(self):
+        uf = UnionFind(5)
+        uf.union(4, 2)
+        uf.union(2, 3)
+        groups = uf.groups()
+        assert groups[2] == [2, 3, 4]
+        assert groups[0] == [0]
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+
+class TestComponent:
+    def test_id_must_be_min(self):
+        with pytest.raises(ValueError):
+            Component(id=2, members=(1, 2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Component(id=0, members=())
+
+    def test_len(self):
+        assert len(Component(id=1, members=(1, 2, 3))) == 3
+
+
+class TestBuildComponents:
+    def test_singletons_kept(self):
+        comps = build_components(3, [])
+        assert [c.id for c in comps] == [0, 1, 2]
+
+    def test_pairs_merge(self):
+        comps = build_components(4, [(0, 2), (2, 3)])
+        assert [c.members for c in comps] == [(0, 2, 3), (1,)]
+
+    def test_order_invariant(self):
+        pairs_a = [(0, 1), (2, 3), (1, 2)]
+        pairs_b = [(1, 2), (0, 1), (2, 3)]
+        assert build_components(4, pairs_a) == build_components(4, pairs_b)
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(ValueError):
+            build_components(2, [(0, 5)])
+
+    def test_component_of_map(self):
+        comps = build_components(4, [(1, 3)])
+        table = component_of_map(comps, 4)
+        assert table == [0, 1, 2, 1]
+
+    def test_component_of_map_requires_cover(self):
+        comps = [Component(id=0, members=(0,))]
+        with pytest.raises(ValueError):
+            component_of_map(comps, 2)

@@ -1,0 +1,79 @@
+"""Unit tests for empirical cost measurement and model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.empirical import (
+    AffineFit,
+    KernelCostSample,
+    fit_affine,
+    fit_power_law,
+    measure_gff_item_costs,
+)
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig
+
+
+class TestFits:
+    def test_power_law_recovers_exponent(self):
+        lengths = np.linspace(100, 5000, 40)
+        costs = 3e-7 * lengths**1.5
+        fit = fit_power_law(lengths, costs)
+        assert fit.alpha == pytest.approx(1.5, abs=0.01)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-6)
+
+    def test_affine_recovers_coefficients(self):
+        lengths = np.linspace(100, 5000, 40)
+        costs = 2e-5 + 4e-7 * lengths
+        fit = fit_affine(lengths, costs)
+        assert fit.c0 == pytest.approx(2e-5, rel=0.05)
+        assert fit.c1 == pytest.approx(4e-7, rel=0.05)
+        assert fit.r_squared > 0.999
+
+    def test_overhead_fraction(self):
+        fit = AffineFit(c0=1.0, c1=1.0, r_squared=1.0)
+        assert fit.overhead_fraction(1.0) == pytest.approx(0.5)
+        assert fit.overhead_fraction(9.0) == pytest.approx(0.1)
+
+    def test_affine_dominates_power_law_at_small_lengths(self):
+        # Constant overhead makes a naive power law report alpha < 1.
+        lengths = np.linspace(100, 900, 30)
+        costs = 5e-5 + 4e-7 * lengths
+        fit = fit_power_law(lengths, costs)
+        assert fit.alpha < 0.9
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_affine([1, 2], [1, 2])
+
+
+class TestMeasurement:
+    def test_measures_every_contig(self):
+        src = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCATTTGGCCAATGGCAT"
+        contigs = [Contig("a", src), Contig("b", src[10:] + "ACGTTGCA")]
+        reads = [SeqRecord(f"r{i}", src) for i in range(3)]
+        sample = measure_gff_item_costs(contigs, reads, GraphFromFastaConfig(k=8), repeats=2)
+        assert sample.lengths.shape == (2,)
+        assert (sample.loop1_s >= 0).all()
+        assert np.isfinite(sample.loop1_s).all()
+        assert np.isfinite(sample.loop2_s).all()
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure_gff_item_costs([], [], GraphFromFastaConfig(k=8), repeats=0)
+
+    def test_sample_alignment_checked(self):
+        with pytest.raises(ValueError):
+            KernelCostSample(np.zeros(2), np.zeros(3), np.zeros(2))
+
+
+class TestCalibrationExperiment:
+    def test_runs_and_holds(self):
+        from repro.experiments import run_experiment
+
+        res = run_experiment("calibration-check", dataset="smoke")
+        assert res.n_contigs > 0
+        assert res.loop1_affine.c1 > 0
+        assert "Calibration check" in res.render()

@@ -1,0 +1,66 @@
+"""Unit tests: every experiment's render() is complete and well-formed.
+
+Render output is the harness's user-facing deliverable (the rows/series
+each paper figure reports), so malformed tables are product bugs.
+"""
+
+import pytest
+
+from repro.cluster.workload import build_workload
+from repro.experiments import paper, run_experiment
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(seed=0)
+
+
+class TestScalingRenders:
+    def test_fig07_contains_all_node_counts(self, workload):
+        out = run_experiment("fig07", workload=workload).render()
+        for nodes in paper.GFF_SWEEP_NODES:
+            assert f"\n{nodes} " in out or f"\n{nodes}\t" in out or f"\n{nodes}  " in out
+        assert "paper" in out
+
+    def test_fig08_percentages_sum(self, workload):
+        res = run_experiment("fig08", workload=workload)
+        for p in res.points:
+            loop1 = 100.0 * p.loop1_max / p.total_s
+            loop2 = 100.0 * p.loop2_max / p.total_s
+            nonpar = 100.0 - 100.0 * p.loops_share
+            assert loop1 + loop2 + nonpar == pytest.approx(100.0, abs=0.01)
+
+    def test_fig09_rows(self, workload):
+        out = run_experiment("fig09", workload=workload).render()
+        assert "kmer-assign" in out
+        assert "concat" in out
+
+    def test_fig10_rows(self):
+        out = run_experiment("fig10").render()
+        assert "PyFasta split" in out
+        assert "SAM merge" in out
+
+    def test_fig02_mentions_paper_hours(self):
+        out = run_experiment("fig02").render()
+        assert "~60" in out
+        assert ">50" in out
+
+    def test_fig11_compares_to_serial(self):
+        out = run_experiment("fig11").render()
+        assert "serial (Fig 2)" in out
+
+    def test_headline_all_claims_present(self):
+        out = run_experiment("headline").render()
+        for phrase in ["GraphFromFasta", "ReadsToTranscripts", "Bowtie", "Chrysalis"]:
+            assert phrase in out
+
+
+class TestAblationRenders:
+    def test_abl_dsk(self):
+        out = run_experiment("abl-dsk", dataset="smoke").render()
+        assert "jellyfish" in out
+        assert "identical" in out
+
+    def test_fw_renders_mention_paper_quotes(self):
+        out = run_experiment("fw-dynamic", nodes_list=(64,)).render()
+        assert "dynamic partitioning" in out

@@ -1,0 +1,93 @@
+"""Unit tests for FASTA reading/writing/concatenation."""
+
+import pytest
+
+from repro.errors import FastaFormatError
+from repro.seq.fasta import concatenate_fasta, iter_fasta, parse_fasta, read_fasta, write_fasta
+from repro.seq.records import SeqRecord
+
+
+class TestParse:
+    def test_single_record(self):
+        recs = list(parse_fasta([">a desc here", "ACGT"]))
+        assert recs == [SeqRecord("a", "ACGT", "desc here")]
+
+    def test_multiline_sequence(self):
+        recs = list(parse_fasta([">a", "ACGT", "TTGG"]))
+        assert recs[0].seq == "ACGTTTGG"
+
+    def test_multiple_records(self):
+        recs = list(parse_fasta([">a", "AC", ">b", "GT"]))
+        assert [r.name for r in recs] == ["a", "b"]
+
+    def test_blank_lines_skipped(self):
+        recs = list(parse_fasta([">a", "", "AC", "", ">b", "GT"]))
+        assert len(recs) == 2
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            list(parse_fasta([">", "ACGT"]))
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            list(parse_fasta(["ACGT"]))
+
+    def test_record_without_sequence_rejected(self):
+        with pytest.raises(FastaFormatError):
+            list(parse_fasta([">a", ">b", "ACGT"]))
+
+    def test_whitespace_stripped(self):
+        recs = list(parse_fasta([">a", "  ACGT  "]))
+        assert recs[0].seq == "ACGT"
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        records = [SeqRecord(f"r{i}", "ACGT" * (i + 1), f"n={i}") for i in range(5)]
+        path = tmp_path / "x.fasta"
+        assert write_fasta(path, records) == 5
+        back = read_fasta(path)
+        assert back == records
+
+    def test_line_wrapping(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(path, [SeqRecord("a", "A" * 130)], width=60)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">a"
+        assert [len(l) for l in lines[1:]] == [60, 60, 10]
+
+    def test_bad_width_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_fasta(tmp_path / "x.fasta", [], width=0)
+
+    def test_iter_streams(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        write_fasta(path, [SeqRecord("a", "ACGT"), SeqRecord("b", "GGCC")])
+        it = iter_fasta(path)
+        assert next(it).name == "a"
+        assert next(it).name == "b"
+
+
+class TestConcatenate:
+    def test_concat_equals_combined(self, tmp_path):
+        a = [SeqRecord("a", "ACGT")]
+        b = [SeqRecord("b", "GGTT")]
+        pa, pb, out = tmp_path / "a.fa", tmp_path / "b.fa", tmp_path / "out.fa"
+        write_fasta(pa, a)
+        write_fasta(pb, b)
+        concatenate_fasta(out, [pa, pb])
+        assert read_fasta(out) == a + b
+
+    def test_concat_handles_missing_trailing_newline(self, tmp_path):
+        pa = tmp_path / "a.fa"
+        pa.write_bytes(b">a\nACGT")  # no trailing newline
+        pb = tmp_path / "b.fa"
+        write_fasta(pb, [SeqRecord("b", "GG")])
+        out = tmp_path / "out.fa"
+        concatenate_fasta(out, [pa, pb])
+        assert [r.name for r in read_fasta(out)] == ["a", "b"]
+
+    def test_concat_empty_list(self, tmp_path):
+        out = tmp_path / "out.fa"
+        assert concatenate_fasta(out, []) == 0
+        assert out.read_bytes() == b""

@@ -1,0 +1,33 @@
+"""Unit tests for the Figure 1 extension trace experiment."""
+
+from repro.experiments import run_experiment
+from repro.experiments.fig01_extension import TRUE_SEQ
+
+
+class TestFig01:
+    def test_reconstructs_true_path(self):
+        res = run_experiment("fig01")
+        assert res.reconstructed_truth
+        assert res.contig == TRUE_SEQ
+
+    def test_decoy_branch_visible_and_rejected(self):
+        res = run_experiment("fig01")
+        branch_steps = [s for s in res.steps if len(s.candidates) > 1]
+        assert branch_steps, "the decoy read must create a visible branch"
+        decoy = branch_steps[0]
+        counts = dict(decoy.candidates)
+        assert decoy.chosen is not None
+        assert counts[decoy.chosen] == max(counts.values())
+
+    def test_trace_ends_with_stop(self):
+        res = run_experiment("fig01")
+        assert res.steps[-1].chosen is None
+
+    def test_render_mentions_figure(self):
+        assert "Figure 1" in run_experiment("fig01").render()
+
+    def test_deterministic(self):
+        a = run_experiment("fig01")
+        b = run_experiment("fig01")
+        assert a.contig == b.contig
+        assert [s.chosen for s in a.steps] == [s.chosen for s in b.steps]

@@ -1,0 +1,179 @@
+"""Unit tests for GraphFromFasta welding (loops 1 and 2)."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.graph_from_fasta import (
+    GraphFromFastaConfig,
+    build_kmer_to_contigs,
+    build_weld_index,
+    build_weldmer_index,
+    canonical_weldmer,
+    graph_from_fasta,
+    harvest_welds_for_contig,
+    shared_seed_codes,
+)
+
+WELD_K = 8
+
+# A transcript with distinct k-mers throughout (no repeats at k=8).
+SRC = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCATTTGGCCAATGGCATCCAGTATGC"
+
+
+def make_reads(*seqs, copies=2):
+    return [
+        SeqRecord(f"r{i}_{j}", s) for i, s in enumerate(seqs) for j in range(copies)
+    ]
+
+
+def split_contigs(src, cut=35, overlap=WELD_K):
+    """Two contigs overlapping by exactly one weld k-mer."""
+    a = Contig("A", src[:cut])
+    b = Contig("B", src[cut - overlap :])
+    return [a, b]
+
+
+class TestConfig:
+    def test_odd_weld_k_rejected(self):
+        with pytest.raises(PipelineError):
+            GraphFromFastaConfig(k=7)
+
+    def test_tiny_k_rejected(self):
+        with pytest.raises(PipelineError):
+            GraphFromFastaConfig(k=2)
+
+    def test_window_size(self):
+        assert GraphFromFastaConfig(k=8).window == 16
+
+
+class TestWelding:
+    def test_overlapping_contigs_weld(self):
+        contigs = split_contigs(SRC)
+        result = graph_from_fasta(contigs, make_reads(SRC), GraphFromFastaConfig(k=WELD_K))
+        assert result.pairs == [(0, 1)]
+        assert len(result.components) == 1
+        assert result.components[0].members == (0, 1)
+
+    def test_reverse_complement_contig_welds(self):
+        a, b = split_contigs(SRC)
+        b_rc = Contig("B", reverse_complement(b.seq))
+        result = graph_from_fasta([a, b_rc], make_reads(SRC), GraphFromFastaConfig(k=WELD_K))
+        assert result.pairs == [(0, 1)]
+
+    def test_unrelated_contigs_stay_separate(self):
+        other = "TTGACCGTAGGCTAACCGTTAGGCCTATGCGATCAGGCTTATTACCGGCAGGTACCTTAG"
+        contigs = [Contig("A", SRC), Contig("B", other)]
+        result = graph_from_fasta(contigs, make_reads(SRC, other), GraphFromFastaConfig(k=WELD_K))
+        assert result.pairs == []
+        assert len(result.components) == 2
+
+    def test_shared_repeat_without_read_support_does_not_weld(self):
+        # Two transcripts sharing an 8-mer "repeat", but no read ever spans
+        # a chimeric junction between them.
+        repeat = "ACGTTGCA"
+        s1 = "ATCGGATTACAGTCC" + repeat + "GGTTAACGAGCTTGG"
+        s2 = "TTGACCGTAGGCTAA" + repeat + "CCTATGCGATCAGGC"
+        contigs = [Contig("A", s1), Contig("B", s2)]
+        result = graph_from_fasta(contigs, make_reads(s1, s2), GraphFromFastaConfig(k=WELD_K))
+        assert result.pairs == []
+
+    def test_chimeric_junction_with_read_support_welds(self):
+        # Same repeat, but now "reads" spanning the chimeric junction
+        # exist, so the weld is supported.
+        repeat = "ACGTTGCA"
+        s1 = "ATCGGATTACAGTCC" + repeat + "GGTTAACGAGCTTGG"
+        s2 = "TTGACCGTAGGCTAA" + repeat + "CCTATGCGATCAGGC"
+        junction = s1[: 15 + len(repeat)] + s2[15 + len(repeat) :]
+        contigs = [Contig("A", s1), Contig("B", s2)]
+        result = graph_from_fasta(
+            contigs, make_reads(s1, s2, junction), GraphFromFastaConfig(k=WELD_K)
+        )
+        assert result.pairs == [(0, 1)]
+
+    def test_insufficient_read_support_blocks_weld(self):
+        contigs = split_contigs(SRC)
+        result = graph_from_fasta(
+            contigs, make_reads(SRC, copies=1), GraphFromFastaConfig(k=WELD_K)
+        )
+        assert result.pairs == []
+
+    def test_extra_pairs_merge_components(self):
+        other = "TTGACCGTAGGCTAACCGTTAGGCCTATGCGATCAGGCTTATTACCGGCAGGTACCTTAG"
+        contigs = [Contig("A", SRC), Contig("B", other)]
+        result = graph_from_fasta(
+            contigs,
+            make_reads(SRC, other),
+            GraphFromFastaConfig(k=WELD_K),
+            extra_pairs=[(1, 0)],
+        )
+        assert result.pairs == [(0, 1)]
+        assert len(result.components) == 1
+
+    def test_duplicate_pairs_deduplicated(self):
+        contigs = split_contigs(SRC)
+        result = graph_from_fasta(
+            contigs, make_reads(SRC, copies=4), GraphFromFastaConfig(k=WELD_K)
+        )
+        assert result.pairs == [(0, 1)]
+
+
+class TestKernels:
+    def test_kmer_map_contains_shared_seed(self):
+        contigs = split_contigs(SRC)
+        table = build_kmer_to_contigs(contigs, WELD_K)
+        shared = [code for code, members in table.items() if len(members) == 2]
+        assert len(shared) == 1  # exactly the one overlap k-mer
+
+    def test_harvest_only_shared_seeds(self):
+        contigs = split_contigs(SRC)
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        table = build_kmer_to_contigs(contigs, WELD_K)
+        welds_a = harvest_welds_for_contig(0, contigs[0], table, cfg)
+        assert len(welds_a) == 1
+        assert welds_a[0].owner == 0
+        assert welds_a[0].seed in contigs[0].seq
+
+    def test_weld_index_groups_by_seed(self):
+        contigs = split_contigs(SRC)
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        table = build_kmer_to_contigs(contigs, WELD_K)
+        welds = []
+        for i, c in enumerate(contigs):
+            welds.extend(harvest_welds_for_contig(i, c, table, cfg))
+        index = build_weld_index(welds)
+        assert len(index) == 1
+        (entries,) = index.values()
+        assert len(entries) == 2  # harvested from both owners
+
+    def test_weldmer_index_counts_occurrences(self):
+        contigs = split_contigs(SRC)
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        table = build_kmer_to_contigs(contigs, WELD_K)
+        shared = shared_seed_codes(table, cfg)
+        assert len(shared) == 1
+        index = build_weldmer_index(make_reads(SRC, copies=3), shared, cfg)
+        assert index
+        assert all(count == 3 for count in index.values())
+
+    def test_weldmer_index_empty_without_shared_seeds(self):
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        assert build_weldmer_index(make_reads(SRC), set(), cfg) == {}
+
+    def test_weldmer_index_strand_invariant(self):
+        contigs = split_contigs(SRC)
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        shared = shared_seed_codes(build_kmer_to_contigs(contigs, WELD_K), cfg)
+        fwd = build_weldmer_index(make_reads(SRC), shared, cfg)
+        rev = build_weldmer_index(make_reads(reverse_complement(SRC)), shared, cfg)
+        assert fwd == rev
+
+    def test_canonical_weldmer_strand_invariant(self):
+        w = SRC[:16]
+        assert canonical_weldmer(w) == canonical_weldmer(reverse_complement(w))
+
+    def test_short_contig_harvests_nothing(self):
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        welds = harvest_welds_for_contig(0, Contig("tiny", "ACG"), {}, cfg)
+        assert welds == []

@@ -1,0 +1,118 @@
+"""Unit tests for the Jellyfish k-mer counter and dump formats."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.kmers import encode_kmer
+from repro.seq.records import SeqRecord
+from repro.trinity.jellyfish import (
+    jellyfish_count,
+    jellyfish_dump,
+    jellyfish_load,
+    kmer_histogram,
+)
+
+
+def reads(*seqs):
+    return [SeqRecord(f"r{i}", s) for i, s in enumerate(seqs)]
+
+
+class TestCount:
+    def test_simple_counts(self):
+        counts = jellyfish_count(reads("AAAA"), k=3, canonical=False)
+        assert counts.get(encode_kmer("AAA")) == 2
+
+    def test_canonical_merges_strands(self):
+        counts = jellyfish_count(reads("AAA", "TTT"), k=3, canonical=True)
+        assert counts.get_kmer("AAA") == 2
+        assert counts.get_kmer("TTT") == 2  # same canonical key
+        assert len(counts) == 1
+
+    def test_non_canonical_keeps_strands(self):
+        counts = jellyfish_count(reads("AAA", "TTT"), k=3, canonical=False)
+        assert len(counts.counts) == 2
+
+    def test_strand_invariance_of_totals(self):
+        seq = "ACGGTAGCATTTGCGGCA"
+        fwd = jellyfish_count(reads(seq), k=5)
+        rev = jellyfish_count(reads(reverse_complement(seq)), k=5)
+        assert fwd.counts == rev.counts
+
+    def test_batching_boundary_does_not_merge_reads(self):
+        # With tiny batches, the N separator must prevent cross-read k-mers.
+        a = jellyfish_count(reads("ACGTAC", "GTACGT"), k=4, batch_bases=1)
+        b = jellyfish_count(reads("ACGTAC", "GTACGT"), k=4, batch_bases=10**9)
+        assert a.counts == b.counts
+
+    def test_total(self):
+        counts = jellyfish_count(reads("ACGTA"), k=3)
+        assert counts.total == 3
+
+    def test_get_kmer_length_checked(self):
+        counts = jellyfish_count(reads("ACGTA"), k=3)
+        with pytest.raises(SequenceError):
+            counts.get_kmer("ACGT")
+
+    def test_filtered(self):
+        counts = jellyfish_count(reads("AAAAA", "CCC"), k=3)
+        filtered = counts.filtered(2)
+        assert filtered.get_kmer("AAA") == 3
+        assert filtered.get_kmer("CCC") == 0
+
+    def test_filtered_noop_for_min_one(self):
+        counts = jellyfish_count(reads("ACGTA"), k=3)
+        assert counts.filtered(1) is counts
+
+    def test_memory_estimate_scales(self):
+        small = jellyfish_count(reads("ACGTA"), k=3)
+        big = jellyfish_count(reads("ACGTAGCTAGCATCAGTTAGCGA"), k=3)
+        assert big.memory_bytes() >= small.memory_bytes()
+
+
+class TestDump:
+    def test_roundtrip(self, tmp_path):
+        counts = jellyfish_count(reads("ACGTACGTAA", "GGGTTTACGA"), k=5)
+        path = tmp_path / "dump.fa"
+        n = jellyfish_dump(counts, path)
+        assert n == len(counts)
+        loaded = jellyfish_load(path)
+        assert loaded.k == 5
+        assert loaded.counts == counts.counts
+
+    def test_dump_format(self, tmp_path):
+        counts = jellyfish_count(reads("AAAA"), k=3, canonical=False)
+        path = tmp_path / "dump.fa"
+        jellyfish_dump(counts, path)
+        assert path.read_text() == ">2\nAAA\n"
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.fa"
+        path.write_text("")
+        with pytest.raises(SequenceError):
+            jellyfish_load(path)
+
+    def test_load_rejects_inconsistent_k(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text(">1\nAAA\n>1\nAAAA\n")
+        with pytest.raises(SequenceError):
+            jellyfish_load(path)
+
+    def test_load_rejects_non_numeric_header(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text(">x\nAAA\n")
+        with pytest.raises(SequenceError):
+            jellyfish_load(path)
+
+
+class TestHistogram:
+    def test_histogram(self):
+        counts = jellyfish_count(reads("AAAA", "CCC"), k=3, canonical=False)
+        hist = kmer_histogram(counts)
+        assert hist[1] == 1  # CCC seen once
+        assert hist[2] == 1  # AAA seen twice
+
+    def test_histogram_clips_to_max_bin(self):
+        counts = jellyfish_count(reads("A" * 100), k=3)
+        hist = kmer_histogram(counts, max_bin=10)
+        assert hist[10] == 1

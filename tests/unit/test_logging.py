@@ -1,0 +1,34 @@
+"""Tests for the pipeline's logging instrumentation."""
+
+import logging
+
+import pytest
+
+from repro.trinity import TrinityConfig, TrinityPipeline
+
+
+class TestPipelineLogging:
+    def test_stage_milestones_logged(self, smoke_reads, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.trinity.pipeline"):
+            TrinityPipeline(TrinityConfig(seed=1)).run(smoke_reads)
+        text = caplog.text
+        assert "trinity: " in text
+        assert "jellyfish: " in text
+        assert "inchworm: " in text
+        assert "graph_from_fasta: " in text
+        assert "butterfly: " in text
+
+    def test_quiet_above_info(self, smoke_reads, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.trinity.pipeline"):
+            TrinityPipeline(TrinityConfig(seed=1)).run(smoke_reads)
+        assert caplog.text == ""
+
+    def test_driver_logs_makespans(self, smoke_reads, caplog):
+        from repro.parallel import ParallelTrinityDriver
+        from repro.parallel.driver import ParallelTrinityConfig
+
+        with caplog.at_level(logging.INFO, logger="repro.parallel.driver"):
+            ParallelTrinityDriver(
+                ParallelTrinityConfig(trinity=TrinityConfig(seed=1), nprocs=2, nthreads=2)
+            ).run(smoke_reads)
+        assert "mpi stage makespans" in caplog.text

@@ -1,0 +1,99 @@
+"""Unit tests for the Collectl-equivalent monitor."""
+
+import pytest
+
+from repro.monitor.collectl import ResourceMonitor, StageSpan, Timeline
+from repro.monitor.report import render_stage_table, render_timeline
+
+
+class TestStageSpan:
+    def test_end(self):
+        span = StageSpan("x", 10.0, 5.0, 1.0)
+        assert span.end_s == 15.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpan("x", 0.0, -1.0, 1.0)
+
+    def test_negative_ram_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpan("x", 0.0, 1.0, -1.0)
+
+
+class TestTimeline:
+    def test_append_chains_start_times(self):
+        tl = Timeline()
+        tl.append("a", 10.0, 5.0)
+        span = tl.append("b", 20.0, 3.0)
+        assert span.start_s == 10.0
+        assert tl.total_s == 30.0
+
+    def test_peak_ram(self):
+        tl = Timeline()
+        tl.append("a", 1.0, 5.0)
+        tl.append("b", 1.0, 50.0)
+        assert tl.peak_ram_gb == 50.0
+
+    def test_duration_of_accumulates(self):
+        tl = Timeline()
+        tl.append("a", 1.0, 0.0)
+        tl.append("b", 2.0, 0.0)
+        tl.append("a", 3.0, 0.0)
+        assert tl.duration_of("a") == 4.0
+
+    def test_stages_in_first_seen_order(self):
+        tl = Timeline()
+        tl.append("b", 1.0, 0.0)
+        tl.append("a", 1.0, 0.0)
+        tl.append("b", 1.0, 0.0)
+        assert tl.stages() == ["b", "a"]
+
+    def test_sample_trace(self):
+        tl = Timeline()
+        tl.append("a", 10.0, 1.0)
+        tl.append("b", 10.0, 9.0)
+        samples = tl.sample(10)
+        assert len(samples) == 11
+        assert samples[0][1] == 1.0
+        assert samples[-1][1] == 9.0
+
+    def test_sample_empty(self):
+        assert Timeline().sample(10) == []
+
+
+class TestResourceMonitor:
+    def test_stage_records_duration_and_ram(self):
+        mon = ResourceMonitor()
+        with mon.stage("work", ram_bytes=2_000_000_000):
+            pass
+        (span,) = mon.timeline.spans
+        assert span.stage == "work"
+        assert span.ram_gb == pytest.approx(2.0)
+        assert span.duration_s >= 0
+
+    def test_ram_updated_inside_block(self):
+        mon = ResourceMonitor()
+        with mon.stage("work") as st:
+            st.ram_bytes = 1_000_000_000
+        assert mon.timeline.spans[0].ram_gb == pytest.approx(1.0)
+
+
+class TestReport:
+    def _timeline(self):
+        tl = Timeline()
+        tl.append("jellyfish", 9000.0, 110.0)
+        tl.append("chrysalis", 180_000.0, 60.0)
+        return tl
+
+    def test_stage_table(self):
+        out = render_stage_table(self._timeline())
+        assert "jellyfish" in out
+        assert "TOTAL" in out
+
+    def test_timeline_bars_scale(self):
+        out = render_timeline(self._timeline())
+        lines = out.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_empty_timeline(self):
+        assert render_timeline(Timeline()) == "(empty timeline)"

@@ -1,0 +1,92 @@
+"""Unit tests for scatter/alltoall and monitor serialisation."""
+
+import pytest
+
+from repro.errors import CommError
+from repro.monitor import (
+    Timeline,
+    timeline_from_json,
+    timeline_to_csv,
+    timeline_to_json,
+)
+from repro.mpi import mpirun
+from repro.validation.fasta_align import MatchCategories, identity_histogram
+
+
+class TestScatter:
+    def test_each_rank_gets_its_item(self):
+        def body(comm):
+            values = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        res = mpirun(body, 4)
+        assert res.returns == ["item0", "item1", "item2", "item3"]
+
+    def test_wrong_length_rejected(self):
+        def body(comm):
+            values = [1] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        with pytest.raises(CommError):
+            mpirun(body, 3)
+
+    def test_bad_root(self):
+        def body(comm):
+            return comm.scatter([1, 2], root=9)
+
+        with pytest.raises(CommError):
+            mpirun(body, 2)
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self):
+        def body(comm):
+            return comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
+
+        res = mpirun(body, 3)
+        assert res.returns[1] == ["0->1", "1->1", "2->1"]
+
+    def test_length_checked(self):
+        def body(comm):
+            return comm.alltoall([1])
+
+        with pytest.raises(CommError):
+            mpirun(body, 3)
+
+
+class TestTimelineSerialisation:
+    def _timeline(self):
+        tl = Timeline()
+        tl.append("a", 5.0, 1.5)
+        tl.append("b", 2.0, 3.0)
+        return tl
+
+    def test_json_roundtrip(self):
+        tl = self._timeline()
+        back = timeline_from_json(timeline_to_json(tl))
+        assert back.spans == tl.spans
+
+    def test_csv_header_and_rows(self):
+        csv = timeline_to_csv(self._timeline())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "stage,start_s,duration_s,ram_gb"
+        assert len(lines) == 3
+        assert lines[1].startswith("a,")
+
+
+class TestIdentityHistogram:
+    def test_bins_counts(self):
+        cats = MatchCategories(3, 0, 0, 3, 0, partial_identities=[0.05, 0.55, 0.95])
+        hist = identity_histogram(cats, bins=10)
+        assert sum(n for _lo, n in hist) == 3
+        assert hist[0] == (0.0, 1)
+        assert hist[9] == (0.9, 1)
+
+    def test_identity_one_clipped_to_last_bin(self):
+        cats = MatchCategories(1, 0, 0, 1, 0, partial_identities=[1.0])
+        hist = identity_histogram(cats, bins=4)
+        assert hist[-1][1] == 1
+
+    def test_bad_bins(self):
+        with pytest.raises(Exception):
+            identity_histogram(MatchCategories(0, 0, 0, 0, 0), bins=0)

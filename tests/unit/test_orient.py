@@ -1,0 +1,69 @@
+"""Unit tests for component strand orientation."""
+
+from repro.seq.alphabet import reverse_complement
+from repro.trinity.chrysalis.orient import best_orientation, directed_kmer_set, orient_component
+
+SRC = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCAT"
+
+
+class TestOrientComponent:
+    def test_empty(self):
+        assert orient_component([], 8) == []
+
+    def test_single_kept_as_is(self):
+        assert orient_component([SRC], 8) == [SRC]
+
+    def test_rc_member_flipped(self):
+        a = SRC[:25]
+        b = SRC[15:]  # overlaps a by 10 bases
+        out = orient_component([a, reverse_complement(b)], 8)
+        assert out == [a, b]
+
+    def test_forward_member_kept(self):
+        a = SRC[:25]
+        b = SRC[15:]
+        assert orient_component([a, b], 8) == [a, b]
+
+    def test_chain_orientation_propagates(self):
+        a = SRC[:20]
+        b = SRC[10:30]
+        c = SRC[22:]
+        out = orient_component([a, reverse_complement(b), reverse_complement(c)], 8)
+        assert out == [a, b, c]
+
+    def test_unrelated_member_defaults_forward(self):
+        other = "TTGACCGTAGGCTAACCGTTAGGCC"
+        out = orient_component([SRC, other], 8)
+        assert out == [SRC, other]
+
+    def test_deterministic(self):
+        a = SRC[:25]
+        b = reverse_complement(SRC[15:])
+        assert orient_component([a, b], 8) == orient_component([a, b], 8)
+
+
+class TestBestOrientation:
+    def test_forward_read(self):
+        nodes = {SRC[i : i + 7] for i in range(len(SRC) - 6)}
+        read = SRC[5:25]
+        assert best_orientation(read, nodes, 8) == read
+
+    def test_reverse_read_flipped(self):
+        nodes = {SRC[i : i + 7] for i in range(len(SRC) - 6)}
+        read = reverse_complement(SRC[5:25])
+        assert best_orientation(read, nodes, 8) == SRC[5:25]
+
+    def test_tie_keeps_forward(self):
+        read = "ACGTACGT"
+        assert best_orientation(read, set(), 4) == read
+
+
+class TestDirectedKmerSet:
+    def test_counts_distinct(self):
+        s = directed_kmer_set("AAAA", 2)
+        assert len(s) == 1
+
+    def test_strand_sensitive(self):
+        fwd = directed_kmer_set(SRC, 8)
+        rev = directed_kmer_set(reverse_complement(SRC), 8)
+        assert fwd != rev

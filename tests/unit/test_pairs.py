@@ -1,0 +1,122 @@
+"""Unit tests for Butterfly's paired-end reconciliation."""
+
+import pytest
+
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import SeqRecord, Transcript
+from repro.trinity.chrysalis.reads_to_transcripts import ReadAssignment
+from repro.trinity.pairs import (
+    component_pairs,
+    mate_groups,
+    pair_support,
+    reconcile_with_pairs,
+)
+
+ISO1 = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCATTTGGCCAATGG"
+ISO2 = "ATCGGATTACAGTCCGGTCATGCATTTGGCCAATGG"  # exon-skipped variant
+
+
+def assignment(idx, comp):
+    return ReadAssignment(idx, f"p{idx // 2}/{idx % 2 + 1}", comp, 5, 0, 10)
+
+
+class TestMateGroups:
+    def test_pairs_found(self):
+        reads = [SeqRecord("a/1", "AC"), SeqRecord("a/2", "GT"), SeqRecord("b/1", "TT")]
+        groups = mate_groups(reads)
+        assert groups == {"a": [0, 1]}
+
+    def test_unpaired_names_excluded(self):
+        reads = [SeqRecord("solo", "AC")]
+        assert mate_groups(reads) == {}
+
+
+class TestComponentPairs:
+    def test_both_mates_same_component(self):
+        reads = [SeqRecord("p0/1", ISO1[:20]), SeqRecord("p0/2", ISO1[-20:])]
+        assigns = [
+            ReadAssignment(0, "p0/1", 3, 5, 0, 10),
+            ReadAssignment(1, "p0/2", 3, 5, 0, 10),
+        ]
+        pairs = component_pairs(reads, assigns)
+        assert 3 in pairs and len(pairs[3]) == 1
+
+    def test_split_pairs_excluded(self):
+        reads = [SeqRecord("p0/1", "ACGTACGT"), SeqRecord("p0/2", "TTGGCCAA")]
+        assigns = [
+            ReadAssignment(0, "p0/1", 1, 5, 0, 8),
+            ReadAssignment(1, "p0/2", 2, 5, 0, 8),
+        ]
+        assert component_pairs(reads, assigns) == {}
+
+    def test_unassigned_excluded(self):
+        reads = [SeqRecord("p0/1", "ACGTACGT"), SeqRecord("p0/2", "TTGGCCAA")]
+        assigns = [
+            ReadAssignment(0, "p0/1", -1, 0, 0, 0),
+            ReadAssignment(1, "p0/2", -1, 0, 0, 0),
+        ]
+        assert component_pairs(reads, assigns) == {}
+
+
+class TestPairSupport:
+    def test_both_mates_contained(self):
+        pairs = [(ISO1[:15], ISO1[-15:])]
+        assert pair_support(ISO1, pairs) == 1
+
+    def test_rc_mate_counts(self):
+        pairs = [(ISO1[:15], reverse_complement(ISO1[-15:]))]
+        assert pair_support(ISO1, pairs) == 1
+
+    def test_one_mate_missing(self):
+        pairs = [(ISO1[:15], "AAAAAAAAAAAAAAA")]
+        assert pair_support(ISO1, pairs) == 0
+
+    def test_multiple_pairs(self):
+        pairs = [(ISO1[:12], ISO1[20:32]), (ISO1[5:17], ISO1[-12:])]
+        assert pair_support(ISO1, pairs) == 2
+
+
+class TestReconcile:
+    def _setup(self):
+        # Pair spanning ISO1's middle exon: supports ISO1, not ISO2.
+        left = ISO1[10:26]
+        right = ISO1[22:38]
+        reads = [SeqRecord("p0/1", left), SeqRecord("p0/2", right)]
+        assigns = [
+            ReadAssignment(0, "p0/1", 0, 8, 0, 16),
+            ReadAssignment(1, "p0/2", 0, 8, 0, 16),
+        ]
+        transcripts = [
+            Transcript("comp0_seq0", ISO1, component=0),
+            Transcript("comp0_seq1", ISO2, component=0),
+        ]
+        return transcripts, reads, assigns
+
+    def test_unsupported_isoform_dropped(self):
+        transcripts, reads, assigns = self._setup()
+        kept, stats = reconcile_with_pairs(transcripts, reads, assigns)
+        assert [t.seq for t in kept] == [ISO1]
+        assert stats.n_removed == 1
+        assert stats.n_components_filtered == 1
+
+    def test_component_without_pairs_untouched(self):
+        transcripts = [
+            Transcript("comp5_seq0", ISO1, component=5),
+            Transcript("comp5_seq1", ISO2, component=5),
+        ]
+        kept, stats = reconcile_with_pairs(transcripts, [], [])
+        assert len(kept) == 2
+        assert stats.n_removed == 0
+
+    def test_no_supported_candidate_keeps_all(self):
+        transcripts, reads, assigns = self._setup()
+        # Pair whose mates never co-occur in either candidate.
+        reads = [SeqRecord("p0/1", "A" * 16), SeqRecord("p0/2", "C" * 16)]
+        kept, stats = reconcile_with_pairs(transcripts, reads, assigns)
+        assert len(kept) == 2
+
+    def test_output_sorted_and_deterministic(self):
+        transcripts, reads, assigns = self._setup()
+        kept1, _ = reconcile_with_pairs(transcripts, reads, assigns)
+        kept2, _ = reconcile_with_pairs(list(reversed(transcripts)), reads, assigns)
+        assert [t.name for t in kept1] == [t.name for t in kept2]

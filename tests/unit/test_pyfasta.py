@@ -1,0 +1,124 @@
+"""Unit tests for the PyFasta-equivalent index and splitter."""
+
+import pytest
+
+from repro.errors import FastaFormatError
+from repro.seq.fasta import read_fasta, write_fasta
+from repro.seq.pyfasta import FastaIndex, plan_split, split_fasta
+from repro.seq.records import SeqRecord
+
+
+@pytest.fixture
+def fasta_file(tmp_path):
+    records = [SeqRecord(f"c{i}", "ACGT" * (i + 1)) for i in range(6)]
+    path = tmp_path / "contigs.fasta"
+    write_fasta(path, records)
+    return path, records
+
+
+class TestIndex:
+    def test_counts_records(self, fasta_file):
+        path, records = fasta_file
+        idx = FastaIndex(path)
+        assert len(idx) == len(records)
+
+    def test_lengths(self, fasta_file):
+        path, records = fasta_file
+        idx = FastaIndex(path)
+        for r in records:
+            assert idx.length_of(r.name) == len(r.seq)
+
+    def test_fetch_matches(self, fasta_file):
+        path, records = fasta_file
+        idx = FastaIndex(path)
+        for r in records:
+            assert idx.fetch(r.name).seq == r.seq
+
+    def test_contains(self, fasta_file):
+        path, _ = fasta_file
+        idx = FastaIndex(path)
+        assert "c0" in idx
+        assert "nope" not in idx
+
+    def test_total_bases(self, fasta_file):
+        path, records = fasta_file
+        assert FastaIndex(path).total_bases == sum(len(r.seq) for r in records)
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "dup.fasta"
+        path.write_text(">a\nACGT\n>a\nGGTT\n")
+        with pytest.raises(FastaFormatError):
+            FastaIndex(path)
+
+
+class TestIndexPersistence:
+    def test_save_load_roundtrip(self, fasta_file, tmp_path):
+        path, records = fasta_file
+        idx = FastaIndex(path)
+        gdx = idx.save(tmp_path / "contigs.gdx.json")
+        loaded = FastaIndex.load(gdx)
+        assert loaded.names() == idx.names()
+        assert loaded.total_bases == idx.total_bases
+        for r in records:
+            assert loaded.fetch(r.name).seq == r.seq
+
+    def test_default_save_path(self, fasta_file):
+        path, _records = fasta_file
+        gdx = FastaIndex(path).save()
+        assert gdx.name == "contigs.fasta.gdx.json"
+        assert gdx.exists()
+
+
+class TestPlanSplit:
+    def test_partition_is_exact(self):
+        lengths = [10, 20, 30, 40, 50]
+        pieces = plan_split(lengths, 2)
+        all_ids = sorted(i for p in pieces for i in p)
+        assert all_ids == list(range(5))
+
+    def test_balances_total_length(self):
+        lengths = [100, 90, 10, 10, 10, 10]
+        pieces = plan_split(lengths, 2)
+        loads = [sum(lengths[i] for i in p) for p in pieces]
+        assert max(loads) - min(loads) <= 90  # LPT bound; here actually 10
+        assert abs(loads[0] - loads[1]) <= 20
+
+    def test_more_pieces_than_records(self):
+        pieces = plan_split([5, 5], 4)
+        assert len(pieces) == 4
+        assert sum(len(p) for p in pieces) == 2
+
+    def test_zero_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            plan_split([1], 0)
+
+    def test_piece_order_preserved(self):
+        pieces = plan_split([10, 10, 10, 10], 2)
+        for p in pieces:
+            assert p == sorted(p)
+
+
+class TestSplitFasta:
+    def test_pieces_cover_all_records(self, fasta_file, tmp_path):
+        path, records = fasta_file
+        out = split_fasta(path, 3, out_dir=tmp_path / "pieces")
+        assert len(out) == 3
+        names = []
+        for piece in out:
+            names.extend(r.name for r in read_fasta(piece))
+        assert sorted(names) == sorted(r.name for r in records)
+
+    def test_empty_piece_files_created(self, tmp_path):
+        path = tmp_path / "one.fasta"
+        write_fasta(path, [SeqRecord("only", "ACGT")])
+        out = split_fasta(path, 3)
+        assert len(out) == 3
+        assert all(p.exists() for p in out)
+
+    def test_balanced_bases(self, fasta_file, tmp_path):
+        path, records = fasta_file
+        out = split_fasta(path, 2, out_dir=tmp_path / "p")
+        loads = [sum(len(r.seq) for r in read_fasta(p)) for p in out]
+        total = sum(len(r.seq) for r in records)
+        assert abs(loads[0] - loads[1]) <= max(len(r.seq) for r in records)
+        assert sum(loads) == total

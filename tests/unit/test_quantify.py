@@ -1,0 +1,72 @@
+"""Unit tests for QuantifyGraph."""
+
+import pytest
+
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import SeqRecord
+from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+from repro.trinity.chrysalis.quantify import quantify_graph
+from repro.trinity.chrysalis.reads_to_transcripts import ReadAssignment
+from repro.trinity.jellyfish import jellyfish_count
+
+SRC = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCAT"
+K = 9
+
+
+def make_assignment(read_index, component):
+    return ReadAssignment(read_index, f"r{read_index}", component, 5, 0, 20)
+
+
+class TestQuantify:
+    def test_read_weight_added(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        reads = [SeqRecord("r0", SRC[3:25])]
+        quants = quantify_graph(graphs, reads, [make_assignment(0, 0)])
+        assert quants[0].n_reads == 1
+        assert quants[0].read_edge_weight > 0
+
+    def test_unassigned_reads_skipped(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        reads = [SeqRecord("r0", SRC[3:25])]
+        quants = quantify_graph(graphs, reads, [make_assignment(0, -1)])
+        assert quants[0].n_reads == 0
+        assert quants[0].read_edge_weight == 0
+
+    def test_missing_component_skipped(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        reads = [SeqRecord("r0", SRC[3:25])]
+        quants = quantify_graph(graphs, reads, [make_assignment(0, 9)])
+        assert quants[0].n_reads == 0
+
+    def test_reverse_read_threads_forward(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        n_nodes_before = graphs[0].n_nodes
+        reads = [SeqRecord("r0", reverse_complement(SRC[3:25]))]
+        quantify_graph(graphs, reads, [make_assignment(0, 0)])
+        # Orientation correction means no new (reverse-strand) nodes.
+        assert graphs[0].n_nodes == n_nodes_before
+
+    def test_solid_filter_blocks_error_kmers(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        n_nodes_before = graphs[0].n_nodes
+        bad = SRC[3:14] + "T" + SRC[15:25]  # one substitution mid-read
+        counts = jellyfish_count([SeqRecord("x", SRC), SeqRecord("y", SRC)], K)
+        reads = [SeqRecord("r0", bad)]
+        quantify_graph(
+            graphs, reads, [make_assignment(0, 0)], kmer_counts=counts, min_kmer_count=2
+        )
+        # Error k-mers are not solid, so no junk nodes appear.
+        assert graphs[0].n_nodes == n_nodes_before
+
+    def test_without_filter_error_kmers_pollute(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        n_nodes_before = graphs[0].n_nodes
+        bad = SRC[3:14] + ("T" if SRC[14] != "T" else "G") + SRC[15:25]
+        quantify_graph(graphs, [SeqRecord("r0", bad)], [make_assignment(0, 0)])
+        assert graphs[0].n_nodes > n_nodes_before
+
+    def test_mean_support(self):
+        graphs = {0: fasta_to_debruijn([SRC], K)}
+        reads = [SeqRecord("r0", SRC)]
+        quants = quantify_graph(graphs, reads, [make_assignment(0, 0)])
+        assert quants[0].mean_support == pytest.approx(1.0)

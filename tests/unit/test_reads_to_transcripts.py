@@ -1,0 +1,132 @@
+"""Unit tests for ReadsToTranscripts (streaming read assignment)."""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import Contig, SeqRecord
+from repro.trinity.chrysalis.components import build_components
+from repro.trinity.chrysalis.reads_to_transcripts import (
+    ReadAssignment,
+    ReadsToTranscriptsConfig,
+    assign_read,
+    build_kmer_to_component,
+    read_assignments,
+    reads_to_transcripts,
+    stream_chunks,
+    write_assignments,
+)
+
+K = 9
+SRC_A = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCAT"
+SRC_B = "TTGACCGTAGGCTAACCGTTAGGCCTATGCGATCAGG"
+
+
+@pytest.fixture
+def setup():
+    contigs = [Contig("A", SRC_A), Contig("B", SRC_B)]
+    components = build_components(2, [])
+    cfg = ReadsToTranscriptsConfig(k=K, max_mem_reads=3)
+    kmer_map = build_kmer_to_component(contigs, components, K)
+    return contigs, components, cfg, kmer_map
+
+
+class TestKmerMap:
+    def test_maps_to_owning_component(self, setup):
+        _c, _comps, _cfg, kmer_map = setup
+        from repro.seq.kmers import canonical_kmers
+
+        for code in canonical_kmers(SRC_A, K).tolist():
+            assert kmer_map[code] == 0
+        for code in canonical_kmers(SRC_B, K).tolist():
+            assert kmer_map[code] == 1
+
+    def test_conflict_resolves_to_smallest(self):
+        shared = "ACGTTGCAGCA"
+        contigs = [Contig("A", shared), Contig("B", shared)]
+        comps = build_components(2, [])
+        kmer_map = build_kmer_to_component(contigs, comps, K)
+        assert set(kmer_map.values()) == {0}
+
+
+class TestAssignRead:
+    def test_assigns_to_matching_component(self, setup):
+        _c, _comps, cfg, kmer_map = setup
+        read = SRC_A[3:25]
+        a = assign_read(0, SeqRecord("r", read), kmer_map, cfg)
+        assert a.component == 0
+        assert a.shared_kmers == len(read) - K + 1
+
+    def test_reverse_complement_read_assigned(self, setup):
+        _c, _comps, cfg, kmer_map = setup
+        a = assign_read(0, SeqRecord("r", reverse_complement(SRC_B[5:30])), kmer_map, cfg)
+        assert a.component == 1
+
+    def test_unmatched_read_unassigned(self, setup):
+        _c, _comps, cfg, kmer_map = setup
+        a = assign_read(0, SeqRecord("r", "A" * 30), kmer_map, cfg)
+        assert a.component == -1
+        assert a.shared_kmers == 0
+
+    def test_short_read_unassigned(self, setup):
+        _c, _comps, cfg, kmer_map = setup
+        a = assign_read(0, SeqRecord("r", "ACGT"), kmer_map, cfg)
+        assert a.component == -1
+
+    def test_region_tracks_contributing_span(self, setup):
+        _c, _comps, cfg, kmer_map = setup
+        # read: 10 junk bases + 15 real bases (>k) => region starts at 10
+        junk = "A" * 10
+        read = junk + SRC_A[:15]
+        a = assign_read(0, SeqRecord("r", read), kmer_map, cfg)
+        assert a.component == 0
+        assert a.region_start == 10
+        assert a.region_end == len(read)
+
+    def test_majority_wins(self, setup):
+        _c, _comps, cfg, kmer_map = setup
+        read = SRC_A[:12] + SRC_B[:20]  # more B k-mers than A
+        a = assign_read(0, SeqRecord("r", read), kmer_map, cfg)
+        assert a.component == 1
+
+
+class TestStreaming:
+    def test_chunking(self):
+        reads = [SeqRecord(f"r{i}", "ACGT") for i in range(7)]
+        chunks = list(stream_chunks(reads, 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert chunks[1][0][0] == 3  # global indices preserved
+
+    def test_driver_assigns_all(self, setup):
+        contigs, comps, cfg, _m = setup
+        reads = [SeqRecord(f"r{i}", SRC_A[i : i + 20]) for i in range(5)]
+        out = reads_to_transcripts(reads, contigs, comps, cfg)
+        assert len(out) == 5
+        assert all(a.component == 0 for a in out)
+        assert [a.read_index for a in out] == list(range(5))
+
+    def test_invalid_max_mem_reads(self):
+        with pytest.raises(PipelineError):
+            ReadsToTranscriptsConfig(max_mem_reads=0)
+
+
+class TestFileFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.tsv"
+        assignments = [
+            ReadAssignment(0, "r0", 2, 5, 1, 20),
+            ReadAssignment(1, "r1", -1, 0, 0, 0),
+        ]
+        assert write_assignments(path, assignments) == 2
+        assert read_assignments(path) == assignments
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(PipelineError):
+            ReadAssignment.from_line("1\t2\t3")
+
+    def test_driver_writes_file(self, setup, tmp_path):
+        contigs, comps, cfg, _m = setup
+        reads = [SeqRecord("r0", SRC_A[:20])]
+        out_path = tmp_path / "assignments.tsv"
+        result = reads_to_transcripts(reads, contigs, comps, cfg, out_path=out_path)
+        assert read_assignments(out_path) == result

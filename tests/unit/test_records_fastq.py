@@ -1,0 +1,90 @@
+"""Unit tests for sequence records and FASTQ I/O."""
+
+import pytest
+
+from repro.errors import FastaFormatError, SequenceError
+from repro.seq.fastq import iter_fastq, read_fastq, write_fastq
+from repro.seq.records import Contig, ReadPair, SeqRecord, Transcript
+
+
+class TestSeqRecord:
+    def test_header_joins_description(self):
+        assert SeqRecord("a", "ACGT", "x=1").header == "a x=1"
+
+    def test_header_without_description(self):
+        assert SeqRecord("a", "ACGT").header == "a"
+
+    def test_len(self):
+        assert len(SeqRecord("a", "ACGTA")) == 5
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SequenceError):
+            SeqRecord("", "ACGT")
+
+
+class TestReadPair:
+    def test_paired(self):
+        pair = ReadPair(SeqRecord("r/1", "AC"), SeqRecord("r/2", "GT"))
+        assert pair.is_paired
+
+    def test_single_end(self):
+        assert not ReadPair(SeqRecord("r/1", "AC")).is_paired
+
+
+class TestContigTranscript:
+    def test_contig_record_carries_coverage(self):
+        c = Contig("c1", "ACGT", coverage=3.5)
+        assert "cov=3.50" in c.to_record().description
+
+    def test_contig_record_carries_component(self):
+        c = Contig("c1", "ACGT", coverage=1.0, component=7)
+        assert "comp=7" in c.to_record().description
+
+    def test_transcript_record(self):
+        t = Transcript("t1", "ACGTACGT", component=3)
+        rec = t.to_record()
+        assert "comp=3" in rec.description
+        assert "len=8" in rec.description
+
+
+class TestFastq:
+    def test_roundtrip_default_quality(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        records = [SeqRecord("r1", "ACGT"), SeqRecord("r2", "GGTT")]
+        assert write_fastq(path, records) == 2
+        back = read_fastq(path)
+        assert [r for r, _q in back] == records
+        assert all(q == "I" * 4 for _r, q in back)
+
+    def test_roundtrip_explicit_quality(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        write_fastq(path, [SeqRecord("r1", "ACGT")], ["!!!!"])
+        assert read_fastq(path)[0][1] == "!!!!"
+
+    def test_quality_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(FastaFormatError):
+            write_fastq(tmp_path / "r.fastq", [SeqRecord("r1", "ACGT")], ["!!"])
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        path.write_text(">r1\nACGT\n+\nIIII\n")
+        with pytest.raises(FastaFormatError):
+            list(iter_fastq(path))
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        path.write_text("@r1\nACGT\n")
+        with pytest.raises(FastaFormatError):
+            list(iter_fastq(path))
+
+    def test_bad_separator_rejected(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        path.write_text("@r1\nACGT\n-\nIIII\n")
+        with pytest.raises(FastaFormatError):
+            list(iter_fastq(path))
+
+    def test_quality_sequence_length_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "r.fastq"
+        path.write_text("@r1\nACGT\n+\nII\n")
+        with pytest.raises(FastaFormatError):
+            list(iter_fastq(path))

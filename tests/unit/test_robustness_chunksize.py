@@ -1,0 +1,43 @@
+"""Unit tests for the robustness and chunk-size sensitivity experiments."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("robustness", seeds=(0, 1))
+
+    def test_all_metrics_populated(self, result):
+        for name, values in result.metrics.items():
+            assert len(values) == 2, name
+
+    def test_low_seed_variance(self, result):
+        for name in result.metrics:
+            mean = result.mean(name)
+            assert result.sd(name) < 0.25 * max(mean, 1.0), name
+
+    def test_anchored_speedup_stable(self, result):
+        assert result.mean("gff total speedup @16") == pytest.approx(4.5, rel=0.05)
+
+    def test_render(self, result):
+        out = result.render()
+        assert "Robustness" in out
+        assert "paper" in out
+
+
+class TestChunksizeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("abl-chunksize", chunks_totals=(256, 2048))
+
+    def test_rows_align(self, result):
+        assert len(result.loop2_128_s) == len(result.chunks_totals) == 2
+
+    def test_lumpier_dealing_raises_imbalance(self, result):
+        assert result.imbalance_192[0] > result.imbalance_192[1] * 0.9
+
+    def test_render(self, result):
+        assert "chunk-count sensitivity" in result.render()

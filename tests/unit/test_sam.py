@@ -1,0 +1,95 @@
+"""Unit tests for SAM records and the multi-file merge."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq.sam import (
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+    SamRecord,
+    merge_sam_files,
+    read_sam,
+    sam_header,
+    write_sam,
+)
+
+
+def rec(name="r1", flag=0, rname="c1", pos=5, nm=-1):
+    return SamRecord(name, flag, rname, pos, 255, "10M", "ACGTACGTAC", nm=nm)
+
+
+class TestRecord:
+    def test_roundtrip_line(self):
+        r = rec(nm=2)
+        assert SamRecord.from_line(r.to_line()) == r
+
+    def test_roundtrip_without_nm(self):
+        r = rec()
+        line = r.to_line()
+        assert "NM:i:" not in line
+        assert SamRecord.from_line(line) == r
+
+    def test_flags(self):
+        assert rec(flag=FLAG_UNMAPPED).is_unmapped
+        assert rec(flag=FLAG_REVERSE).is_reverse
+        assert not rec().is_unmapped
+
+    def test_negative_pos_rejected(self):
+        with pytest.raises(SequenceError):
+            SamRecord("r", 0, "c", -1, 0, "*", "A")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SequenceError):
+            SamRecord.from_line("too\tfew\tfields")
+
+
+class TestHeader:
+    def test_sq_lines(self):
+        header = sam_header([("c1", 100), ("c2", 50)])
+        assert header[0].startswith("@HD")
+        assert "@SQ\tSN:c1\tLN:100" in header
+        assert "@SQ\tSN:c2\tLN:50" in header
+
+
+class TestIO:
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "x.sam"
+        records = [rec(f"r{i}", pos=i + 1) for i in range(4)]
+        n = write_sam(path, records, sam_header([("c1", 100)]))
+        assert n == 4
+        assert list(read_sam(path)) == records
+
+    def test_read_skips_header(self, tmp_path):
+        path = tmp_path / "x.sam"
+        write_sam(path, [rec()], sam_header([("c1", 100)]))
+        assert len(list(read_sam(path))) == 1
+
+
+class TestMerge:
+    def test_merge_concatenates_alignments(self, tmp_path):
+        p1, p2 = tmp_path / "a.sam", tmp_path / "b.sam"
+        write_sam(p1, [rec("r1", rname="c1")], sam_header([("c1", 10)]))
+        write_sam(p2, [rec("r2", rname="c2")], sam_header([("c2", 20)]))
+        out = tmp_path / "out.sam"
+        n = merge_sam_files(out, [p1, p2])
+        assert n == 2
+        merged = list(read_sam(out))
+        assert [m.qname for m in merged] == ["r1", "r2"]
+
+    def test_merge_unions_sq_headers(self, tmp_path):
+        p1, p2 = tmp_path / "a.sam", tmp_path / "b.sam"
+        write_sam(p1, [rec()], sam_header([("c1", 10)]))
+        write_sam(p2, [rec()], sam_header([("c2", 20)]))
+        out = tmp_path / "out.sam"
+        merge_sam_files(out, [p1, p2])
+        text = out.read_text()
+        assert "SN:c1" in text and "SN:c2" in text
+        assert text.index("@HD") < text.index("@SQ")
+
+    def test_merge_dedupes_repeated_sq(self, tmp_path):
+        p1, p2 = tmp_path / "a.sam", tmp_path / "b.sam"
+        write_sam(p1, [rec()], sam_header([("c1", 10)]))
+        write_sam(p2, [rec()], sam_header([("c1", 10)]))
+        out = tmp_path / "out.sam"
+        merge_sam_files(out, [p1, p2])
+        assert out.read_text().count("SN:c1") == 1

@@ -1,0 +1,50 @@
+"""Unit tests for shared-UTR generation (the Fig-6 fusion mechanism)."""
+
+import pytest
+
+from repro.simdata.transcriptome import generate_transcriptome
+
+
+class TestSharedUtr:
+    def test_disabled_by_default(self):
+        txome = generate_transcriptome(6, seed=0)
+        for a, b in zip(txome.genes, txome.genes[1:]):
+            tail = a.isoforms[0].seq[-64:]
+            head = b.isoforms[0].seq[:64]
+            assert tail != head
+
+    def test_always_shared_when_prob_one(self):
+        txome = generate_transcriptome(4, seed=0, shared_utr_prob=1.0, shared_utr_len=64)
+        for a, b in zip(txome.genes, txome.genes[1:]):
+            for iso_a in a.isoforms:
+                for iso_b in b.isoforms:
+                    assert iso_a.seq[-64:] == iso_b.seq[:64]
+
+    def test_all_isoforms_carry_utr(self):
+        txome = generate_transcriptome(4, seed=1, shared_utr_prob=1.0)
+        for gene in txome.genes[:-1]:
+            utr = gene.exons[-1]
+            for iso in gene.isoforms:
+                assert iso.seq.endswith(utr)
+
+    def test_terminal_exon_invariants_preserved(self):
+        txome = generate_transcriptome(10, seed=2, shared_utr_prob=1.0)
+        for gene in txome.genes:
+            n = len(gene.exons)
+            for iso in gene.isoforms:
+                assert iso.exon_indices[0] == 0
+                assert iso.exon_indices[-1] == n - 1
+                assert iso.seq == "".join(gene.exons[i] for i in iso.exon_indices)
+
+    def test_utr_length_respected(self):
+        txome = generate_transcriptome(3, seed=3, shared_utr_prob=1.0, shared_utr_len=80)
+        assert len(txome.genes[0].exons[-1]) == 80
+
+    def test_invalid_prob_rejected(self):
+        with pytest.raises(ValueError):
+            generate_transcriptome(3, shared_utr_prob=1.5)
+
+    def test_deterministic(self):
+        a = generate_transcriptome(5, seed=4, shared_utr_prob=0.5)
+        b = generate_transcriptome(5, seed=4, shared_utr_prob=0.5)
+        assert [i.seq for i in a.isoforms] == [i.seq for i in b.isoforms]

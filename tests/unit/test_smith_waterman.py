@@ -1,0 +1,115 @@
+"""Unit tests for the Smith-Waterman implementation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.seq.alphabet import reverse_complement
+from repro.validation.smith_waterman import (
+    AlignmentResult,
+    SWParams,
+    sw_align,
+    sw_align_both_strands,
+    sw_score,
+)
+
+P = SWParams()
+
+
+class TestParams:
+    def test_invalid_match(self):
+        with pytest.raises(ValidationError):
+            SWParams(match=0)
+
+    def test_invalid_penalties(self):
+        with pytest.raises(ValidationError):
+            SWParams(mismatch=1)
+        with pytest.raises(ValidationError):
+            SWParams(gap=0)
+
+
+class TestScore:
+    def test_identical(self):
+        seq = "ACGTACGTAC"
+        assert sw_score(seq, seq) == len(seq) * P.match
+
+    def test_empty(self):
+        assert sw_score("", "ACGT") == 0
+        assert sw_score("ACGT", "") == 0
+
+    def test_disjoint_low_score(self):
+        assert sw_score("AAAAAAA", "CCCCCCC") == 0
+
+    def test_substring(self):
+        assert sw_score("ACGT", "TTACGTTT") == 4 * P.match
+
+    def test_score_matches_full_align(self):
+        q, t = "ACGTTGCATTACG", "ACGTAGCATTACG"
+        assert sw_score(q, t) == sw_align(q, t).score
+
+    def test_score_with_gap(self):
+        # target has one extra base in the middle
+        q = "ACGTACGTGG"
+        t = "ACGTAACGTGG"
+        expected = 10 * P.match + P.gap
+        assert sw_score(q, t) == expected
+
+
+class TestAlign:
+    def test_identity_one_for_identical(self):
+        seq = "ACGTTGCAGG"
+        aln = sw_align(seq, seq)
+        assert aln.identity == 1.0
+        assert aln.query_span == (0, len(seq))
+        assert aln.matches == len(seq)
+
+    def test_mismatch_identity(self):
+        q = "ACGTACGTAC"
+        t = "ACGTTCGTAC"  # 1 mismatch
+        aln = sw_align(q, t)
+        assert aln.matches == 9
+        assert aln.aligned_length == 10
+        assert aln.identity == pytest.approx(0.9)
+
+    def test_local_alignment_spans(self):
+        q = "TTTTACGTACGTTTTT"
+        t = "ACGTACGT"
+        aln = sw_align(q, t)
+        assert aln.query_span == (4, 12)
+        assert aln.target_span == (0, 8)
+
+    def test_gap_in_alignment(self):
+        q = "ACGTACGTGG"
+        t = "ACGTAACGTGG"
+        aln = sw_align(q, t)
+        assert aln.aligned_length == 11  # one gap column
+        assert aln.matches == 10
+
+    def test_no_alignment(self):
+        aln = sw_align("AAAA", "CCCC")
+        assert aln.score == 0
+        assert aln.identity == 0.0
+
+    def test_query_coverage(self):
+        aln = sw_align("ACGTACGT", "ACGT")
+        assert aln.query_coverage(8) == pytest.approx(0.5)
+
+    def test_query_coverage_rejects_bad_len(self):
+        aln = AlignmentResult(0, (0, 0), (0, 0), 0, 0)
+        with pytest.raises(ValidationError):
+            aln.query_coverage(0)
+
+    def test_empty_inputs(self):
+        assert sw_align("", "ACGT").score == 0
+
+
+class TestBothStrands:
+    def test_reverse_hit_found(self):
+        seq = "ATCGGATTACAGTCCGGTTAACG"
+        aln = sw_align_both_strands(seq, reverse_complement(seq))
+        assert aln.identity == 1.0
+        assert aln.query_span == (0, len(seq))
+
+    def test_forward_preferred_when_equal(self):
+        seq = "ACGTACGTACGT"
+        aln = sw_align_both_strands(seq, seq)
+        assert aln.score == len(seq) * P.match

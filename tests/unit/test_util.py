@@ -1,0 +1,107 @@
+"""Unit tests for repro.util (rng, timing, formatting)."""
+
+import time
+
+import pytest
+
+from repro.util.fmt import format_series, format_table, human_time, render_mapping
+from repro.util.rng import derive_seed, spawn_rng
+from repro.util.timing import StageTimer, Timer
+
+
+class TestRng:
+    def test_derive_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_label_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_derive_seed_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1)
+
+    def test_spawn_rng_streams_independent(self):
+        a = spawn_rng(0, "x").random(4)
+        b = spawn_rng(0, "y").random(4)
+        assert not (a == b).all()
+
+    def test_spawn_rng_reproducible(self):
+        assert (spawn_rng(7, "z").random(4) == spawn_rng(7, "z").random(4)).all()
+
+
+class TestTimers:
+    def test_timer_measures(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_stage_timer_total(self):
+        st = StageTimer()
+        with st.stage("a"):
+            pass
+        with st.stage("a"):
+            pass
+        assert len(st.records) == 2
+        assert st.total("a") >= 0
+
+    def test_stage_timer_names_in_order(self):
+        st = StageTimer()
+        with st.stage("b"):
+            pass
+        with st.stage("a"):
+            pass
+        assert st.names() == ["b", "a"]
+
+    def test_double_start_rejected(self):
+        st = StageTimer()
+        st.start("x")
+        with pytest.raises(ValueError):
+            st.start("x")
+
+    def test_stop_unstarted_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimer().stop("nope")
+
+
+class TestFmt:
+    def test_human_time_seconds(self):
+        assert human_time(3.2) == "3.2 s"
+
+    def test_human_time_minutes(self):
+        assert human_time(600) == "10.0 min"
+
+    def test_human_time_hours(self):
+        assert human_time(7200) == "2.00 h"
+
+    def test_human_time_negative_rejected(self):
+        with pytest.raises(ValueError):
+            human_time(-1)
+
+    def test_table_alignment(self):
+        out = format_table(["col", "x"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4
+
+    def test_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_series(self):
+        out = format_series("s", [1, 2], [10.0, 20.0])
+        assert "1 -> 10" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_render_mapping(self):
+        out = render_mapping("T", {"k": 1, "longer": 2.5})
+        assert out.splitlines()[0] == "T"
+        assert "longer" in out

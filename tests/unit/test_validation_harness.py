@@ -1,0 +1,141 @@
+"""Unit tests for the Fig-4 categorisation, recovery counting and t-tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.seq.alphabet import reverse_complement
+from repro.seq.records import SeqRecord
+from repro.validation.fasta_align import (
+    all_vs_all_best_hits,
+    categorize_matches,
+    prescreen_candidates,
+    _kmer_index,
+)
+from repro.validation.reference import reference_recovery
+from repro.validation.stats import two_sample_ttest
+
+# Long-ish distinct sequences (>= 2x prescreen k).
+A = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCATTTGGCCAATGGCATCCAGTATGCGGAT"
+B = "TTGACCGTAGGCTAACCGTTAGGCCTATGCGATCAGGCTTATTACCGGCAGGTACCTTAGCCAA"
+
+
+class TestPrescreen:
+    def test_finds_sharing_targets(self):
+        index = _kmer_index([A, B], 24)
+        assert prescreen_candidates(A, index) == [0]
+
+    def test_no_candidates_for_unrelated(self):
+        index = _kmer_index([B], 24)
+        assert prescreen_candidates(A, index) == []
+
+    def test_strand_insensitive(self):
+        index = _kmer_index([A], 24)
+        assert prescreen_candidates(reverse_complement(A), index) == [0]
+
+
+class TestBestHits:
+    def test_exact_match_category_a(self):
+        hits = all_vs_all_best_hits([A], [A, B])
+        cats = categorize_matches(hits)
+        assert cats.full_identical == 1
+
+    def test_contained_query_counts_full(self):
+        hits = all_vs_all_best_hits([A[5:50]], [A])
+        cats = categorize_matches(hits)
+        assert cats.full_identical == 1
+
+    def test_mismatched_full_length_category_b(self):
+        q = A[:30] + ("A" if A[30] != "A" else "C") + A[31:]
+        cats = categorize_matches(all_vs_all_best_hits([q], [A]))
+        assert cats.full_partial_identity == 1
+
+    def test_partial_category_c_records_identity(self):
+        q = A[:32] + B[:32]  # half matches A, half doesn't
+        cats = categorize_matches(all_vs_all_best_hits([q], [A]))
+        assert cats.partial_length == 1
+        assert len(cats.partial_identities) == 1
+
+    def test_unmatched_counted(self):
+        cats = categorize_matches(all_vs_all_best_hits(["ACGT" * 20], [A]))
+        assert cats.unmatched == 1
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValidationError):
+            all_vs_all_best_hits([A], [])
+
+    def test_fractions(self):
+        cats = categorize_matches(all_vs_all_best_hits([A, B], [A, B]))
+        assert cats.frac_full_identical == 1.0
+        assert cats.frac_full == 1.0
+
+
+class TestRecovery:
+    def _ref(self, seq, name, gene):
+        return SeqRecord(name, seq, f"gene={gene}")
+
+    def test_full_length_counted(self):
+        refs = [self._ref(A, "iso1", "g1"), self._ref(B, "iso2", "g2")]
+        rec = reference_recovery([A], refs)
+        assert rec.isoforms_full_length == 1
+        assert rec.genes_full_length == 1
+        assert rec.n_reference_genes == 2
+
+    def test_rc_transcript_counted(self):
+        refs = [self._ref(A, "iso1", "g1")]
+        rec = reference_recovery([reverse_complement(A)], refs)
+        assert rec.isoforms_full_length == 1
+
+    def test_partial_not_counted(self):
+        refs = [self._ref(A, "iso1", "g1")]
+        rec = reference_recovery([A[:40]], refs)
+        assert rec.isoforms_full_length == 0
+
+    def test_fusion_detected(self):
+        refs = [self._ref(A, "iso1", "g1"), self._ref(B, "iso2", "g2")]
+        rec = reference_recovery([A + B], refs)
+        assert rec.fused_isoforms == 1
+        assert rec.fused_genes == 2
+
+    def test_multi_isoform_gene_counts_once(self):
+        refs = [self._ref(A, "iso1", "g1"), self._ref(A[:50], "iso2", "g1")]
+        rec = reference_recovery([A], refs)
+        assert rec.genes_full_length == 1
+        assert rec.isoforms_full_length == 2
+
+    def test_missing_gene_annotation_rejected(self):
+        with pytest.raises(ValidationError):
+            reference_recovery([A], [SeqRecord("iso", A)])
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            reference_recovery([A], [])
+
+    def test_bad_thresholds_rejected(self):
+        refs = [self._ref(A, "iso1", "g1")]
+        with pytest.raises(ValidationError):
+            reference_recovery([A], refs, min_identity=0.0)
+
+
+class TestTTest:
+    def test_identical_samples_not_significant(self):
+        res = two_sample_ttest([1.0, 1.1, 0.9], [1.05, 0.95, 1.0])
+        assert not res.significant()
+
+    def test_different_samples_significant(self):
+        res = two_sample_ttest([1.0, 1.01, 0.99, 1.0], [5.0, 5.02, 4.98, 5.0])
+        assert res.significant()
+        assert res.pvalue < 0.001
+
+    def test_constant_equal_samples_degenerate(self):
+        res = two_sample_ttest([3.0, 3.0], [3.0, 3.0])
+        assert res.pvalue == 1.0
+        assert not res.significant()
+
+    def test_means_recorded(self):
+        res = two_sample_ttest([1.0, 3.0], [2.0, 4.0])
+        assert res.mean_a == 2.0
+        assert res.mean_b == 3.0
+
+    def test_too_few_observations_rejected(self):
+        with pytest.raises(ValidationError):
+            two_sample_ttest([1.0], [2.0, 3.0])

@@ -1,0 +1,112 @@
+"""Host wall-clock runner for the fig07 GFF workload under real ``mpirun``.
+
+The pytest benches replay the *analytic* scaling model; this runner times
+the actual simulated-MPI execution (thread-per-rank) of
+:func:`repro.parallel.mpi_graph_from_fasta.mpi_graph_from_fasta` on the
+whitefly-mini workload, recording both numbers that matter:
+
+* ``wall_s`` — host wall-clock of the simulation itself.  This is what
+  the rank-shared setup cache attacks: with every rank redundantly
+  rebuilding the k-mer/weldmer tables it grew O(nprocs).
+* ``virtual_makespan_s`` — the modelled cluster runtime (slowest rank's
+  virtual clock).  This must stay faithful to Figure 7/8 regardless of
+  how fast the host happens to run the simulation.
+
+Usage (append a labeled entry to the checked-in history)::
+
+    PYTHONPATH=src python -m benchmarks.fig07_bench_runner \
+        --label my-change --nprocs 1 8 64 --out BENCH_fig07.json
+
+Each invocation appends one entry ``{label, timestamp, points}`` so the
+JSON accumulates a before/after history across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.mpi import mpirun
+from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig
+from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+
+WORKLOAD = "whitefly-mini"
+ASSEMBLY_K = 25
+WELD_K = 24
+NTHREADS = 16
+
+
+def build_inputs():
+    """Deterministic bench inputs: whitefly-mini reads + Inchworm contigs."""
+    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=0)
+    reads = flatten_reads(pairs)
+    counts = jellyfish_count(reads, ASSEMBLY_K)
+    contigs = inchworm_assemble(counts, InchwormConfig(seed=1))
+    return reads, contigs
+
+
+def run_points(nprocs_list: List[int]) -> List[Dict[str, float]]:
+    """Time one mpirun of the GFF stage per requested rank count."""
+    reads, contigs = build_inputs()
+    cfg = GraphFromFastaConfig(k=WELD_K)
+    points: List[Dict[str, float]] = []
+    for nprocs in nprocs_list:
+        t0 = time.perf_counter()
+        run = mpirun(mpi_graph_from_fasta, nprocs, contigs, reads, cfg, nthreads=NTHREADS)
+        wall = time.perf_counter() - t0
+        points.append(
+            {
+                "nprocs": nprocs,
+                "wall_s": round(wall, 3),
+                "virtual_makespan_s": round(run.makespan, 6),
+            }
+        )
+        print(
+            f"nprocs={nprocs:>3}  wall={wall:8.3f}s  "
+            f"virtual_makespan={run.makespan:.4f}s"
+        )
+    return points
+
+
+def append_entry(out: Path, label: str, points: List[Dict[str, float]]) -> None:
+    if out.exists():
+        doc = json.loads(out.read_text())
+    else:
+        doc = {
+            "bench": "fig07_gff_wallclock",
+            "workload": f"{WORKLOAD}, GraphFromFastaConfig(k={WELD_K}), nthreads={NTHREADS}",
+            "fields": {
+                "wall_s": "host wall-clock of the simulated mpirun",
+                "virtual_makespan_s": "modelled cluster runtime (slowest rank)",
+            },
+            "entries": [],
+        }
+    doc["entries"].append(
+        {
+            "label": label,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "points": points,
+        }
+    )
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"appended entry {label!r} -> {out}")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--label", required=True, help="entry label, e.g. a change name")
+    ap.add_argument("--nprocs", type=int, nargs="+", default=[1, 8, 64])
+    ap.add_argument("--out", type=Path, default=Path("BENCH_fig07.json"))
+    args = ap.parse_args()
+    append_entry(args.out, args.label, run_points(args.nprocs))
+
+
+if __name__ == "__main__":
+    main()

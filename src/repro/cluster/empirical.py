@@ -24,7 +24,8 @@ from repro.trinity.chrysalis.graph_from_fasta import (
     build_weldmer_index,
     find_weld_pairs_for_contig,
     harvest_welds_for_contig,
-    shared_seed_codes,
+    shared_seed_array,
+    weld_index_keys,
 )
 
 
@@ -55,11 +56,13 @@ def measure_gff_item_costs(
     if repeats <= 0:
         raise ValueError(f"repeats must be positive, got {repeats}")
     kmer_map = build_kmer_to_contigs(contigs, cfg.k)
-    weldmers = build_weldmer_index(reads, shared_seed_codes(kmer_map, cfg), cfg)
+    shared_seeds = shared_seed_array(kmer_map, cfg)
+    weldmers = build_weldmer_index(reads, shared_seeds, cfg)
     welds = []
     for idx, contig in enumerate(contigs):
-        welds.extend(harvest_welds_for_contig(idx, contig, kmer_map, cfg))
+        welds.extend(harvest_welds_for_contig(idx, contig, kmer_map, cfg, shared_seeds))
     weld_index = build_weld_index(welds)
+    weld_keys = weld_index_keys(weld_index)
 
     n = len(contigs)
     loop1 = np.full(n, np.inf)
@@ -67,10 +70,12 @@ def measure_gff_item_costs(
     for _ in range(repeats):
         for idx, contig in enumerate(contigs):
             t0 = time.perf_counter()
-            harvest_welds_for_contig(idx, contig, kmer_map, cfg)
+            harvest_welds_for_contig(idx, contig, kmer_map, cfg, shared_seeds)
             loop1[idx] = min(loop1[idx], time.perf_counter() - t0)
             t0 = time.perf_counter()
-            find_weld_pairs_for_contig(idx, contig, welds, weld_index, weldmers, cfg)
+            find_weld_pairs_for_contig(
+                idx, contig, welds, weld_index, weldmers, cfg, weld_keys
+            )
             loop2[idx] = min(loop2[idx], time.perf_counter() - t0)
     return KernelCostSample(
         lengths=np.array([len(c.seq) for c in contigs], dtype=float),

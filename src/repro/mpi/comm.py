@@ -14,9 +14,10 @@ pooled payload.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CommError
 from repro.mpi.clock import VirtualClock
@@ -32,6 +33,21 @@ class CommStats:
     n_messages: int = 0
     bytes_sent: int = 0
     comm_time: float = 0.0
+    shared_computes: int = 0  # SimComm.shared keys this rank computed
+    shared_hits: int = 0  # SimComm.shared keys served from the cache
+
+
+class _OnceCell:
+    """Per-key once-latch of the rank-shared compute cache."""
+
+    __slots__ = ("done", "value", "cost", "exc", "owner")
+
+    def __init__(self, owner: int) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.cost = 0.0
+        self.exc: Optional[BaseException] = None
+        self.owner = owner
 
 
 class _SharedState:
@@ -49,6 +65,9 @@ class _SharedState:
         # split() bookkeeping: sub-states created once per (epoch, color).
         self.split_epoch = 0
         self.split_states: Dict[Tuple[int, Any], "_SharedState"] = {}
+        # SimComm.shared bookkeeping: one once-latch per cache key.
+        self.shared_cells: Dict[Any, _OnceCell] = {}
+        self.shared_lock = threading.Lock()
         # Set by the launcher when any rank fails, so blocking receives
         # bail out instead of waiting forever for a dead sender.
         self.failed = threading.Event()
@@ -109,6 +128,61 @@ class SimComm:
         self.stats.n_collectives += 1
         self.stats.bytes_sent += payload_bytes
         self.stats.comm_time += cost
+
+    # -- rank-shared compute-once cache ------------------------------------
+    def shared(self, key: Any, fn: Callable[[], Any], cost: Optional[float] = None) -> Any:
+        """Compute ``fn()`` once per communicator; return it on every rank.
+
+        The simulated ranks of one ``mpirun`` are threads in one address
+        space, so read-only setup structures that every *real* rank would
+        rebuild redundantly (the paper's "non-parallel regions") need only
+        be built once per simulation.  The first rank to arrive at ``key``
+        computes the object; all ranks receive the same object and MUST
+        treat it as read-only.
+
+        Virtual-time semantics are unchanged: every rank's clock advances
+        by the *single-rank* cost of the computation — the thread CPU time
+        measured on the computing rank (or the caller-supplied ``cost``) —
+        exactly what each rank would have been charged had it recomputed
+        the structure itself.  Figure 8's redundant-serial-region
+        accounting is therefore preserved while host wall-clock drops from
+        O(nprocs x setup) to O(setup).
+
+        Not a collective: ranks may call at different virtual times and no
+        barrier is implied.  ``key`` must identify one deterministic
+        computation (same ``fn`` semantics on every rank).
+        """
+        st = self._state
+        with st.shared_lock:
+            cell = st.shared_cells.get(key)
+            compute = cell is None
+            if compute:
+                cell = st.shared_cells[key] = _OnceCell(self._rank)
+        if compute:
+            t0 = time.thread_time()
+            try:
+                cell.value = fn()
+            except BaseException as exc:
+                cell.exc = exc
+                cell.done.set()
+                raise
+            cell.cost = time.thread_time() - t0 if cost is None else float(cost)
+            cell.done.set()
+            self.stats.shared_computes += 1
+        else:
+            while not cell.done.wait(timeout=0.1):
+                if st.failed.is_set():
+                    raise CommError(
+                        f"shared({key!r}) abandoned: a peer rank failed"
+                    )
+            if cell.exc is not None:
+                raise CommError(
+                    f"shared({key!r}) failed on computing rank {cell.owner}: "
+                    f"{cell.exc!r}"
+                ) from cell.exc
+            self.stats.shared_hits += 1
+        self.clock.advance(cell.cost, kind="compute")
+        return cell.value
 
     # -- collectives ------------------------------------------------------
     def barrier(self) -> None:
@@ -172,7 +246,7 @@ class SimComm:
         sendlist = snapshot[root]
         total = sum(nbytes_of(v) for v in sendlist)
         self._charge(
-            self._state.network.gather(self.size, total),
+            self._state.network.scatter(self.size, total),
             total if self._rank == root else 0,
         )
         return sendlist[self._rank]
@@ -290,16 +364,24 @@ class SimComm:
         st = self._state
         with st.mailbox_cv:
             st.mailboxes.setdefault((self._rank, dest), deque()).append(
-                (tag, obj, self.clock.now + cost)
+                (tag, obj, self.clock.now + cost, cost)
             )
             st.mailbox_cv.notify_all()
         self.stats.n_messages += 1
         self.stats.bytes_sent += n
-        # Eager-send model: sender pays latency only.
-        self.clock.advance(self._state.network.alpha)
+        # Eager-send model: sender pays latency only — but that latency is
+        # communication, so it counts towards comm accounting and traces.
+        alpha = self._state.network.alpha
+        self.clock.advance(alpha, kind="comm")
+        self.stats.comm_time += alpha
 
     def recv(self, source: int, tag: int = 0) -> Any:
-        """Blocking receive; the clock syncs to the message arrival."""
+        """Blocking receive; the clock syncs to the message arrival.
+
+        The in-flight transfer time (up to the full ptp cost of the
+        message) is credited to this rank's comm accounting: any earlier
+        idle time is a "wait" segment, the transfer itself a "comm" one.
+        """
         if not (0 <= source < self.size):
             raise CommError(f"recv source {source} out of range")
         st = self._state
@@ -308,10 +390,14 @@ class SimComm:
             while True:
                 box = st.mailboxes.get(key)
                 if box:
-                    for i, (t, obj, arrive) in enumerate(box):
+                    for i, (t, obj, arrive, cost) in enumerate(box):
                         if t == tag:
                             del box[i]
-                            self.clock.sync_to(arrive)
+                            if arrive > self.clock.now:
+                                transfer = min(cost, arrive - self.clock.now)
+                                self.clock.sync_to(arrive - transfer)
+                                self.clock.advance(transfer, kind="comm")
+                                self.stats.comm_time += transfer
                             return obj
                 if st.failed.is_set():
                     raise CommError(

@@ -52,6 +52,17 @@ class NetworkModel:
             return 0.0
         return (p - 1) * self.alpha + ((p - 1) / p) * total_bytes * self.beta
 
+    def scatter(self, p: int, total_bytes: int) -> float:
+        """Root -> ranks distribution (the reverse of gather).
+
+        Same alpha-beta shape as gather under the linear model (Thakur et
+        al., 2005) but kept as its own entry point so root->ranks traffic
+        is costed by the right primitive.
+        """
+        if p <= 1:
+            return 0.0
+        return (p - 1) * self.alpha + ((p - 1) / p) * total_bytes * self.beta
+
     def allgatherv(self, p: int, total_bytes: int) -> float:
         """Ring allgather over the pooled payload.
 

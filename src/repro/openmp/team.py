@@ -5,7 +5,8 @@ result is exactly what an OpenMP loop would compute — OpenMP loops in
 Chrysalis have no cross-iteration dependencies) and simultaneously
 computes the virtual makespan a team of ``n_threads`` would have achieved
 under the chosen schedule, using either caller-supplied per-item costs or
-measured per-item wall time.
+measured per-item thread CPU time (GIL-contention-free, so costs do not
+depend on how many simulated ranks run concurrently).
 """
 
 from __future__ import annotations
@@ -68,17 +69,21 @@ class ThreadTeam:
     ) -> TeamResult:
         """Apply ``fn`` to every item; simulate the team's makespan.
 
-        If ``costs`` is omitted, per-item wall time is measured and used
-        as the cost vector (adequate for calibration runs); when provided,
-        it must align with ``items``.
+        If ``costs`` is omitted, per-item cost is measured as the CPU time
+        of the calling thread (``time.thread_time``); when provided, it
+        must align with ``items``.  Thread CPU time — not wall time — is
+        the faithful cost: simulated ranks run as concurrent host threads,
+        and wall-clock measured inside one of them grows with the number
+        of peers contending for the GIL, which would make virtual costs a
+        function of nprocs instead of the workload.
         """
         values: List[R] = []
         if costs is None:
             measured = np.zeros(len(items))
             for i, item in enumerate(items):
-                t0 = time.perf_counter()
+                t0 = time.thread_time()
                 values.append(fn(item))
-                measured[i] = time.perf_counter() - t0
+                measured[i] = time.thread_time() - t0
             cost_arr = measured
         else:
             cost_arr = np.asarray(costs, dtype=float)

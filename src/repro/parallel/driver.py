@@ -99,7 +99,7 @@ class ParallelTrinityDriver:
             st.ram_bytes = counts.memory_bytes()
         with monitor.stage("inchworm") as st:
             contigs = inchworm_assemble(counts, tcfg.inchworm())
-            st.ram_bytes = counts.memory_bytes()
+            st.ram_bytes = counts.memory_bytes() + sum(len(c.seq) for c in contigs)
         if not contigs:
             raise PipelineError("inchworm produced no contigs")
 

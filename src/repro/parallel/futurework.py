@@ -35,7 +35,8 @@ from repro.trinity.chrysalis.graph_from_fasta import (
     build_weldmer_index,
     find_weld_pairs_for_contig,
     harvest_welds_for_contig,
-    shared_seed_codes,
+    shared_seed_array,
+    weld_index_keys,
 )
 from repro.trinity.chrysalis.reads_to_transcripts import (
     ReadAssignment,
@@ -64,10 +65,12 @@ def mpi_reads_to_transcripts_striped(
     cfg = cfg or ReadsToTranscriptsConfig()
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
 
-    t0 = time.perf_counter()
-    kmer_map = build_kmer_to_component(contigs, components, cfg.k)
-    setup_time = time.perf_counter() - t0
-    comm.clock.advance(setup_time)
+    t0 = comm.clock.now
+    kmer_map = comm.shared(
+        "fw:rtt:kmer_to_component",
+        lambda: build_kmer_to_component(contigs, components, cfg.k),
+    )
+    setup_time = comm.clock.now - t0
     comm.clock.advance(0.0005)  # MPI_File_open + Set_view
 
     loop_t0 = comm.clock.now
@@ -117,17 +120,21 @@ def mpi_graph_from_fasta_sharded_setup(
     my_chunks = chunks_for_rank(len(ranges), comm.rank, comm.size)
 
     # Setup part A (still redundant): contig k-mer map — small.
-    t0 = time.perf_counter()
-    kmer_map = build_kmer_to_contigs(contigs, cfg.k)
-    shared = shared_seed_codes(kmer_map, cfg)
-    serial_time = time.perf_counter() - t0
-    comm.clock.advance(serial_time)
+    def _setup_a():
+        kmer_map = build_kmer_to_contigs(contigs, cfg.k)
+        return kmer_map, shared_seed_array(kmer_map, cfg)
+
+    t0 = comm.clock.now
+    kmer_map, shared = comm.shared("fw:gff:setup_a", _setup_a)
+    serial_time = comm.clock.now - t0
 
     # Setup part B (sharded): weldmer scan over my slice of the reads.
-    t0 = time.perf_counter()
+    # Thread CPU time: every rank scans its shard concurrently, so wall
+    # time here would grow with nprocs through GIL contention.
+    t0 = time.thread_time()
     my_reads = [r for i, r in enumerate(reads) if (i // 256) % comm.size == comm.rank]
     my_weldmers = build_weldmer_index(my_reads, shared, cfg)
-    comm.clock.advance(time.perf_counter() - t0)
+    comm.clock.advance(time.thread_time() - t0)
     pooled_tables = comm.allgatherv(my_weldmers)
     weldmers: Dict[str, int] = {}
     for table in pooled_tables:
@@ -140,7 +147,7 @@ def mpi_graph_from_fasta_sharded_setup(
     for c in my_chunks:
         start, stop = ranges[c]
         result = team.map(
-            lambda idx: harvest_welds_for_contig(idx, contigs[idx], kmer_map, cfg),
+            lambda idx: harvest_welds_for_contig(idx, contigs[idx], kmer_map, cfg, shared),
             list(range(start, stop)),
         )
         for welds in result.values:
@@ -151,11 +158,13 @@ def mpi_graph_from_fasta_sharded_setup(
     pooled = comm.allgatherv(my_welds)
     welds: List[WeldCandidate] = [w for part in pooled for w in part]
 
-    t0 = time.perf_counter()
-    weld_index = build_weld_index(welds)
-    dt = time.perf_counter() - t0
-    serial_time += dt
-    comm.clock.advance(dt)
+    def _weld_index():
+        index = build_weld_index(welds)
+        return index, weld_index_keys(index)
+
+    t0 = comm.clock.now
+    weld_index, weld_keys = comm.shared("fw:gff:weld_index", _weld_index)
+    serial_time += comm.clock.now - t0
 
     loop2_t0 = comm.clock.now
     my_pairs: Set[Tuple[int, int]] = set()
@@ -163,7 +172,7 @@ def mpi_graph_from_fasta_sharded_setup(
         start, stop = ranges[c]
         result = team.map(
             lambda idx: find_weld_pairs_for_contig(
-                idx, contigs[idx], welds, weld_index, weldmers, cfg
+                idx, contigs[idx], welds, weld_index, weldmers, cfg, weld_keys
             ),
             list(range(start, stop)),
         )
@@ -180,11 +189,11 @@ def mpi_graph_from_fasta_sharded_setup(
         pair_set.add((min(a, b), max(a, b)))
     pairs = sorted(pair_set)
 
-    t0 = time.perf_counter()
-    components = build_components(len(contigs), pairs)
-    dt = time.perf_counter() - t0
-    serial_time += dt
-    comm.clock.advance(dt)
+    t0 = comm.clock.now
+    components = comm.shared(
+        "fw:gff:components", lambda: build_components(len(contigs), pairs)
+    )
+    serial_time += comm.clock.now - t0
 
     return MpiGffResult(
         welds=welds,

@@ -26,6 +26,8 @@ from repro.trinity.chrysalis.graph_from_fasta import (
     build_weld_index,
     build_weldmer_index,
     shared_seed_codes,
+    shared_seed_array,
+    weld_index_keys,
     canonical_weldmer,
 )
 from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
@@ -52,6 +54,8 @@ __all__ = [
     "build_weld_index",
     "build_weldmer_index",
     "shared_seed_codes",
+    "shared_seed_array",
+    "weld_index_keys",
     "canonical_weldmer",
     "DeBruijnGraph",
     "fasta_to_debruijn",

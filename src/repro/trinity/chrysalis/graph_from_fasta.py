@@ -128,6 +128,21 @@ def shared_seed_codes(kmer_to_contigs: Dict[int, Set[int]], cfg: GraphFromFastaC
     }
 
 
+def shared_seed_array(
+    kmer_to_contigs: Dict[int, Set[int]], cfg: GraphFromFastaConfig
+) -> np.ndarray:
+    """Sorted uint64 array of the shared seed codes.
+
+    The vector-friendly form of :func:`shared_seed_codes`: loop 1 tests
+    whole contigs against it with one ``searchsorted`` instead of one
+    dict probe per position.
+    """
+    shared = shared_seed_codes(kmer_to_contigs, cfg)
+    arr = np.fromiter(shared, dtype=np.uint64, count=len(shared))
+    arr.sort()
+    return arr
+
+
 def canonical_weldmer(window: str) -> str:
     """Strand-canonical form of a weldmer string."""
     rc = reverse_complement(window)
@@ -136,21 +151,26 @@ def canonical_weldmer(window: str) -> str:
 
 def build_weldmer_index(
     reads: Iterable[SeqRecord],
-    shared_seeds: Set[int],
+    shared_seeds: "Set[int] | np.ndarray",
     cfg: GraphFromFastaConfig,
 ) -> Dict[str, int]:
     """Scan the reads for 2k weldmers centred on shared seeds.
 
-    Returns canonical weldmer string -> read-occurrence count.  This is
-    the read-support evidence loop 2 consults; it is the memory- and
-    time-heavy serial region of GraphFromFasta.
+    ``shared_seeds`` is a set of codes or, equivalently, an already-sorted
+    uint64 array from :func:`shared_seed_array`.  Returns canonical
+    weldmer string -> read-occurrence count.  This is the read-support
+    evidence loop 2 consults; it is the memory- and time-heavy serial
+    region of GraphFromFasta.
     """
-    if not shared_seeds:
-        return {}
     k = cfg.k
     half = k // 2
-    shared_arr = np.fromiter(shared_seeds, dtype=np.uint64, count=len(shared_seeds))
-    shared_arr.sort()
+    if isinstance(shared_seeds, np.ndarray):
+        shared_arr = shared_seeds
+    else:
+        shared_arr = np.fromiter(shared_seeds, dtype=np.uint64, count=len(shared_seeds))
+        shared_arr.sort()
+    if shared_arr.size == 0:
+        return {}
     index: Dict[str, int] = {}
     for read in reads:
         seq = read.seq
@@ -171,6 +191,8 @@ def build_weldmer_index(
 
 def _in_sorted(values: np.ndarray, sorted_arr: np.ndarray) -> np.ndarray:
     """Vectorised membership of ``values`` in a sorted uint64 array."""
+    if sorted_arr.size == 0:
+        return np.zeros(values.shape, dtype=bool)
     idx = np.searchsorted(sorted_arr, values)
     idx[idx == sorted_arr.size] = 0
     return sorted_arr[idx] == values
@@ -186,11 +208,18 @@ def harvest_welds_for_contig(
     contig: Contig,
     kmer_to_contigs: Dict[int, Set[int]],
     cfg: GraphFromFastaConfig,
+    shared_seeds: Optional[np.ndarray] = None,
 ) -> List[WeldCandidate]:
     """Loop-1 body: harvest welding candidates from one contig.
 
     A candidate is any seed k-mer shared with at least one *other*
-    contig, packaged with this contig's flanks.
+    contig, packaged with this contig's flanks.  The first occurrence of
+    each shared seed (in position order) wins.
+
+    Membership is tested with one vectorised ``searchsorted`` over
+    ``shared_seeds`` (pass the :func:`shared_seed_array` of
+    ``kmer_to_contigs`` when calling in a loop; it is derived on the fly
+    otherwise) instead of a per-position dict probe.
     """
     k = cfg.k
     half = k // 2
@@ -198,23 +227,23 @@ def harvest_welds_for_contig(
     if len(seq) < k:
         return []
     canon = weld_kmer_codes(seq, k)
+    if shared_seeds is None:
+        shared_seeds = shared_seed_array(kmer_to_contigs, cfg)
+    hit_pos = np.nonzero(_in_sorted(canon, shared_seeds))[0]
+    if hit_pos.size == 0:
+        return []
+    # First occurrence per seed code, emitted in ascending position order
+    # (np.unique returns first-occurrence indices for sorted unique codes).
+    _codes, first = np.unique(canon[hit_pos], return_index=True)
     out: List[WeldCandidate] = []
-    seen_seeds: Set[int] = set()
-    for pos in range(canon.size):
-        code = int(canon[pos])
-        others = kmer_to_contigs.get(code)
-        if others is None or len(others) < cfg.min_contigs_sharing:
-            continue
-        if code in seen_seeds:
-            continue
-        seen_seeds.add(code)
+    for pos in hit_pos[np.sort(first)].tolist():
         out.append(
             WeldCandidate(
                 left_flank=seq[max(0, pos - half) : pos],
                 seed=seq[pos : pos + k],
                 right_flank=seq[pos + k : pos + k + half],
                 owner=contig_idx,
-                seed_code=code,
+                seed_code=int(canon[pos]),
             )
         )
     return out
@@ -233,6 +262,15 @@ def build_weld_index(welds: Sequence[WeldCandidate]) -> Dict[int, List[int]]:
     return index
 
 
+def weld_index_keys(weld_index: Dict[int, List[int]]) -> np.ndarray:
+    """Sorted uint64 array of a weld index's seed codes (loop 2's
+    vectorised membership filter, the analogue of
+    :func:`shared_seed_array` for loop 1)."""
+    arr = np.fromiter(weld_index.keys(), dtype=np.uint64, count=len(weld_index))
+    arr.sort()
+    return arr
+
+
 # --------------------------------------------------------------------------
 # Loop 2 kernel
 # --------------------------------------------------------------------------
@@ -245,6 +283,7 @@ def find_weld_pairs_for_contig(
     weld_index: Dict[int, List[int]],
     weldmers: Dict[str, int],
     cfg: GraphFromFastaConfig,
+    weld_keys: Optional[np.ndarray] = None,
 ) -> List[Tuple[int, int]]:
     """Loop-2 body: read-supported weld pairs involving this contig.
 
@@ -252,6 +291,11 @@ def find_weld_pairs_for_contig(
     possible junction weldmers (owner's left flank + seed + this contig's
     right flank, and vice versa, orientation-corrected) and weld the pair
     if either occurs in the reads often enough.
+
+    The sparse per-position dict probe is replaced by one vectorised mask
+    over ``weld_keys`` (pass :func:`weld_index_keys` of ``weld_index``
+    when calling in a loop); only positions carrying a weld seed fall
+    through to the Python junction checks.
     """
     k = cfg.k
     half = k // 2
@@ -262,11 +306,12 @@ def find_weld_pairs_for_contig(
     if fwd.size == 0:
         return []
     canon = np.minimum(fwd, revcomp_codes(fwd, k))
+    if weld_keys is None:
+        weld_keys = weld_index_keys(weld_index)
+    hit_pos = np.nonzero(_in_sorted(canon, weld_keys))[0]
     pairs: Set[Tuple[int, int]] = set()
-    for pos in range(canon.size):
-        hits = weld_index.get(int(canon[pos]))
-        if not hits:
-            continue
+    for pos in hit_pos.tolist():
+        hits = weld_index[int(canon[pos])]
         my_left = seq[max(0, pos - half) : pos]
         my_seed = seq[pos : pos + k]
         my_right = seq[pos + k : pos + k + half]
@@ -344,16 +389,19 @@ def graph_from_fasta(
     """
     cfg = cfg or GraphFromFastaConfig()
     kmer_map = build_kmer_to_contigs(contigs, cfg.k)  # serial region
-    shared = shared_seed_codes(kmer_map, cfg)
+    shared = shared_seed_array(kmer_map, cfg)
     weldmers = build_weldmer_index(reads, shared, cfg)  # serial region
     welds: List[WeldCandidate] = []
     for idx, contig in enumerate(contigs):  # loop 1
-        welds.extend(harvest_welds_for_contig(idx, contig, kmer_map, cfg))
+        welds.extend(harvest_welds_for_contig(idx, contig, kmer_map, cfg, shared))
     weld_index = build_weld_index(welds)  # serial region
+    weld_keys = weld_index_keys(weld_index)
     pair_set: Set[Tuple[int, int]] = set()
     for idx, contig in enumerate(contigs):  # loop 2
         pair_set.update(
-            find_weld_pairs_for_contig(idx, contig, welds, weld_index, weldmers, cfg)
+            find_weld_pairs_for_contig(
+                idx, contig, welds, weld_index, weldmers, cfg, weld_keys
+            )
         )
     for a, b in extra_pairs:
         pair_set.add((min(a, b), max(a, b)))

@@ -2,6 +2,8 @@
 
 import pytest
 
+import numpy as np
+
 from repro.errors import PipelineError
 from repro.seq.alphabet import reverse_complement
 from repro.seq.records import Contig, SeqRecord
@@ -11,9 +13,12 @@ from repro.trinity.chrysalis.graph_from_fasta import (
     build_weld_index,
     build_weldmer_index,
     canonical_weldmer,
+    find_weld_pairs_for_contig,
     graph_from_fasta,
     harvest_welds_for_contig,
+    shared_seed_array,
     shared_seed_codes,
+    weld_index_keys,
 )
 
 WELD_K = 8
@@ -177,3 +182,54 @@ class TestKernels:
         cfg = GraphFromFastaConfig(k=WELD_K)
         welds = harvest_welds_for_contig(0, Contig("tiny", "ACG"), {}, cfg)
         assert welds == []
+
+
+class TestVectorizedKernels:
+    """The numpy membership-mask paths must reproduce the dict-probe paths
+    bit for bit (content AND order)."""
+
+    def _setup(self):
+        contigs = split_contigs(SRC)
+        cfg = GraphFromFastaConfig(k=WELD_K)
+        table = build_kmer_to_contigs(contigs, WELD_K)
+        return contigs, cfg, table
+
+    def test_shared_seed_array_matches_set(self):
+        _contigs, cfg, table = self._setup()
+        arr = shared_seed_array(table, cfg)
+        assert arr.dtype == np.uint64
+        assert sorted(shared_seed_codes(table, cfg)) == arr.tolist()
+
+    def test_harvest_same_with_and_without_precomputed_array(self):
+        contigs, cfg, table = self._setup()
+        arr = shared_seed_array(table, cfg)
+        for i, c in enumerate(contigs):
+            assert harvest_welds_for_contig(i, c, table, cfg) == harvest_welds_for_contig(
+                i, c, table, cfg, arr
+            )
+
+    def test_find_pairs_same_with_and_without_weld_keys(self):
+        contigs, cfg, table = self._setup()
+        welds = []
+        for i, c in enumerate(contigs):
+            welds.extend(harvest_welds_for_contig(i, c, table, cfg))
+        index = build_weld_index(welds)
+        keys = weld_index_keys(index)
+        weldmers = build_weldmer_index(make_reads(SRC), shared_seed_array(table, cfg), cfg)
+        for i, c in enumerate(contigs):
+            plain = find_weld_pairs_for_contig(i, c, welds, index, weldmers, cfg)
+            fast = find_weld_pairs_for_contig(i, c, welds, index, weldmers, cfg, keys)
+            assert plain == fast
+
+    def test_empty_shared_seed_array(self):
+        contigs, cfg, _table = self._setup()
+        empty = np.array([], dtype=np.uint64)
+        assert harvest_welds_for_contig(0, contigs[0], {}, cfg, empty) == []
+        assert build_weldmer_index(make_reads(SRC), empty, cfg) == {}
+
+    def test_weldmer_index_accepts_set_or_array(self):
+        _contigs, cfg, table = self._setup()
+        reads = make_reads(SRC)
+        via_set = build_weldmer_index(reads, shared_seed_codes(table, cfg), cfg)
+        via_arr = build_weldmer_index(reads, shared_seed_array(table, cfg), cfg)
+        assert via_set == via_arr

@@ -1,0 +1,148 @@
+"""Unit tests for the rank-shared compute-once cache (SimComm.shared)
+and the point-to-point / scatter cost-accounting fixes that rode along.
+"""
+
+import pytest
+
+from repro.errors import CommError
+from repro.mpi import mpirun
+from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel, ZERO_COST
+
+
+class TestSharedCache:
+    def test_same_object_on_every_rank(self):
+        def body(comm):
+            obj = comm.shared("table", lambda: {"a": [1, 2, 3]})
+            return id(obj)
+
+        res = mpirun(body, 4, network=ZERO_COST)
+        assert len(set(res.returns)) == 1
+
+    def test_computed_exactly_once(self):
+        def body(comm):
+            comm.shared("k", lambda: object())
+            return (comm.stats.shared_computes, comm.stats.shared_hits)
+
+        res = mpirun(body, 6, network=ZERO_COST)
+        computes = sum(c for c, _h in res.returns)
+        hits = sum(h for _c, h in res.returns)
+        assert computes == 1
+        assert hits == 5
+
+    def test_every_rank_charged_single_rank_cost(self):
+        """The compute happens once, but each rank's virtual clock still
+        advances by the full build cost (Figure 8's redundant-serial-region
+        accounting)."""
+
+        def body(comm):
+            comm.shared("k", lambda: 42, cost=1.5)
+            return comm.clock.now
+
+        res = mpirun(body, 4, network=ZERO_COST)
+        assert res.returns == [1.5] * 4
+
+    def test_distinct_keys_distinct_computes(self):
+        def body(comm):
+            a = comm.shared(("k", 1), lambda: [1])
+            b = comm.shared(("k", 2), lambda: [2])
+            return (a, b)
+
+        res = mpirun(body, 3, network=ZERO_COST)
+        assert all(r == ([1], [2]) for r in res.returns)
+
+    def test_single_rank_fast_path(self):
+        def body(comm):
+            v = comm.shared("k", lambda: "x", cost=0.25)
+            return (v, comm.clock.now, comm.stats.shared_computes)
+
+        res = mpirun(body, 1)
+        assert res.returns == [("x", 0.25, 1)]
+
+    def test_traced_run_matches_untraced(self):
+        def body(comm):
+            v = comm.shared("k", lambda: sum(range(100)), cost=2.0)
+            comm.barrier()
+            return (v, comm.clock.now)
+
+        plain = mpirun(body, 3, network=ZERO_COST)
+        traced = mpirun(body, 3, network=ZERO_COST, trace=True)
+        assert plain.returns == traced.returns
+        assert plain.makespan == traced.makespan
+
+    def test_trace_records_compute_segment(self):
+        def body(comm):
+            comm.shared("k", lambda: None, cost=3.0)
+
+        res = mpirun(body, 2, network=ZERO_COST, trace=True)
+        for tr in res.traces:
+            assert tr.total("compute") == pytest.approx(3.0)
+
+    def test_compute_error_propagates(self):
+        def body(comm):
+            return comm.shared("bad", lambda: 1 // 0)
+
+        with pytest.raises(CommError):
+            mpirun(body, 3, network=ZERO_COST)
+
+
+class TestPtpAccounting:
+    def test_send_charges_latency_to_comm_time(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-9)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 1000, dest=1)
+            else:
+                comm.recv(source=0)
+
+        res = mpirun(body, 2, network=net)
+        assert res.stats[0].comm_time == pytest.approx(net.alpha)
+        # Receiver starts at t=0, so it idles/transfers up to arrival; the
+        # transfer part (at most the full ptp cost) is comm time.
+        assert res.stats[1].comm_time > 0
+
+    def test_ptp_trace_has_comm_segments_both_sides(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-9)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(list(range(100)), dest=1)
+            else:
+                comm.recv(source=0)
+
+        res = mpirun(body, 2, network=net, trace=True)
+        assert res.traces[0].total("comm") > 0  # sender pays alpha
+        assert res.traces[1].total("comm") > 0  # receiver pays transfer
+
+    def test_recv_clock_still_syncs_to_arrival(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-9)
+
+        def body(comm):
+            if comm.rank == 0:
+                comm.send(b"y" * 10_000, dest=1)
+                return None
+            comm.recv(source=0)
+            return comm.clock.now
+
+        res = mpirun(body, 2, network=net)
+        # Arrival = sender send-time (0) + full ptp cost.
+        assert res.returns[1] == pytest.approx(net.ptp(10_000))
+
+
+class TestScatterCost:
+    def test_scatter_uses_scatter_cost(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-9)
+
+        def body(comm):
+            comm.scatter([b"z" * 1000] * comm.size if comm.rank == 0 else None)
+            return comm.stats.comm_time
+
+        res = mpirun(body, 4, network=net)
+        expected = net.scatter(4, 4000)
+        assert all(t == pytest.approx(expected) for t in res.returns)
+
+    def test_network_scatter_shape(self):
+        net = NetworkModel(alpha=1e-3, beta=1e-9)
+        assert net.scatter(1, 1_000_000) == 0.0
+        assert net.scatter(8, 1_000) > net.scatter(2, 1_000)
+        assert net.scatter(8, 2_000_000) > net.scatter(8, 1_000)

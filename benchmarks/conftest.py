@@ -16,6 +16,17 @@ from repro.simdata import get_recipe
 from repro.simdata.reads import flatten_reads
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    Tier-1 already excludes this tree via ``testpaths``; the marker makes
+    the split explicit when benchmarks are collected on purpose
+    (``pytest benchmarks -m bench`` / ``-m 'not bench'``).
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def workload():
     """The sampled sugarbeet-scale workload shared by the scaling benches."""

@@ -11,6 +11,7 @@ assemble     run the pipeline on a reads FASTA (serial, or --nprocs N hybrid)
 validate     compare two transcript FASTAs (Fig 4 categories)
 recovery     score a transcript FASTA against an annotated reference
 stats        assembly statistics (N50 etc.) of a FASTA
+profile      trace one MPI stage: critical path, Gantt, Chrome export
 experiments  regenerate paper figures (same as python -m repro.experiments)
 
 Run ``python -m repro <subcommand> --help`` for options.
@@ -124,6 +125,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.mpi import mpirun, render_gantt
+    from repro.obs import critical_path, verify_attribution
+    from repro.simdata.reads import flatten_reads
+    from repro.trinity import TrinityConfig
+    from repro.trinity.inchworm import inchworm_assemble
+    from repro.trinity.jellyfish import jellyfish_count
+
+    recipe = get_recipe(args.recipe)
+    _txome, pairs = recipe.materialize(seed=args.seed)
+    reads = flatten_reads(pairs)
+    cfg = TrinityConfig(seed=args.seed)
+    counts = jellyfish_count(reads, cfg.k)
+    contigs = inchworm_assemble(counts, cfg.inchworm())
+
+    if args.stage == "bowtie":
+        from repro.parallel.mpi_bowtie import mpi_bowtie
+        from repro.trinity.bowtie import BowtieConfig
+
+        run = mpirun(mpi_bowtie, args.nprocs, reads, contigs, BowtieConfig(), trace=True)
+    elif args.stage == "gff":
+        from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+
+        run = mpirun(
+            mpi_graph_from_fasta, args.nprocs, contigs, reads, cfg.gff(),
+            nthreads=args.nthreads, trace=True,
+        )
+    else:  # rtt
+        from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+        from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+
+        gff_run = mpirun(
+            mpi_graph_from_fasta, args.nprocs, contigs, reads, cfg.gff(),
+            nthreads=args.nthreads,
+        )
+        run = mpirun(
+            mpi_reads_to_transcripts, args.nprocs, reads, contigs,
+            gff_run.outputs[0].components, cfg.rtt(),
+            nthreads=args.nthreads, trace=True,
+        )
+
+    verify_attribution(run)  # the breakdown below provably sums to the makespan
+    report = critical_path(run, top_k=args.top)
+    print(report.render())
+    print()
+    print(render_gantt(run.traces))
+    if args.chrome is not None:
+        out = run.write_chrome_trace(args.chrome)
+        print(f"\nwrote Chrome trace {out} (open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import ReportOptions, write_report
 
@@ -177,6 +230,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="assembly statistics of a FASTA")
     p.add_argument("fasta")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="trace one MPI stage: critical path, Gantt, Chrome export",
+    )
+    p.add_argument("--stage", default="gff", choices=["bowtie", "gff", "rtt"])
+    p.add_argument("--nprocs", type=int, default=4)
+    p.add_argument("--nthreads", type=int, default=4, help="OpenMP threads per rank")
+    p.add_argument("--recipe", default="sugarbeet-mini", choices=list_recipes())
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=5, help="top-k longest spans to list")
+    p.add_argument("--chrome", default=None, help="write Chrome trace-event JSON here")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("experiments", help="regenerate paper figures")
     p.add_argument("ids", nargs="*")

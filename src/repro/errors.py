@@ -38,3 +38,8 @@ class CalibrationError(ReproError):
 
 class ValidationError(ReproError):
     """Validation harness was given incomparable inputs."""
+
+
+class ObsError(ReproError):
+    """Observability request that the run cannot satisfy (e.g. asking for
+    a critical path of an untraced run)."""

@@ -18,25 +18,52 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs.span import Span
 
-@dataclass(frozen=True)
-class StageSpan:
-    """One pipeline stage's interval on the timeline."""
 
-    stage: str
-    start_s: float
-    duration_s: float
-    ram_gb: float
+class StageSpan(Span):
+    """One pipeline stage's interval on the timeline.
 
-    def __post_init__(self) -> None:
-        if self.duration_s < 0:
-            raise ValueError(f"negative duration for stage {self.stage!r}")
-        if self.ram_gb < 0:
-            raise ValueError(f"negative RAM for stage {self.stage!r}")
+    Now a view over the unified :class:`~repro.obs.span.Span` — kind
+    ``"stage"`` on the ``driver`` track, with RAM carried in ``attrs`` —
+    so driver timelines feed the Chrome exporter unconverted.  The old
+    constructor shape and field names (``stage``, ``start_s``,
+    ``duration_s``, ``ram_gb``) are preserved.
+    """
+
+    def __init__(self, stage: str, start_s: float, duration_s: float, ram_gb: float):
+        if duration_s < 0:
+            raise ValueError(f"negative duration for stage {stage!r}")
+        if ram_gb < 0:
+            raise ValueError(f"negative RAM for stage {stage!r}")
+        super().__init__(
+            kind="stage",
+            start=float(start_s),
+            stop=float(start_s) + float(duration_s),
+            label=stage,
+            track="driver",
+            attrs={"ram_gb": float(ram_gb)},
+        )
+
+    @property
+    def stage(self) -> str:
+        return self.label
+
+    @property
+    def start_s(self) -> float:
+        return self.start
+
+    @property
+    def duration_s(self) -> float:
+        return self.stop - self.start
+
+    @property
+    def ram_gb(self) -> float:
+        return float(self.attr("ram_gb", 0.0))
 
     @property
     def end_s(self) -> float:
-        return self.start_s + self.duration_s
+        return self.stop
 
 
 @dataclass

@@ -18,6 +18,8 @@ from repro.mpi.comm import SimComm, CommStats
 from repro.mpi.launcher import mpirun, MpiRunResult
 from repro.mpi.datatypes import pack_strings, unpack_strings, nbytes_of
 from repro.mpi.trace import RankTrace, TraceSegment, render_gantt, trace_summary
+from repro.obs.result import StageResult
+from repro.obs.span import Span
 
 __all__ = [
     "VirtualClock",
@@ -28,6 +30,8 @@ __all__ = [
     "CommStats",
     "mpirun",
     "MpiRunResult",
+    "StageResult",
+    "Span",
     "pack_strings",
     "unpack_strings",
     "nbytes_of",

@@ -8,6 +8,8 @@ simulation, so results are machine-independent and deterministic.
 
 from __future__ import annotations
 
+from typing import Any, Mapping, Optional
+
 
 class VirtualClock:
     """Monotonic virtual time for one simulated rank."""
@@ -23,18 +25,25 @@ class VirtualClock:
     def now(self) -> float:
         return self._now
 
-    def advance(self, dt: float, kind: str = "compute") -> float:
+    def advance(
+        self,
+        dt: float,
+        kind: str = "compute",
+        label: str = "",
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> float:
         """Advance by ``dt`` virtual seconds; returns the new time.
 
         ``kind`` annotates the segment for tracing subclasses ("compute"
-        or "comm"); the base clock ignores it.
+        or "comm"); ``label``/``attrs`` name it (collective op, byte
+        counts).  The base clock ignores all three.
         """
         if dt < 0:
             raise ValueError(f"cannot advance clock by negative dt: {dt}")
         self._now += dt
         return self._now
 
-    def sync_to(self, t: float) -> None:
+    def sync_to(self, t: float, label: str = "") -> None:
         """Move forward to absolute time ``t`` (no-op if already past)."""
         if t > self._now:
             self._now = t
@@ -49,17 +58,23 @@ class TracingClock(VirtualClock):
         super().__init__(start)
         self.trace = trace
 
-    def advance(self, dt: float, kind: str = "compute") -> float:
+    def advance(
+        self,
+        dt: float,
+        kind: str = "compute",
+        label: str = "",
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> float:
         t0 = self.now
         out = super().advance(dt, kind)
-        self.trace.add(kind, t0, out)
+        self.trace.add(kind, t0, out, label, attrs)
         return out
 
-    def sync_to(self, t: float) -> None:
+    def sync_to(self, t: float, label: str = "") -> None:
         t0 = self.now
         super().sync_to(t)
         if self.now > t0:
-            self.trace.add("wait", t0, self.now)
+            self.trace.add("wait", t0, self.now, label)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VirtualClock(now={self._now:.6f})"

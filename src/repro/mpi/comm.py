@@ -23,6 +23,7 @@ from repro.errors import CommError
 from repro.mpi.clock import VirtualClock
 from repro.mpi.datatypes import nbytes_of
 from repro.mpi.network import NetworkModel
+from repro.obs.span import Span
 
 
 @dataclass
@@ -73,6 +74,43 @@ class _SharedState:
         self.failed = threading.Event()
 
 
+class _Region:
+    """Context manager behind :meth:`SimComm.region`."""
+
+    __slots__ = ("_comm", "label", "serial", "attrs", "start", "elapsed")
+
+    def __init__(self, comm: "SimComm", label: str, serial: bool, attrs: Dict[str, Any]):
+        self._comm = comm
+        self.label = label
+        self.serial = serial
+        self.attrs = attrs
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Region":
+        self.start = self._comm.clock.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stop = self._comm.clock.now
+        self.elapsed = stop - self.start
+        if exc_type is not None:
+            return
+        attrs = dict(self.attrs)
+        if self.serial:
+            attrs["serial"] = True
+        self._comm.spans.append(
+            Span(
+                "phase",
+                self.start,
+                stop,
+                self.label,
+                track=f"rank {self._comm.rank}",
+                attrs=attrs or None,
+            )
+        )
+
+
 class SimComm:
     """mpi4py-flavoured communicator for one simulated rank.
 
@@ -87,6 +125,9 @@ class SimComm:
         self._state = state
         self.clock = clock if clock is not None else VirtualClock()
         self.stats = CommStats()
+        #: Labelled phase spans recorded via :meth:`region` (always on,
+        #: independent of segment tracing — they cost one Span each).
+        self.spans: List[Span] = []
 
     # -- identity ---------------------------------------------------------
     @property
@@ -123,11 +164,40 @@ class SimComm:
         self.clock.sync_to(t_sync)
         return snapshot
 
-    def _charge(self, cost: float, payload_bytes: int) -> None:
-        self.clock.advance(cost, kind="comm")
+    def _charge(
+        self,
+        cost: float,
+        payload_bytes: int,
+        op: str = "",
+        pooled_bytes: Optional[int] = None,
+        items: Optional[int] = None,
+    ) -> None:
+        attrs: Dict[str, Any] = {"bytes": payload_bytes}
+        if pooled_bytes is not None:
+            attrs["pooled_bytes"] = pooled_bytes
+        if items is not None:
+            attrs["items"] = items
+        self.clock.advance(cost, kind="comm", label=op, attrs=attrs)
         self.stats.n_collectives += 1
         self.stats.bytes_sent += payload_bytes
         self.stats.comm_time += cost
+
+    # -- phase regions ------------------------------------------------------
+    def region(self, label: str, serial: bool = False, **attrs: Any) -> "_Region":
+        """Label the virtual-time interval of a ``with`` block.
+
+        Records a ``phase`` :class:`~repro.obs.span.Span` on this rank's
+        track covering [entry clock, exit clock] — the labelled algorithm
+        regions (``gff:loop1``, ``rtt:setup``, …) that the Chrome export
+        nests around the raw compute/wait/comm segments.  Mark
+        ``serial=True`` for the paper's redundant serial regions so the
+        critical-path analyser can report the Figure-8 serial fraction.
+
+        The context object's ``elapsed`` gives the region's virtual
+        duration, replacing the hand-rolled ``t0 = comm.clock.now`` /
+        ``now - t0`` bookkeeping the stage bodies used to carry.
+        """
+        return _Region(self, label, serial, attrs)
 
     # -- rank-shared compute-once cache ------------------------------------
     def shared(self, key: Any, fn: Callable[[], Any], cost: Optional[float] = None) -> Any:
@@ -181,14 +251,19 @@ class SimComm:
                     f"{cell.exc!r}"
                 ) from cell.exc
             self.stats.shared_hits += 1
-        self.clock.advance(cell.cost, kind="compute")
+        self.clock.advance(
+            cell.cost,
+            kind="compute",
+            label=f"shared:{key}",
+            attrs={"cached": not compute},
+        )
         return cell.value
 
     # -- collectives ------------------------------------------------------
     def barrier(self) -> None:
         """Block until every rank arrives; clocks sync to the slowest."""
         self._exchange(None)
-        self._charge(self._state.network.barrier(self.size), 0)
+        self._charge(self._state.network.barrier(self.size), 0, op="barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast a generic object from ``root`` to every rank."""
@@ -197,7 +272,12 @@ class SimComm:
         snapshot = self._exchange(obj if self._rank == root else None)
         payload = snapshot[root]
         n = nbytes_of(payload)
-        self._charge(self._state.network.bcast(self.size, n), n if self._rank == root else 0)
+        self._charge(
+            self._state.network.bcast(self.size, n),
+            n if self._rank == root else 0,
+            op="bcast",
+            pooled_bytes=n,
+        )
         return payload
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -206,14 +286,26 @@ class SimComm:
             raise CommError(f"gather root {root} out of range")
         snapshot = self._exchange(obj)
         total = sum(nbytes_of(v) for v in snapshot)
-        self._charge(self._state.network.gather(self.size, total), nbytes_of(obj))
+        self._charge(
+            self._state.network.gather(self.size, total),
+            nbytes_of(obj),
+            op="gather",
+            pooled_bytes=total,
+            items=self.size,
+        )
         return list(snapshot) if self._rank == root else None
 
     def allgather(self, obj: Any) -> List[Any]:
         """Pool one object per rank onto every rank (generic payloads)."""
         snapshot = self._exchange(obj)
         total = sum(nbytes_of(v) for v in snapshot)
-        self._charge(self._state.network.allgatherv(self.size, total), nbytes_of(obj))
+        self._charge(
+            self._state.network.allgatherv(self.size, total),
+            nbytes_of(obj),
+            op="allgather",
+            pooled_bytes=total,
+            items=self.size,
+        )
         return list(snapshot)
 
     def allgatherv(self, obj: Any) -> List[Any]:
@@ -226,10 +318,20 @@ class SimComm:
         (the size exchange) precedes the payload allgather.
         """
         sizes = self._exchange(nbytes_of(obj))
-        self._charge(self._state.network.allgatherv(self.size, 8 * self.size), 8)
+        self._charge(
+            self._state.network.allgatherv(self.size, 8 * self.size),
+            8,
+            op="allgatherv:sizes",
+        )
         snapshot = self._exchange(obj)
         total = sum(int(s) for s in sizes)
-        self._charge(self._state.network.allgatherv(self.size, total), nbytes_of(obj))
+        self._charge(
+            self._state.network.allgatherv(self.size, total),
+            nbytes_of(obj),
+            op="allgatherv",
+            pooled_bytes=total,
+            items=self.size,
+        )
         return list(snapshot)
 
     def scatter(self, values: Optional[List[Any]], root: int = 0) -> Any:
@@ -248,6 +350,9 @@ class SimComm:
         self._charge(
             self._state.network.scatter(self.size, total),
             total if self._rank == root else 0,
+            op="scatter",
+            pooled_bytes=total,
+            items=self.size,
         )
         return sendlist[self._rank]
 
@@ -263,19 +368,24 @@ class SimComm:
         self._charge(
             self._state.network.alltoall(self.size, total),
             sum(nbytes_of(v) for v in values),
+            op="alltoall",
+            pooled_bytes=total,
+            items=self.size,
         )
         return [snapshot[src][self._rank] for src in range(self.size)]
 
     def reduce_max(self, value: float, root: int = 0) -> Optional[float]:
         """Max-reduce a scalar to ``root`` (None elsewhere)."""
         vals = self._exchange(float(value))
-        self._charge(self._state.network.gather(self.size, 8 * self.size), 8)
+        self._charge(self._state.network.gather(self.size, 8 * self.size), 8, op="reduce_max")
         return max(vals) if self._rank == root else None
 
     def allreduce_sum(self, value: float) -> float:
         """Sum-reduce a scalar onto every rank."""
         vals = self._exchange(float(value))
-        self._charge(self._state.network.allgatherv(self.size, 8 * self.size), 8)
+        self._charge(
+            self._state.network.allgatherv(self.size, 8 * self.size), 8, op="allreduce_sum"
+        )
         return float(sum(vals))
 
     # -- buffer-style collectives (mpi4py's uppercase flavour) -------------
@@ -294,6 +404,8 @@ class SimComm:
         self._charge(
             self._state.network.bcast(self.size, payload.nbytes),
             payload.nbytes if self._rank == root else 0,
+            op="Bcast",
+            pooled_bytes=payload.nbytes,
         )
         return payload
 
@@ -308,10 +420,20 @@ class SimComm:
         if not isinstance(arr, np.ndarray):
             raise CommError("Allgatherv requires a numpy array")
         sizes = self._exchange(arr.nbytes)
-        self._charge(self._state.network.allgatherv(self.size, 8 * self.size), 8)
+        self._charge(
+            self._state.network.allgatherv(self.size, 8 * self.size),
+            8,
+            op="Allgatherv:sizes",
+        )
         snapshot = self._exchange(arr)
         total = sum(int(s) for s in sizes)
-        self._charge(self._state.network.allgatherv(self.size, total), arr.nbytes)
+        self._charge(
+            self._state.network.allgatherv(self.size, total),
+            arr.nbytes,
+            op="Allgatherv",
+            pooled_bytes=total,
+            items=self.size,
+        )
         return np.concatenate([a for a in snapshot if a.size] or [arr[:0]])
 
     # -- communicator management -------------------------------------------
@@ -325,7 +447,7 @@ class SimComm:
         """
         st = self._state
         contributions = self._exchange((color, self._rank if key is None else key))
-        self._charge(st.network.allgatherv(self.size, 16 * self.size), 16)
+        self._charge(st.network.allgatherv(self.size, 16 * self.size), 16, op="split")
         if color is None:
             # Everyone advances the epoch identically (done below by rank 0).
             group = None
@@ -372,7 +494,7 @@ class SimComm:
         # Eager-send model: sender pays latency only — but that latency is
         # communication, so it counts towards comm accounting and traces.
         alpha = self._state.network.alpha
-        self.clock.advance(alpha, kind="comm")
+        self.clock.advance(alpha, kind="comm", label="send", attrs={"bytes": n, "dest": dest})
         self.stats.comm_time += alpha
 
     def recv(self, source: int, tag: int = 0) -> Any:
@@ -395,8 +517,13 @@ class SimComm:
                             del box[i]
                             if arrive > self.clock.now:
                                 transfer = min(cost, arrive - self.clock.now)
-                                self.clock.sync_to(arrive - transfer)
-                                self.clock.advance(transfer, kind="comm")
+                                self.clock.sync_to(arrive - transfer, label="recv:idle")
+                                self.clock.advance(
+                                    transfer,
+                                    kind="comm",
+                                    label="recv",
+                                    attrs={"source": source},
+                                )
                                 self.stats.comm_time += transfer
                             return obj
                 if st.failed.is_set():

@@ -11,36 +11,39 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import CommError
 from repro.mpi.comm import CommStats, SimComm, _SharedState
 from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.result import StageResult
+from repro.obs.span import Span
+
+#: Deprecated alias, kept for one release: an ``mpirun`` outcome is now
+#: the unified :class:`repro.obs.result.StageResult` (``.returns`` and
+#: ``.stats`` remain available as deprecated properties on it).
+MpiRunResult = StageResult
 
 
-@dataclass
-class MpiRunResult:
-    """Outcome of one simulated SPMD run."""
-
-    returns: List[Any]
-    elapsed: List[float]  # per-rank final virtual time
-    stats: List[CommStats]
-    traces: Optional[List["RankTrace"]] = None  # set when mpirun(trace=True)
-
-    @property
-    def makespan(self) -> float:
-        """The job's virtual runtime (slowest rank)."""
-        return max(self.elapsed) if self.elapsed else 0.0
-
-    @property
-    def min_rank_time(self) -> float:
-        return min(self.elapsed) if self.elapsed else 0.0
-
-    @property
-    def imbalance(self) -> float:
-        """max/min rank time — the paper's load-imbalance measure."""
-        lo = self.min_rank_time
-        return self.makespan / lo if lo > 0 else float("inf")
+def _aggregate_metrics(stats: List[CommStats]) -> Dict[str, float]:
+    """Sum per-rank CommStats into the run's scalar metrics."""
+    out: Dict[str, float] = {
+        "bytes_sent": 0.0,
+        "n_collectives": 0.0,
+        "n_messages": 0.0,
+        "comm_time": 0.0,
+        "shared_computes": 0.0,
+        "shared_hits": 0.0,
+    }
+    for st in stats:
+        out["bytes_sent"] += st.bytes_sent
+        out["n_collectives"] += st.n_collectives
+        out["n_messages"] += st.n_messages
+        out["comm_time"] += st.comm_time
+        out["shared_computes"] += st.shared_computes
+        out["shared_hits"] += st.shared_hits
+    return out
 
 
 @dataclass
@@ -56,13 +59,19 @@ def mpirun(
     network: NetworkModel = IDATAPLEX_FDR10,
     trace: bool = False,
     **kwargs: Any,
-) -> MpiRunResult:
+) -> StageResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
 
     ``fn`` must treat ``comm`` (a :class:`SimComm`) as its only channel to
     other ranks.  Returns an :class:`MpiRunResult` with each rank's return
     value in rank order.  With ``trace=True``, per-rank compute/wait/comm
     segment traces are recorded (see :mod:`repro.mpi.trace`).
+
+    Returns a :class:`~repro.obs.result.StageResult`: per-rank return
+    values in ``outputs`` (deprecated alias ``returns``), per-rank
+    ``CommStats`` in ``comm`` (deprecated alias ``stats``), labelled
+    phase spans plus — when traced — raw clock segments in ``spans``,
+    and the aggregated comm counters in ``metrics``.
     """
     if nprocs <= 0:
         raise CommError(f"nprocs must be positive, got {nprocs}")
@@ -112,9 +121,26 @@ def mpirun(
             failures[0],
         )
         raise CommError(f"rank {primary.rank} failed: {primary.exc!r}") from primary.exc
-    return MpiRunResult(
-        returns=returns,
-        elapsed=[c.clock.now for c in comms],
-        stats=[c.stats for c in comms],
+    elapsed = [c.clock.now for c in comms]
+    stats = [c.stats for c in comms]
+    spans: List[Span] = []
+    for c in comms:
+        spans.extend(c.spans)
+    if traces is not None:
+        for t in traces:
+            spans.extend(t.segments)
+    metrics = _aggregate_metrics(stats)
+    stage = getattr(fn, "__name__", "mpirun")
+    GLOBAL_METRICS.inc(f"mpirun.{stage}.runs")
+    GLOBAL_METRICS.inc(f"mpirun.{stage}.bytes_sent", metrics["bytes_sent"])
+    GLOBAL_METRICS.set_gauge(f"mpirun.{stage}.nprocs", float(nprocs))
+    return StageResult(
+        stage=stage,
+        outputs=returns,
+        makespan=max(elapsed) if elapsed else 0.0,
+        spans=spans,
+        comm=stats,
+        metrics=metrics,
+        elapsed=elapsed,
         traces=traces,
     )

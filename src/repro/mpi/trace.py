@@ -6,49 +6,73 @@ communication (collective costs + waiting for the slowest peer) — so a
 run can be inspected like an MPI profiler timeline.  The Figure 7/8
 narrative ("load imbalance", "non-parallel regions") becomes directly
 visible in the Gantt output.
+
+Segments are the unified :class:`repro.obs.span.Span` type —
+``TraceSegment`` is now an alias for it, so rank traces feed the Chrome
+exporter and critical-path analyser without conversion.  ``render_gantt``
+and ``trace_summary`` are views over the same spans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Any, List, Mapping, Optional, Sequence
 
+from repro.obs.span import Span
 
-@dataclass(frozen=True)
-class TraceSegment:
-    """One interval of a rank's virtual timeline."""
-
-    kind: str  # "compute" | "wait" | "comm"
-    start: float
-    stop: float
-    label: str = ""
-
-    def __post_init__(self) -> None:
-        if self.stop < self.start:
-            raise ValueError(f"segment ends before it starts: {self}")
-
-    @property
-    def duration(self) -> float:
-        return self.stop - self.start
+#: Deprecated alias, kept for one release: a trace segment IS a span
+#: (same constructor shape: ``TraceSegment(kind, start, stop, label)``).
+TraceSegment = Span
 
 
 @dataclass
 class RankTrace:
-    """All segments of one rank, in time order."""
+    """All segments of one rank, kept in start-time order.
+
+    ``add`` tolerates out-of-order arrival (a sub-communicator or a
+    caller replaying buffered costs may append a segment that starts
+    before the previous one ended) by inserting at the sorted position;
+    ``end`` is the max stop over all segments, so neither the Gantt
+    renderer nor the makespan attribution silently assumes sortedness.
+    """
 
     rank: int
-    segments: List[TraceSegment] = field(default_factory=list)
+    segments: List[Span] = field(default_factory=list)
 
-    def add(self, kind: str, start: float, stop: float, label: str = "") -> None:
-        if stop > start:
-            self.segments.append(TraceSegment(kind, start, stop, label))
+    def add(
+        self,
+        kind: str,
+        start: float,
+        stop: float,
+        label: str = "",
+        attrs: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Record one interval (zero-duration intervals are dropped)."""
+        if stop <= start:
+            return
+        seg = Span(kind, start, stop, label, track=f"rank {self.rank}", attrs=attrs)
+        segs = self.segments
+        if segs and start < segs[-1].start:
+            # Rare out-of-order arrival: binary-insert by start time.
+            lo, hi = 0, len(segs)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if segs[mid].start <= start:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            segs.insert(lo, seg)
+        else:
+            segs.append(seg)
 
     def total(self, kind: str) -> float:
+        """Summed duration of one segment kind."""
         return sum(s.duration for s in self.segments if s.kind == kind)
 
     @property
     def end(self) -> float:
-        return self.segments[-1].stop if self.segments else 0.0
+        """Latest stop time (order-independent)."""
+        return max((s.stop for s in self.segments), default=0.0)
 
 
 _GLYPH = {"compute": "#", "wait": ".", "comm": "~"}

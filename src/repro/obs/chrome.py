@@ -1,0 +1,116 @@
+"""Chrome trace-event / Perfetto exporter.
+
+Any :class:`~repro.obs.result.StageResult` (an ``mpirun``, a pipeline
+run) can be dumped as a Chrome trace-event JSON file and opened in
+``chrome://tracing`` or https://ui.perfetto.dev — the same workflow the
+distributed-assembly literature uses real MPI profilers for.
+
+Layout: each StageResult becomes one *process* group.  Track (thread) 0
+is the driver row — one span covering the whole stage plus any
+driver-emitted stage spans — and each simulated rank gets its own track
+(``tid = rank + 1``) carrying its compute/wait/comm clock segments with
+labelled phase spans nested around them.  Timestamps are virtual seconds
+converted to microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.result import StageResult
+from repro.obs.span import Span
+
+#: Virtual seconds -> trace microseconds.
+_US = 1e6
+
+#: Stable colours per span kind (Chrome's reserved palette names).
+_COLOURS = {"compute": "thread_state_running", "wait": "thread_state_sleeping",
+            "comm": "rail_response", "phase": "generic_work", "stage": "heap_dump_stub"}
+
+DRIVER_TRACK = "driver"
+
+
+def _event(span: Span, pid: int, tid: int) -> Dict[str, Any]:
+    """One complete ('X') event from one span."""
+    ev: Dict[str, Any] = {
+        "name": span.name,
+        "cat": span.kind,
+        "ph": "X",
+        "ts": span.start * _US,
+        "dur": span.duration * _US,
+        "pid": pid,
+        "tid": tid,
+    }
+    colour = _COLOURS.get(span.kind)
+    if colour:
+        ev["cname"] = colour
+    if span.attrs:
+        ev["args"] = {k: v for k, v in span.attrs.items()}
+    return ev
+
+
+def _meta(name: str, pid: int, tid: Optional[int] = None, key: str = "process_name") -> Dict[str, Any]:
+    ev: Dict[str, Any] = {"ph": "M", "pid": pid, "name": key, "args": {"name": name}}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def _track_tid(track: str) -> int:
+    """Driver rows on tid 0; ``rank N`` rows on tid N+1; others after."""
+    if track in ("", DRIVER_TRACK):
+        return 0
+    if track.startswith("rank "):
+        try:
+            return int(track.split()[1]) + 1
+        except ValueError:
+            pass
+    return 10_000 + (hash(track) % 10_000)
+
+
+def chrome_trace_events(result: StageResult, pid: int = 1) -> List[Dict[str, Any]]:
+    """Flatten one StageResult (children included) into trace events."""
+    events: List[Dict[str, Any]] = []
+    events.append(_meta(result.stage, pid))
+    events.append(_meta(DRIVER_TRACK, pid, 0, "thread_name"))
+    # Driver row: the stage itself as one covering span.
+    events.append(
+        _event(
+            Span("stage", 0.0, max(result.makespan, 0.0), result.stage, DRIVER_TRACK),
+            pid,
+            0,
+        )
+    )
+    named_tracks = {DRIVER_TRACK}
+    for span in result.spans:
+        tid = _track_tid(span.track)
+        if span.track and span.track not in named_tracks:
+            named_tracks.add(span.track)
+            events.append(_meta(span.track, pid, tid, "thread_name"))
+        events.append(_event(span, pid, tid))
+    child_pid = pid * 100
+    for i, child in enumerate(result.children):
+        events.extend(chrome_trace_events(child, pid=child_pid + i + 1))
+    return events
+
+
+def chrome_trace(result: StageResult) -> Dict[str, Any]:
+    """The full trace-event JSON object for one StageResult."""
+    return {
+        "traceEvents": chrome_trace_events(result),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "stage": result.stage,
+            "makespan_s": result.makespan,
+            "metrics": dict(result.metrics),
+        },
+    }
+
+
+def write_chrome_trace(path, result: StageResult) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(chrome_trace(result)))
+    return out

@@ -1,0 +1,162 @@
+"""Critical-path analysis over per-rank virtual timelines.
+
+The paper's whole argument is a timing argument: Figure 7 measures load
+imbalance as max/min rank time, Figure 8 shows the redundant serial
+region's share growing with node count.  This module computes both
+directly from a traced run's span stream.
+
+Because every advancement of a rank's virtual clock is exactly one of
+the clock kinds (compute, wait at a collective, communication), each
+rank's three totals sum to its end time — and the slowest ("critical")
+rank's totals sum to the job makespan.  That identity is a tested
+invariant and makes the attribution exact rather than sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ObsError
+from repro.obs.result import StageResult
+from repro.obs.span import CLOCK_KINDS, Span
+from repro.util.fmt import format_table
+
+
+@dataclass(frozen=True)
+class RankBreakdown:
+    """One rank's makespan attribution."""
+
+    rank: int
+    compute: float
+    wait: float
+    comm: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.wait + self.comm
+
+
+@dataclass
+class CriticalPathReport:
+    """Where the virtual makespan of one traced run went."""
+
+    stage: str
+    nprocs: int
+    makespan: float
+    ranks: List[RankBreakdown]
+    critical_rank: int
+    serial_time: float  # serial-region phase time on the critical rank
+    top_spans: List[Span]
+
+    @property
+    def critical(self) -> RankBreakdown:
+        """The slowest rank's breakdown (it defines the makespan)."""
+        return next(r for r in self.ranks if r.rank == self.critical_rank)
+
+    @property
+    def serial_fraction(self) -> float:
+        """Figure 8's measure: redundant-serial share of the makespan."""
+        return self.serial_time / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        lo = min((r.total for r in self.ranks), default=0.0)
+        return self.makespan / lo if lo > 0 else float("inf")
+
+    def render(self) -> str:
+        """Printable breakdown: per-rank table + critical-path summary."""
+        rows = []
+        for r in self.ranks:
+            marker = " <- critical" if r.rank == self.critical_rank else ""
+            rows.append(
+                [
+                    f"{r.rank}{marker}",
+                    f"{r.compute:.4g}",
+                    f"{r.wait:.4g}",
+                    f"{r.comm:.4g}",
+                    f"{r.total:.4g}",
+                ]
+            )
+        parts = [
+            f"critical path of {self.stage!r} ({self.nprocs} ranks, "
+            f"makespan {self.makespan:.4g}s virtual)",
+            format_table(["rank", "compute", "wait", "comm", "total"], rows),
+            (
+                f"critical rank {self.critical_rank}: "
+                f"compute {self.critical.compute:.4g}s + wait {self.critical.wait:.4g}s "
+                f"+ comm {self.critical.comm:.4g}s = {self.critical.total:.4g}s"
+            ),
+            f"imbalance (max/min rank time): {self.imbalance:.2f}x",
+            (
+                f"serial regions on critical rank: {self.serial_time:.4g}s "
+                f"({100 * self.serial_fraction:.1f}% of makespan)  [Figure 8]"
+            ),
+        ]
+        if self.top_spans:
+            parts.append("longest spans:")
+            for s in self.top_spans:
+                parts.append(
+                    f"  {s.duration:10.4g}s  {s.track or '-':>8}  {s.kind:7}  {s.name}"
+                )
+        return "\n".join(parts)
+
+
+def critical_path(result: StageResult, top_k: int = 5) -> CriticalPathReport:
+    """Attribute a traced ``mpirun`` result's makespan.
+
+    Requires the run to have been launched with ``trace=True`` (the
+    per-rank clock segments are the ground truth being attributed).
+    """
+    if result.traces is None:
+        raise ObsError(
+            f"stage {result.stage!r} was not traced; rerun with mpirun(..., trace=True)"
+        )
+    ranks: List[RankBreakdown] = []
+    for trace in result.traces:
+        ranks.append(
+            RankBreakdown(
+                rank=trace.rank,
+                compute=trace.total("compute"),
+                wait=trace.total("wait"),
+                comm=trace.total("comm"),
+            )
+        )
+    critical_rank = max(ranks, key=lambda r: (r.total, -r.rank)).rank
+    serial_time = sum(
+        s.duration
+        for s in result.spans
+        if s.kind == "phase"
+        and s.track == f"rank {critical_rank}"
+        and bool(s.attr("serial"))
+    )
+    labelled = [s for s in result.spans if s.kind == "phase"] + [
+        s for s in result.spans if s.kind in CLOCK_KINDS and s.label
+    ]
+    top = sorted(labelled, key=lambda s: -s.duration)[:top_k]
+    return CriticalPathReport(
+        stage=result.stage,
+        nprocs=len(ranks),
+        makespan=result.makespan,
+        ranks=ranks,
+        critical_rank=critical_rank,
+        serial_time=serial_time,
+        top_spans=top,
+    )
+
+
+def verify_attribution(result: StageResult, tol: float = 1e-9) -> Sequence[float]:
+    """Per-rank |compute+wait+comm - elapsed| residuals (tested ≤ ``tol``).
+
+    Exposed as a function so tests and the CLI can assert the exact-
+    attribution invariant on any traced run.
+    """
+    report = critical_path(result)
+    residuals = []
+    for rank_breakdown, elapsed in zip(report.ranks, result.elapsed):
+        residuals.append(abs(rank_breakdown.total - elapsed))
+    if any(r > tol for r in residuals):
+        raise ObsError(
+            f"clock attribution broken for {result.stage!r}: residuals {residuals}"
+        )
+    return residuals

@@ -1,0 +1,136 @@
+"""The unified span type every instrumentation layer emits.
+
+Before this module the repo carried three disconnected timing records —
+``repro.mpi.trace.TraceSegment`` (per-rank compute/wait/comm intervals),
+``repro.monitor.collectl.StageSpan`` (pipeline-stage wall intervals) and
+the scalar counters in ``CommStats``.  A :class:`Span` subsumes the first
+two (both are now views over it) so the Chrome-trace exporter and the
+critical-path analyser consume a single shape regardless of which layer
+produced the interval.
+
+Vocabulary
+----------
+``kind``
+    What the interval *is*: ``"compute"``, ``"wait"`` and ``"comm"`` are
+    the per-rank virtual-clock kinds; ``"phase"`` marks a labelled
+    algorithm region (e.g. ``gff:loop1``) that *contains* clock spans;
+    ``"stage"`` marks a driver-level pipeline stage.
+``track``
+    Which timeline row the span belongs to: ``"rank 3"``, ``"driver"``.
+``attrs``
+    Free-form annotations — byte counts, item counts, cache hits, RAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+#: Clock kinds: every advancement of a rank's virtual clock is exactly one
+#: of these, which is why their per-rank totals sum to the rank's end time.
+CLOCK_KINDS = ("compute", "wait", "comm")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One interval on one track of a run's timeline."""
+
+    kind: str
+    start: float
+    stop: float
+    label: str = ""
+    track: str = ""
+    attrs: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise ValueError(f"segment ends before it starts: {self}")
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+    @property
+    def name(self) -> str:
+        """Display name: the label when set, else the kind."""
+        return self.label or self.kind
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Look up one annotation (None-safe)."""
+        return default if self.attrs is None else self.attrs.get(key, default)
+
+    def on_track(self, track: str) -> "Span":
+        """Copy of this span reassigned to ``track``."""
+        return replace(self, track=track)
+
+    def shifted(self, dt: float) -> "Span":
+        """Copy of this span translated by ``dt`` seconds."""
+        return replace(self, start=self.start + dt, stop=self.stop + dt)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        out: Dict[str, Any] = {
+            "kind": self.kind,
+            "start": self.start,
+            "stop": self.stop,
+            "label": self.label,
+            "track": self.track,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Mapping[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=obj["kind"],
+            start=float(obj["start"]),
+            stop=float(obj["stop"]),
+            label=obj.get("label", ""),
+            track=obj.get("track", ""),
+            attrs=obj.get("attrs"),
+        )
+
+
+@dataclass
+class SpanList:
+    """A mutable, track-aware collection of spans with simple analytics."""
+
+    spans: list = field(default_factory=list)
+
+    def add(self, span: Span) -> Span:
+        """Append one span (kept in insertion order)."""
+        self.spans.append(span)
+        return span
+
+    def total(self, kind: str, track: Optional[str] = None) -> float:
+        """Summed duration of ``kind`` spans, optionally on one track."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if s.kind == kind and (track is None or s.track == track)
+        )
+
+    def tracks(self) -> list:
+        """Distinct tracks in first-seen order."""
+        seen: list = []
+        for s in self.spans:
+            if s.track not in seen:
+                seen.append(s.track)
+        return seen
+
+    def on_track(self, track: str) -> list:
+        """All spans of one track, time-sorted."""
+        return sorted((s for s in self.spans if s.track == track), key=lambda s: s.start)
+
+    def longest(self, k: int = 5, kinds: Optional[tuple] = None) -> list:
+        """The ``k`` longest spans (optionally restricted to ``kinds``)."""
+        pool = [s for s in self.spans if kinds is None or s.kind in kinds]
+        return sorted(pool, key=lambda s: -s.duration)[:k]
+
+    def __iter__(self):
+        return iter(self.spans)
+
+    def __len__(self) -> int:
+        return len(self.spans)

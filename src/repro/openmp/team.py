@@ -37,6 +37,15 @@ class TeamResult:
     def speedup(self) -> float:
         return self.serial_time / self.makespan if self.makespan > 0 else 1.0
 
+    def as_span_attrs(self) -> dict:
+        """Attrs dict for the Span covering this loop on a rank's clock."""
+        return {
+            "items": len(self.values),
+            "serial_time": self.serial_time,
+            "n_threads": self.n_threads,
+            "speedup": self.speedup,
+        }
+
 
 class ThreadTeam:
     """A simulated OpenMP thread team.

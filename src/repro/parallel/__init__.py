@@ -20,19 +20,26 @@ timing the paper's Figures 7-11 report.
 """
 
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, rank_items
-from repro.parallel.mpi_bowtie import MpiBowtieResult, mpi_bowtie
-from repro.parallel.mpi_graph_from_fasta import MpiGffResult, mpi_graph_from_fasta
-from repro.parallel.mpi_reads_to_transcripts import MpiRttResult, mpi_reads_to_transcripts
+from repro.parallel.mpi_bowtie import BowtieOutputs, MpiBowtieResult, mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import GffOutputs, MpiGffResult, mpi_graph_from_fasta
+from repro.parallel.mpi_reads_to_transcripts import (
+    MpiRttResult,
+    RttOutputs,
+    mpi_reads_to_transcripts,
+)
 from repro.parallel.driver import ParallelTrinityConfig, ParallelTrinityDriver
 
 __all__ = [
     "chunk_ranges",
     "chunks_for_rank",
     "rank_items",
+    "BowtieOutputs",
     "MpiBowtieResult",
     "mpi_bowtie",
+    "GffOutputs",
     "MpiGffResult",
     "mpi_graph_from_fasta",
+    "RttOutputs",
     "MpiRttResult",
     "mpi_reads_to_transcripts",
     "ParallelTrinityConfig",

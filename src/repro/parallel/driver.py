@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PipelineError
 from repro.monitor import ResourceMonitor
+from repro.obs.result import StageResult
 from repro.mpi import MpiRunResult, mpirun
 from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
 from repro.seq.fasta import write_fasta
@@ -77,9 +78,15 @@ class ParallelTrinityDriver:
         self,
         reads: Sequence[SeqRecord],
         workdir: Optional[PathLike] = None,
-    ) -> TrinityResult:
+    ) -> StageResult:
         """Assemble ``reads`` with the hybrid Chrysalis; per-stage MPI
-        timings land in :attr:`last_timings`."""
+        timings land in :attr:`last_timings`.
+
+        Returns a :class:`~repro.obs.result.StageResult` whose ``outputs``
+        is the :class:`TrinityResult` and whose ``children`` are the three
+        ``mpirun`` StageResults (bowtie, gff, rtt) — the full span tree a
+        single :func:`repro.obs.chrome.write_chrome_trace` can export.
+        """
         cfg = self.config
         tcfg = cfg.trinity
         monitor = ResourceMonitor()
@@ -114,7 +121,7 @@ class ParallelTrinityDriver:
                 workdir=wd,
                 network=cfg.network,
             )
-        sams = bowtie_run.returns[0].records
+        sams = bowtie_run.outputs[0].records
         if wd is not None:
             files["bowtie_sam"] = wd / "bowtie.sam"
         name_to_idx = {c.name: i for i, c in enumerate(contigs)}
@@ -135,7 +142,7 @@ class ParallelTrinityDriver:
                 nthreads=cfg.nthreads,
                 network=cfg.network,
             )
-        gff = gff_run.returns[0]
+        gff = gff_run.outputs[0]
         from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaResult
 
         gff_result = GraphFromFastaResult(
@@ -165,9 +172,9 @@ class ParallelTrinityDriver:
                 workdir=wd,
                 network=cfg.network,
             )
-        assignments = rtt_run.returns[0].assignments
-        if rtt_run.returns[0].out_path is not None:
-            files["reads_to_transcripts"] = rtt_run.returns[0].out_path
+        assignments = rtt_run.outputs[0].assignments
+        if rtt_run.outputs[0].out_path is not None:
+            files["reads_to_transcripts"] = rtt_run.outputs[0].out_path
 
         # -- serial back end: QuantifyGraph + Butterfly ---------------------------
         with monitor.stage("chrysalis.quantify_graph"):
@@ -192,7 +199,7 @@ class ParallelTrinityDriver:
             bowtie_run.makespan, gff_run.makespan, gff_run.imbalance, rtt_run.makespan,
         )
         self.last_timings = ParallelStageTimings(bowtie=bowtie_run, gff=gff_run, rtt=rtt_run)
-        return TrinityResult(
+        result = TrinityResult(
             transcripts=transcripts,
             contigs=contigs,
             gff=gff_result,
@@ -201,4 +208,22 @@ class ParallelTrinityDriver:
             counts=counts,
             timeline=monitor.timeline,
             files=files,
+        )
+        timeline = monitor.timeline
+        return StageResult(
+            stage="parallel-trinity",
+            outputs=result,
+            makespan=timeline.total_s,
+            spans=list(timeline.spans),
+            metrics={
+                **{f"stage.{name}_s": timeline.duration_of(name) for name in timeline.stages()},
+                "nprocs": float(cfg.nprocs),
+                "nthreads": float(cfg.nthreads),
+                "n_transcripts": float(len(transcripts)),
+                "mpi.bowtie_makespan_s": bowtie_run.makespan,
+                "mpi.gff_makespan_s": gff_run.makespan,
+                "mpi.rtt_makespan_s": rtt_run.makespan,
+                "peak_ram_gb": timeline.peak_ram_gb,
+            },
+            children=[bowtie_run, gff_run, rtt_run],
         )

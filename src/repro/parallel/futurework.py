@@ -21,10 +21,11 @@ import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.mpi.comm import SimComm
+from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
-from repro.parallel.mpi_graph_from_fasta import MpiGffResult
-from repro.parallel.mpi_reads_to_transcripts import MpiRttResult, _chunk_read_cost
+from repro.parallel.mpi_graph_from_fasta import GffOutputs
+from repro.parallel.mpi_reads_to_transcripts import RttOutputs, _chunk_read_cost
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import build_components
 from repro.trinity.chrysalis.graph_from_fasta import (
@@ -54,7 +55,7 @@ def mpi_reads_to_transcripts_striped(
     components,
     cfg: Optional[ReadsToTranscriptsConfig] = None,
     nthreads: int = 16,
-) -> MpiRttResult:
+) -> StageResult:
     """MPI-I/O variant of ReadsToTranscripts.
 
     Identical chunk ownership (chunk ``i`` -> rank ``i mod size``) and
@@ -65,32 +66,44 @@ def mpi_reads_to_transcripts_striped(
     cfg = cfg or ReadsToTranscriptsConfig()
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
 
-    t0 = comm.clock.now
-    kmer_map = comm.shared(
-        "fw:rtt:kmer_to_component",
-        lambda: build_kmer_to_component(contigs, components, cfg.k),
-    )
-    setup_time = comm.clock.now - t0
-    comm.clock.advance(0.0005)  # MPI_File_open + Set_view
+    with comm.region("fw:rtt:setup", serial=True) as setup_region:
+        kmer_map = comm.shared(
+            "fw:rtt:kmer_to_component",
+            lambda: build_kmer_to_component(contigs, components, cfg.k),
+        )
+    setup_time = setup_region.elapsed
+    comm.clock.advance(0.0005, label="fw:rtt:file_open")  # MPI_File_open + Set_view
 
-    loop_t0 = comm.clock.now
     mine: List[ReadAssignment] = []
-    for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
-        if chunk_idx % comm.size != comm.rank:
-            continue  # striped: other ranks' chunks are never read
-        comm.clock.advance(_chunk_read_cost(chunk))
-        result = team.map(lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk)
-        mine.extend(result.values)
-        comm.clock.advance(result.makespan)
-    loop_time = comm.clock.now - loop_t0
+    with comm.region("fw:rtt:loop", strategy="striped") as loop_region:
+        for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
+            if chunk_idx % comm.size != comm.rank:
+                continue  # striped: other ranks' chunks are never read
+            comm.clock.advance(_chunk_read_cost(chunk), label=f"fw:rtt:read_chunk{chunk_idx}")
+            result = team.map(
+                lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk
+            )
+            mine.extend(result.values)
+            comm.clock.advance(
+                result.makespan,
+                label=f"fw:rtt:assign_chunk{chunk_idx}",
+                attrs=result.as_span_attrs(),
+            )
+    loop_time = loop_region.elapsed
 
     pooled = comm.allgather(mine)
     assignments = sorted((a for part in pooled for a in part), key=lambda a: a.read_index)
-    return MpiRttResult(
-        assignments=assignments,
-        loop_time=loop_time,
-        setup_time=setup_time,
-        concat_time=0.0,
+    return StageResult(
+        stage="rtt-striped",
+        outputs=RttOutputs(assignments=assignments, out_path=None),
+        makespan=comm.clock.now,
+        metrics={
+            "loop_time": loop_time,
+            "setup_time": setup_time,
+            "concat_time": 0.0,
+            "n_assignments": float(len(assignments)),
+        },
+        rank=comm.rank,
     )
 
 
@@ -102,7 +115,7 @@ def mpi_graph_from_fasta_sharded_setup(
     extra_pairs: Sequence[Tuple[int, int]] = (),
     nthreads: int = 16,
     chunk_size: Optional[int] = None,
-) -> MpiGffResult:
+) -> StageResult:
     """GraphFromFasta with the weldmer build parallelized.
 
     Instead of every rank scanning *all* reads for weldmers (the dominant
@@ -124,36 +137,43 @@ def mpi_graph_from_fasta_sharded_setup(
         kmer_map = build_kmer_to_contigs(contigs, cfg.k)
         return kmer_map, shared_seed_array(kmer_map, cfg)
 
-    t0 = comm.clock.now
-    kmer_map, shared = comm.shared("fw:gff:setup_a", _setup_a)
-    serial_time = comm.clock.now - t0
+    with comm.region("fw:gff:setup_a", serial=True) as setup_region:
+        kmer_map, shared = comm.shared("fw:gff:setup_a", _setup_a)
+    serial_time = setup_region.elapsed
 
     # Setup part B (sharded): weldmer scan over my slice of the reads.
     # Thread CPU time: every rank scans its shard concurrently, so wall
     # time here would grow with nprocs through GIL contention.
-    t0 = time.thread_time()
-    my_reads = [r for i, r in enumerate(reads) if (i // 256) % comm.size == comm.rank]
-    my_weldmers = build_weldmer_index(my_reads, shared, cfg)
-    comm.clock.advance(time.thread_time() - t0)
-    pooled_tables = comm.allgatherv(my_weldmers)
+    with comm.region("fw:gff:setup_b"):
+        t0 = time.thread_time()
+        my_reads = [r for i, r in enumerate(reads) if (i // 256) % comm.size == comm.rank]
+        my_weldmers = build_weldmer_index(my_reads, shared, cfg)
+        comm.clock.advance(time.thread_time() - t0, label="fw:gff:weldmer_scan")
+        pooled_tables = comm.allgatherv(my_weldmers)
     weldmers: Dict[str, int] = {}
     for table in pooled_tables:
         for window, count in table.items():
             weldmers[window] = weldmers.get(window, 0) + count
 
     # Loops 1 and 2: unchanged from the shipped implementation.
-    loop1_t0 = comm.clock.now
     my_welds: List[WeldCandidate] = []
-    for c in my_chunks:
-        start, stop = ranges[c]
-        result = team.map(
-            lambda idx: harvest_welds_for_contig(idx, contigs[idx], kmer_map, cfg, shared),
-            list(range(start, stop)),
-        )
-        for welds in result.values:
-            my_welds.extend(welds)
-        comm.clock.advance(result.makespan)
-    loop1_time = comm.clock.now - loop1_t0
+    with comm.region("fw:gff:loop1", chunks=len(my_chunks)) as loop1_region:
+        for c in my_chunks:
+            start, stop = ranges[c]
+            result = team.map(
+                lambda idx: harvest_welds_for_contig(
+                    idx, contigs[idx], kmer_map, cfg, shared
+                ),
+                list(range(start, stop)),
+            )
+            for welds in result.values:
+                my_welds.extend(welds)
+            comm.clock.advance(
+                result.makespan,
+                label=f"fw:gff:loop1:chunk{c}",
+                attrs=result.as_span_attrs(),
+            )
+    loop1_time = loop1_region.elapsed
 
     pooled = comm.allgatherv(my_welds)
     welds: List[WeldCandidate] = [w for part in pooled for w in part]
@@ -162,24 +182,28 @@ def mpi_graph_from_fasta_sharded_setup(
         index = build_weld_index(welds)
         return index, weld_index_keys(index)
 
-    t0 = comm.clock.now
-    weld_index, weld_keys = comm.shared("fw:gff:weld_index", _weld_index)
-    serial_time += comm.clock.now - t0
+    with comm.region("fw:gff:weld_index", serial=True) as widx_region:
+        weld_index, weld_keys = comm.shared("fw:gff:weld_index", _weld_index)
+    serial_time += widx_region.elapsed
 
-    loop2_t0 = comm.clock.now
     my_pairs: Set[Tuple[int, int]] = set()
-    for c in my_chunks:
-        start, stop = ranges[c]
-        result = team.map(
-            lambda idx: find_weld_pairs_for_contig(
-                idx, contigs[idx], welds, weld_index, weldmers, cfg, weld_keys
-            ),
-            list(range(start, stop)),
-        )
-        for pairs in result.values:
-            my_pairs.update(pairs)
-        comm.clock.advance(result.makespan)
-    loop2_time = comm.clock.now - loop2_t0
+    with comm.region("fw:gff:loop2", chunks=len(my_chunks)) as loop2_region:
+        for c in my_chunks:
+            start, stop = ranges[c]
+            result = team.map(
+                lambda idx: find_weld_pairs_for_contig(
+                    idx, contigs[idx], welds, weld_index, weldmers, cfg, weld_keys
+                ),
+                list(range(start, stop)),
+            )
+            for pairs in result.values:
+                my_pairs.update(pairs)
+            comm.clock.advance(
+                result.makespan,
+                label=f"fw:gff:loop2:chunk{c}",
+                attrs=result.as_span_attrs(),
+            )
+    loop2_time = loop2_region.elapsed
 
     pooled_pairs = comm.allgatherv(sorted(my_pairs))
     pair_set: Set[Tuple[int, int]] = set()
@@ -189,17 +213,23 @@ def mpi_graph_from_fasta_sharded_setup(
         pair_set.add((min(a, b), max(a, b)))
     pairs = sorted(pair_set)
 
-    t0 = comm.clock.now
-    components = comm.shared(
-        "fw:gff:components", lambda: build_components(len(contigs), pairs)
-    )
-    serial_time += comm.clock.now - t0
+    with comm.region("fw:gff:components", serial=True) as comp_region:
+        components = comm.shared(
+            "fw:gff:components", lambda: build_components(len(contigs), pairs)
+        )
+    serial_time += comp_region.elapsed
 
-    return MpiGffResult(
-        welds=welds,
-        pairs=pairs,
-        components=components,
-        loop1_time=loop1_time,
-        loop2_time=loop2_time,
-        serial_time=serial_time,
+    return StageResult(
+        stage="gff-sharded-setup",
+        outputs=GffOutputs(welds=welds, pairs=pairs, components=components),
+        makespan=comm.clock.now,
+        metrics={
+            "loop1_time": loop1_time,
+            "loop2_time": loop2_time,
+            "serial_time": serial_time,
+            "n_welds": float(len(welds)),
+            "n_pairs": float(len(pairs)),
+            "n_components": float(len(components)),
+        },
+        rank=comm.rank,
     )

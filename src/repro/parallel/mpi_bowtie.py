@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.mpi.comm import SimComm
+from repro.obs.result import StageResult
 from repro.seq.pyfasta import plan_split
 from repro.seq.records import Contig, SeqRecord
 from repro.seq.sam import SamRecord, write_sam
@@ -42,14 +43,18 @@ _Best = Optional[Tuple[int, int, int]]  # (contig idx, pos, mismatches)
 
 
 @dataclass
-class MpiBowtieResult:
-    """Per-rank view of the parallel Bowtie outcome."""
+class BowtieOutputs:
+    """What the parallel Bowtie computes."""
 
     records: List[SamRecord]  # full merged SAM (on all ranks)
-    split_time: float  # PyFasta partitioning (master, serial)
-    align_time: float  # this rank's index build + alignment
-    merge_time: float  # SAM merge (master)
-    part_path: Optional[Path] = None
+    part_path: Optional[Path] = None  # this rank's SAM piece, if written
+
+
+#: Deprecated alias, kept for one release: the per-rank outcome is now a
+#: :class:`~repro.obs.result.StageResult` whose ``outputs`` is a
+#: :class:`BowtieOutputs` and whose ``metrics`` carry ``split_time`` /
+#: ``align_time`` / ``merge_time`` (the old field names still resolve).
+MpiBowtieResult = StageResult
 
 
 def mpi_bowtie(
@@ -58,34 +63,36 @@ def mpi_bowtie(
     contigs: Sequence[Contig],
     cfg: Optional[BowtieConfig] = None,
     workdir: Optional[PathLike] = None,
-) -> MpiBowtieResult:
+) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`."""
     cfg = cfg or BowtieConfig()
 
     # -- PyFasta split on the master (serial overhead) ----------------------
     split_time = 0.0
     pieces: Optional[List[List[int]]] = None
-    if comm.rank == 0:
-        t0 = time.perf_counter()
-        pieces = plan_split([len(c.seq) for c in contigs], comm.size)
-        split_time = time.perf_counter() - t0
-        # Model the file rewrite at 200 MB/s (PyFasta is I/O bound).
-        split_time += sum(len(c.seq) for c in contigs) / 200e6
-        comm.clock.advance(split_time)
-    pieces = comm.bcast(pieces, root=0)
+    with comm.region("bowtie:split", serial=True):
+        if comm.rank == 0:
+            t0 = time.perf_counter()
+            pieces = plan_split([len(c.seq) for c in contigs], comm.size)
+            split_time = time.perf_counter() - t0
+            # Model the file rewrite at 200 MB/s (PyFasta is I/O bound).
+            split_time += sum(len(c.seq) for c in contigs) / 200e6
+            comm.clock.advance(split_time, label="bowtie:pyfasta_split")
+        pieces = comm.bcast(pieces, root=0)
 
     # -- per-rank: build index over my piece, align all reads ---------------
     # Thread CPU time: all ranks align concurrently, so wall time here
     # would grow with nprocs through GIL contention.
     my_globals: List[int] = pieces[comm.rank]
-    t0 = time.thread_time()
-    index = BowtieIndex([contigs[g] for g in my_globals], cfg)
-    bests: List[Tuple[_Best, _Best]] = []
-    for read in reads:
-        fwd, rev = align_read_detail(read, index)
-        bests.append((_to_global(fwd, my_globals), _to_global(rev, my_globals)))
-    align_time = time.thread_time() - t0
-    comm.clock.advance(align_time)
+    with comm.region("bowtie:align", piece_contigs=len(my_globals), reads=len(reads)):
+        t0 = time.thread_time()
+        index = BowtieIndex([contigs[g] for g in my_globals], cfg)
+        bests: List[Tuple[_Best, _Best]] = []
+        for read in reads:
+            fwd, rev = align_read_detail(read, index)
+            bests.append((_to_global(fwd, my_globals), _to_global(rev, my_globals)))
+        align_time = time.thread_time() - t0
+        comm.clock.advance(align_time, label="bowtie:align")
 
     part_path: Optional[Path] = None
     if workdir is not None:
@@ -99,33 +106,41 @@ def mpi_bowtie(
         write_sam(part_path, part_records)
 
     # -- merge: reduce per-orientation bests across pieces ------------------
-    pooled = comm.gather(bests, root=0)
     merge_time = 0.0
     merged: Optional[List[SamRecord]] = None
-    if comm.rank == 0:
-        t0 = time.perf_counter()
-        merged = []
-        for ridx, read in enumerate(reads):
-            fwd = _min_best(p[ridx][0] for p in pooled)
-            rev = _min_best(p[ridx][1] for p in pooled)
-            merged.append(resolve_orientation(read, fwd, rev, lambda g: contigs[g].name))
-        merge_time = time.perf_counter() - t0
-        comm.clock.advance(merge_time)
-        if workdir is not None:
-            from repro.seq.sam import sam_header
+    with comm.region("bowtie:merge", serial=True):
+        pooled = comm.gather(bests, root=0)
+        if comm.rank == 0:
+            t0 = time.perf_counter()
+            merged = []
+            for ridx, read in enumerate(reads):
+                fwd = _min_best(p[ridx][0] for p in pooled)
+                rev = _min_best(p[ridx][1] for p in pooled)
+                merged.append(
+                    resolve_orientation(read, fwd, rev, lambda g: contigs[g].name)
+                )
+            merge_time = time.perf_counter() - t0
+            comm.clock.advance(merge_time, label="bowtie:merge")
+            if workdir is not None:
+                from repro.seq.sam import sam_header
 
-            write_sam(
-                Path(workdir) / "bowtie.sam",
-                merged,
-                sam_header([(c.name, len(c.seq)) for c in contigs]),
-            )
-    merged = comm.bcast(merged, root=0)
-    return MpiBowtieResult(
-        records=merged,
-        split_time=split_time,
-        align_time=align_time,
-        merge_time=merge_time,
-        part_path=part_path,
+                write_sam(
+                    Path(workdir) / "bowtie.sam",
+                    merged,
+                    sam_header([(c.name, len(c.seq)) for c in contigs]),
+                )
+        merged = comm.bcast(merged, root=0)
+    return StageResult(
+        stage="bowtie",
+        outputs=BowtieOutputs(records=merged, part_path=part_path),
+        makespan=comm.clock.now,
+        metrics={
+            "split_time": split_time,
+            "align_time": align_time,
+            "merge_time": merge_time,
+            "n_records": float(len(merged)),
+        },
+        rank=comm.rank,
     )
 
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.mpi.comm import SimComm
 from repro.mpi.datatypes import pack_int_pairs, pack_strings, unpack_int_pairs, unpack_strings
+from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
 from repro.seq.records import Contig, SeqRecord
@@ -45,8 +46,8 @@ from repro.trinity.chrysalis.graph_from_fasta import (
 
 
 @dataclass
-class MpiGffResult:
-    """Per-rank view of the hybrid GraphFromFasta outcome.
+class GffOutputs:
+    """What the hybrid GraphFromFasta computes.
 
     All ranks hold identical ``welds`` / ``pairs`` / ``components`` (the
     pooling collectives guarantee it — also a tested invariant).
@@ -55,9 +56,13 @@ class MpiGffResult:
     welds: List[WeldCandidate]
     pairs: List[Tuple[int, int]]
     components: List[Component]
-    loop1_time: float  # this rank's virtual seconds in loop 1
-    loop2_time: float
-    serial_time: float  # non-MPI regions (redundant on every rank)
+
+
+#: Deprecated alias, kept for one release: the per-rank outcome is now a
+#: :class:`~repro.obs.result.StageResult` whose ``outputs`` is a
+#: :class:`GffOutputs` and whose ``metrics`` carry ``loop1_time`` /
+#: ``loop2_time`` / ``serial_time`` (the old field names still resolve).
+MpiGffResult = StageResult
 
 
 def mpi_graph_from_fasta(
@@ -68,7 +73,7 @@ def mpi_graph_from_fasta(
     extra_pairs: Sequence[Tuple[int, int]] = (),
     nthreads: int = 16,
     chunk_size: Optional[int] = None,
-) -> MpiGffResult:
+) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`."""
     cfg = cfg or GraphFromFastaConfig()
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
@@ -86,25 +91,29 @@ def mpi_graph_from_fasta(
         weldmers = build_weldmer_index(reads, shared_seeds, cfg)
         return kmer_map, shared_seeds, weldmers
 
-    setup_t0 = comm.clock.now
-    kmer_map, shared_seeds, weldmers = comm.shared("gff:setup", _setup)
-    serial_time = comm.clock.now - setup_t0
+    with comm.region("gff:setup", serial=True) as setup_region:
+        kmer_map, shared_seeds, weldmers = comm.shared("gff:setup", _setup)
+    serial_time = setup_region.elapsed
 
     # -- loop 1: harvest welds over my chunks ------------------------------
-    loop1_t0 = comm.clock.now
     my_welds: List[WeldCandidate] = []
-    for c in my_chunks:
-        start, stop = ranges[c]
-        result = team.map(
-            lambda idx: harvest_welds_for_contig(
-                idx, contigs[idx], kmer_map, cfg, shared_seeds
-            ),
-            list(range(start, stop)),
-        )
-        for welds in result.values:
-            my_welds.extend(welds)
-        comm.clock.advance(result.makespan)
-    loop1_time = comm.clock.now - loop1_t0
+    with comm.region("gff:loop1", chunks=len(my_chunks)) as loop1_region:
+        for c in my_chunks:
+            start, stop = ranges[c]
+            result = team.map(
+                lambda idx: harvest_welds_for_contig(
+                    idx, contigs[idx], kmer_map, cfg, shared_seeds
+                ),
+                list(range(start, stop)),
+            )
+            for welds in result.values:
+                my_welds.extend(welds)
+            comm.clock.advance(
+                result.makespan,
+                label=f"gff:loop1:chunk{c}",
+                attrs=result.as_span_attrs(),
+            )
+    loop1_time = loop1_region.elapsed
 
     # -- pool welds on every rank (packed strings + Allgatherv) ------------
     # Wire format mirrors the paper: the vector of welding subsequences is
@@ -136,25 +145,29 @@ def mpi_graph_from_fasta(
         index = build_weld_index(welds)
         return index, weld_index_keys(index)
 
-    t0 = comm.clock.now
-    weld_index, weld_keys = comm.shared("gff:weld_index", _weld_index)
-    serial_time += comm.clock.now - t0
+    with comm.region("gff:weld_index", serial=True) as widx_region:
+        weld_index, weld_keys = comm.shared("gff:weld_index", _weld_index)
+    serial_time += widx_region.elapsed
 
     # -- loop 2: find pairs over my chunks ----------------------------------
-    loop2_t0 = comm.clock.now
     my_pairs: Set[Tuple[int, int]] = set()
-    for c in my_chunks:
-        start, stop = ranges[c]
-        result = team.map(
-            lambda idx: find_weld_pairs_for_contig(
-                idx, contigs[idx], welds, weld_index, weldmers, cfg, weld_keys
-            ),
-            list(range(start, stop)),
-        )
-        for pairs in result.values:
-            my_pairs.update(pairs)
-        comm.clock.advance(result.makespan)
-    loop2_time = comm.clock.now - loop2_t0
+    with comm.region("gff:loop2", chunks=len(my_chunks)) as loop2_region:
+        for c in my_chunks:
+            start, stop = ranges[c]
+            result = team.map(
+                lambda idx: find_weld_pairs_for_contig(
+                    idx, contigs[idx], welds, weld_index, weldmers, cfg, weld_keys
+                ),
+                list(range(start, stop)),
+            )
+            for pairs in result.values:
+                my_pairs.update(pairs)
+            comm.clock.advance(
+                result.makespan,
+                label=f"gff:loop2:chunk{c}",
+                attrs=result.as_span_attrs(),
+            )
+    loop2_time = loop2_region.elapsed
 
     # -- pool pairs on every rank (flat int array + Allgatherv) ------------
     flat = pack_int_pairs(sorted(my_pairs))
@@ -168,17 +181,23 @@ def mpi_graph_from_fasta(
 
     # -- serial region: components (charged per rank, built once; the
     # pooled pair list is identical on every rank) --------------------------
-    t0 = comm.clock.now
-    components = comm.shared(
-        "gff:components", lambda: build_components(len(contigs), pairs)
-    )
-    serial_time += comm.clock.now - t0
+    with comm.region("gff:components", serial=True) as comp_region:
+        components = comm.shared(
+            "gff:components", lambda: build_components(len(contigs), pairs)
+        )
+    serial_time += comp_region.elapsed
 
-    return MpiGffResult(
-        welds=welds,
-        pairs=pairs,
-        components=components,
-        loop1_time=loop1_time,
-        loop2_time=loop2_time,
-        serial_time=serial_time,
+    return StageResult(
+        stage="gff",
+        outputs=GffOutputs(welds=welds, pairs=pairs, components=components),
+        makespan=comm.clock.now,
+        metrics={
+            "loop1_time": loop1_time,
+            "loop2_time": loop2_time,
+            "serial_time": serial_time,
+            "n_welds": float(len(welds)),
+            "n_pairs": float(len(pairs)),
+            "n_components": float(len(components)),
+        },
+        rank=comm.rank,
     )

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.mpi.comm import SimComm
+from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component
@@ -37,14 +38,18 @@ PathLike = Union[str, Path]
 
 
 @dataclass
-class MpiRttResult:
-    """Per-rank view of the hybrid ReadsToTranscripts outcome."""
+class RttOutputs:
+    """What the hybrid ReadsToTranscripts computes."""
 
     assignments: List[ReadAssignment]  # full, read-index-ordered (on all ranks)
-    loop_time: float  # this rank's virtual seconds in the MPI loop
-    setup_time: float  # k-mer -> bundle assignment (OpenMP-only region)
-    concat_time: float  # output concatenation (master)
-    out_path: Optional[Path] = None
+    out_path: Optional[Path] = None  # concatenated output (master, if written)
+
+
+#: Deprecated alias, kept for one release: the per-rank outcome is now a
+#: :class:`~repro.obs.result.StageResult` whose ``outputs`` is an
+#: :class:`RttOutputs` and whose ``metrics`` carry ``setup_time`` /
+#: ``loop_time`` / ``concat_time`` (the old field names still resolve).
+MpiRttResult = StageResult
 
 
 def mpi_reads_to_transcripts(
@@ -55,7 +60,7 @@ def mpi_reads_to_transcripts(
     cfg: Optional[ReadsToTranscriptsConfig] = None,
     nthreads: int = 16,
     workdir: Optional[PathLike] = None,
-) -> MpiRttResult:
+) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`.
 
     Returns identical, serially-equal assignments on every rank (pooled
@@ -68,30 +73,34 @@ def mpi_reads_to_transcripts(
     # -- OpenMP-only setup: assign k-mers to Inchworm bundles --------------
     # (redundant on every real rank, so every rank is charged the build
     # cost — but computed once per simulated run)
-    t0 = comm.clock.now
-    kmer_map = comm.shared(
-        "rtt:kmer_to_component",
-        lambda: build_kmer_to_component(contigs, components, cfg.k),
-    )
-    setup_time = comm.clock.now - t0
+    with comm.region("rtt:setup", serial=True) as setup_region:
+        kmer_map = comm.shared(
+            "rtt:kmer_to_component",
+            lambda: build_kmer_to_component(contigs, components, cfg.k),
+        )
+    setup_time = setup_region.elapsed
 
     # -- MPI loop: redundant-read streaming --------------------------------
-    loop_t0 = comm.clock.now
     mine: List[ReadAssignment] = []
-    for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
-        # Every rank "reads" the chunk (redundant I/O, no communication)…
-        read_cost = _chunk_read_cost(chunk)
-        comm.clock.advance(read_cost)
-        # …but only processes chunks congruent to its rank.
-        if chunk_idx % comm.size != comm.rank:
-            continue
-        result = team.map(
-            lambda item: assign_read(item[0], item[1], kmer_map, cfg),
-            chunk,
-        )
-        mine.extend(result.values)
-        comm.clock.advance(result.makespan)
-    loop_time = comm.clock.now - loop_t0
+    with comm.region("rtt:loop") as loop_region:
+        for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
+            # Every rank "reads" the chunk (redundant I/O, no communication)…
+            read_cost = _chunk_read_cost(chunk)
+            comm.clock.advance(read_cost, label=f"rtt:read_chunk{chunk_idx}")
+            # …but only processes chunks congruent to its rank.
+            if chunk_idx % comm.size != comm.rank:
+                continue
+            result = team.map(
+                lambda item: assign_read(item[0], item[1], kmer_map, cfg),
+                chunk,
+            )
+            mine.extend(result.values)
+            comm.clock.advance(
+                result.makespan,
+                label=f"rtt:assign_chunk{chunk_idx}",
+                attrs=result.as_span_attrs(),
+            )
+    loop_time = loop_region.elapsed
 
     # -- per-rank output file + master concatenation ------------------------
     out_path: Optional[Path] = None
@@ -111,7 +120,7 @@ def mpi_reads_to_transcripts(
             t0 = time.perf_counter()
             cat_files(out_path, parts)
             concat_time = time.perf_counter() - t0
-            comm.clock.advance(concat_time)
+            comm.clock.advance(concat_time, label="rtt:concat")
         comm.barrier()
 
     # Pool assignments so every rank returns the full, ordered table
@@ -121,12 +130,17 @@ def mpi_reads_to_transcripts(
     assignments = sorted(
         (a for part in pooled for a in part), key=lambda a: a.read_index
     )
-    return MpiRttResult(
-        assignments=assignments,
-        loop_time=loop_time,
-        setup_time=setup_time,
-        concat_time=concat_time,
-        out_path=out_path,
+    return StageResult(
+        stage="rtt",
+        outputs=RttOutputs(assignments=assignments, out_path=out_path),
+        makespan=comm.clock.now,
+        metrics={
+            "loop_time": loop_time,
+            "setup_time": setup_time,
+            "concat_time": concat_time,
+            "n_assignments": float(len(assignments)),
+        },
+        rank=comm.rank,
     )
 
 
@@ -146,7 +160,7 @@ def mpi_reads_to_transcripts_master_slave(
     components: Sequence[Component],
     cfg: Optional[ReadsToTranscriptsConfig] = None,
     nthreads: int = 16,
-) -> MpiRttResult:
+) -> StageResult:
     """The paper's *first* (rejected) strategy, for the ablation bench:
 
     "let only a master node or rank read the sequences and distribute to
@@ -157,40 +171,52 @@ def mpi_reads_to_transcripts_master_slave(
     cfg = cfg or ReadsToTranscriptsConfig()
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
 
-    t0 = comm.clock.now
-    kmer_map = comm.shared(
-        "rtt:kmer_to_component",
-        lambda: build_kmer_to_component(contigs, components, cfg.k),
-    )
-    setup_time = comm.clock.now - t0
+    with comm.region("rtt:setup", serial=True) as setup_region:
+        kmer_map = comm.shared(
+            "rtt:kmer_to_component",
+            lambda: build_kmer_to_component(contigs, components, cfg.k),
+        )
+    setup_time = setup_region.elapsed
 
-    loop_t0 = comm.clock.now
     mine: List[ReadAssignment] = []
-    for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
-        target = chunk_idx % comm.size
-        if comm.rank == 0:
-            comm.clock.advance(_chunk_read_cost(chunk))  # only master reads
-        # Master ships the chunk to its owner (self-sends skipped).
-        if target != 0:
+    with comm.region("rtt:loop", strategy="master_slave") as loop_region:
+        for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
+            target = chunk_idx % comm.size
             if comm.rank == 0:
-                comm.send(chunk, dest=target, tag=chunk_idx)
-            elif comm.rank == target:
-                chunk = comm.recv(source=0, tag=chunk_idx)
-        if comm.rank == target:
-            result = team.map(
-                lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk
-            )
-            mine.extend(result.values)
-            comm.clock.advance(result.makespan)
-    loop_time = comm.clock.now - loop_t0
+                comm.clock.advance(
+                    _chunk_read_cost(chunk), label=f"rtt:read_chunk{chunk_idx}"
+                )  # only master reads
+            # Master ships the chunk to its owner (self-sends skipped).
+            if target != 0:
+                if comm.rank == 0:
+                    comm.send(chunk, dest=target, tag=chunk_idx)
+                elif comm.rank == target:
+                    chunk = comm.recv(source=0, tag=chunk_idx)
+            if comm.rank == target:
+                result = team.map(
+                    lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk
+                )
+                mine.extend(result.values)
+                comm.clock.advance(
+                    result.makespan,
+                    label=f"rtt:assign_chunk{chunk_idx}",
+                    attrs=result.as_span_attrs(),
+                )
+    loop_time = loop_region.elapsed
 
     pooled = comm.allgather(mine)
     assignments = sorted(
         (a for part in pooled for a in part), key=lambda a: a.read_index
     )
-    return MpiRttResult(
-        assignments=assignments,
-        loop_time=loop_time,
-        setup_time=setup_time,
-        concat_time=0.0,
+    return StageResult(
+        stage="rtt",
+        outputs=RttOutputs(assignments=assignments, out_path=None),
+        makespan=comm.clock.now,
+        metrics={
+            "loop_time": loop_time,
+            "setup_time": setup_time,
+            "concat_time": 0.0,
+            "n_assignments": float(len(assignments)),
+        },
+        rank=comm.rank,
     )

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PipelineError
 from repro.monitor import ResourceMonitor, Timeline
+from repro.obs.result import StageResult
 from repro.seq.fasta import write_fasta
 from repro.seq.records import Contig, SeqRecord, Transcript
 from repro.seq.sam import write_sam
@@ -133,8 +134,15 @@ class TrinityPipeline:
         self,
         reads: Sequence[SeqRecord],
         workdir: Optional[PathLike] = None,
-    ) -> TrinityResult:
-        """Assemble ``reads``; write stage files under ``workdir`` if given."""
+    ) -> StageResult:
+        """Assemble ``reads``; write stage files under ``workdir`` if given.
+
+        Returns a :class:`~repro.obs.result.StageResult` whose ``outputs``
+        is the :class:`TrinityResult`; the artefact fields
+        (``transcripts``, ``contigs``, ``timeline``, ``files``, …) remain
+        reachable on the result by delegation, so pre-existing callers
+        run unmodified.
+        """
         if not reads:
             raise PipelineError("no reads supplied")
         cfg = self.config
@@ -236,7 +244,7 @@ class TrinityPipeline:
             files["transcripts"] = wd / "Trinity.fasta"
             write_fasta(files["transcripts"], [t.to_record() for t in transcripts])
 
-        return TrinityResult(
+        result = TrinityResult(
             transcripts=transcripts,
             contigs=contigs,
             gff=gff_result,
@@ -245,4 +253,18 @@ class TrinityPipeline:
             counts=counts,
             timeline=monitor.timeline,
             files=files,
+        )
+        timeline = monitor.timeline
+        return StageResult(
+            stage="trinity",
+            outputs=result,
+            makespan=timeline.total_s,
+            spans=list(timeline.spans),
+            metrics={
+                **{f"stage.{name}_s": timeline.duration_of(name) for name in timeline.stages()},
+                "n_transcripts": float(len(transcripts)),
+                "n_contigs": float(len(contigs)),
+                "n_components": float(result.n_components),
+                "peak_ram_gb": timeline.peak_ram_gb,
+            },
         )

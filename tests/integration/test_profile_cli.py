@@ -1,0 +1,58 @@
+"""End-to-end test of ``repro profile`` and the report Observability section."""
+
+import json
+
+from repro.cli import main
+from repro.obs.metrics import GLOBAL_METRICS
+
+
+class TestProfileCli:
+    def test_gff_profile_prints_breakdown_and_writes_chrome(self, capsys, tmp_path):
+        chrome_path = tmp_path / "trace.json"
+        rc = main(
+            [
+                "profile",
+                "--stage", "gff",
+                "--nprocs", "4",
+                "--nthreads", "2",
+                "--recipe", "whitefly-mini",
+                "--chrome", str(chrome_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path of" in out
+        assert "critical rank" in out
+        assert "serial regions on critical rank" in out
+        assert "rank   0 |" in out  # the Gantt rows
+        doc = json.loads(chrome_path.read_text())
+        thread_names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert thread_names == {"driver", "rank 0", "rank 1", "rank 2", "rank 3"}
+
+    def test_profile_feeds_global_metrics(self, capsys):
+        before = GLOBAL_METRICS.get("mpirun.mpi_graph_from_fasta.runs")
+        rc = main(
+            ["profile", "--stage", "gff", "--nprocs", "2", "--nthreads", "2",
+             "--recipe", "whitefly-mini"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert GLOBAL_METRICS.get("mpirun.mpi_graph_from_fasta.runs") > before
+
+
+class TestReportObservability:
+    def test_report_has_observability_section(self, monkeypatch):
+        from repro.experiments import report as report_mod
+
+        class _Stub:
+            def render(self):
+                return "stub"
+
+        monkeypatch.setattr(report_mod, "run_experiment", lambda exp_id, **kw: _Stub())
+        text = report_mod.generate_report()
+        assert "## Observability" in text
+        assert "GLOBAL_METRICS" in text

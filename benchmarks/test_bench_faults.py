@@ -1,0 +1,18 @@
+"""Benchmark: the fault-injection sweep (crash/straggler/flaky-IO rates
+vs makespan degradation under recovery)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.faults import run_fault_sweep
+
+
+def test_fault_sweep(benchmark):
+    result = run_once(benchmark, run_fault_sweep, nprocs=8, seed=0)
+    print()
+    print(result.render())
+    benchmark.extra_info["degradation_by_scenario"] = {
+        s.label: round(s.degradation, 2) for s in result.scenarios
+    }
+    # Recovery changes timing, never outputs.
+    assert all(s.outputs_ok for s in result.scenarios)
+    # Every faulted scenario costs at least the fault-free makespan.
+    assert all(s.degradation >= 1.0 for s in result.scenarios)

@@ -12,6 +12,7 @@ validate     compare two transcript FASTAs (Fig 4 categories)
 recovery     score a transcript FASTA against an annotated reference
 stats        assembly statistics (N50 etc.) of a FASTA
 profile      trace one MPI stage: critical path, Gantt, Chrome export
+faults       sweep injected crash/straggler/flaky-IO rates vs makespan
 experiments  regenerate paper figures (same as python -m repro.experiments)
 
 Run ``python -m repro <subcommand> --help`` for options.
@@ -177,6 +178,24 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments.faults import run_fault_sweep
+
+    result = run_fault_sweep(
+        nprocs=args.nprocs,
+        seed=args.seed,
+        n_chunks=args.chunks,
+        crash_rates=args.crash_rates,
+        straggler_slowdowns=args.slowdowns,
+        io_rates=args.io_rates,
+    )
+    print(result.render())
+    if any(not s.outputs_ok for s in result.scenarios):
+        print("error: a recovered run diverged from the fault-free outputs", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import ReportOptions, write_report
 
@@ -243,6 +262,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5, help="top-k longest spans to list")
     p.add_argument("--chrome", default=None, help="write Chrome trace-event JSON here")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "faults",
+        help="sweep injected crash/straggler/flaky-IO rates vs makespan degradation",
+    )
+    p.add_argument("--nprocs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunks", type=int, default=24, help="replay-stage chunk count")
+    p.add_argument(
+        "--crash-rates", type=float, nargs="*", default=[0.15, 0.3],
+        dest="crash_rates", help="per-rank crash probabilities to sweep",
+    )
+    p.add_argument(
+        "--slowdowns", type=float, nargs="*", default=[2.0, 4.0],
+        help="straggler slowdown factors to sweep",
+    )
+    p.add_argument(
+        "--io-rates", type=float, nargs="*", default=[0.1, 0.3],
+        dest="io_rates", help="flaky-I/O failure probabilities to sweep",
+    )
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("experiments", help="regenerate paper figures")
     p.add_argument("ids", nargs="*")

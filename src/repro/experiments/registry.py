@@ -48,6 +48,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fw-dynamic", "Future work: dynamic chunk partitioning", "repro.experiments.futurework", "run_dynamic_partition"),
         Experiment("fw-serial-regions", "Future work: parallel GFF setup regions", "repro.experiments.futurework", "run_serial_regions"),
         Experiment("robustness", "Seed robustness of the scaling conclusions", "repro.experiments.robustness", "run_robustness"),
+        Experiment("faults", "Makespan degradation under injected faults", "repro.experiments.faults", "run_fault_sweep"),
         Experiment("fw-striped-io", "Future work: MPI-I/O striped reads", "repro.experiments.futurework", "run_striped_io"),
     ]
 }

@@ -15,6 +15,14 @@ rather than hardware.
 from repro.mpi.clock import TracingClock, VirtualClock
 from repro.mpi.network import NetworkModel, IDATAPLEX_FDR10
 from repro.mpi.comm import SimComm, CommStats
+from repro.mpi.faults import (
+    CrashFault,
+    FaultPlan,
+    FaultyClock,
+    FlakyIO,
+    RankFaultInjector,
+    StragglerFault,
+)
 from repro.mpi.launcher import mpirun, MpiRunResult
 from repro.mpi.datatypes import pack_strings, unpack_strings, nbytes_of
 from repro.mpi.trace import RankTrace, TraceSegment, render_gantt, trace_summary
@@ -28,6 +36,12 @@ __all__ = [
     "IDATAPLEX_FDR10",
     "SimComm",
     "CommStats",
+    "CrashFault",
+    "StragglerFault",
+    "FlakyIO",
+    "FaultPlan",
+    "FaultyClock",
+    "RankFaultInjector",
     "mpirun",
     "MpiRunResult",
     "StageResult",

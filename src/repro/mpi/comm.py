@@ -19,7 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import CommError
+from repro.errors import CommAbandonedError, CommError, TransientIOError
 from repro.mpi.clock import VirtualClock
 from repro.mpi.datatypes import nbytes_of
 from repro.mpi.network import NetworkModel
@@ -54,7 +54,12 @@ class _OnceCell:
 class _SharedState:
     """State shared by all ranks of one simulated communicator."""
 
-    def __init__(self, size: int, network: NetworkModel) -> None:
+    def __init__(
+        self,
+        size: int,
+        network: NetworkModel,
+        failed: Optional[threading.Event] = None,
+    ) -> None:
         self.size = size
         self.network = network
         self.barrier = threading.Barrier(size)
@@ -70,8 +75,26 @@ class _SharedState:
         self.shared_cells: Dict[Any, _OnceCell] = {}
         self.shared_lock = threading.Lock()
         # Set by the launcher when any rank fails, so blocking receives
-        # bail out instead of waiting forever for a dead sender.
-        self.failed = threading.Event()
+        # bail out instead of waiting forever for a dead sender.  Split
+        # sub-communicators SHARE the parent's event — a rank dying while
+        # its peers wait inside a sub-communicator must release them too.
+        self.failed = failed if failed is not None else threading.Event()
+        # Ranks that have failed, so sends to a dead mailbox are rejected
+        # instead of silently "succeeding".  Guarded by mailbox_lock.
+        self.failed_ranks: set = set()
+
+    def abort(self) -> None:
+        """Release every rank blocked anywhere in this communicator tree:
+        barrier waiters (abort), mailbox waiters (notify), and — via the
+        shared ``failed`` event — polling ``shared`` waiters, recursively
+        through every split sub-communicator."""
+        self.failed.set()
+        self.barrier.abort()
+        with self.mailbox_cv:
+            self.mailbox_cv.notify_all()
+            subs = list(self.split_states.values())
+        for sub in subs:
+            sub.abort()
 
 
 class _Region:
@@ -88,6 +111,8 @@ class _Region:
         self.elapsed = 0.0
 
     def __enter__(self) -> "_Region":
+        if self._comm.faults is not None:
+            self._comm.faults.on_phase(self.label)
         self.start = self._comm.clock.now
         return self
 
@@ -128,6 +153,9 @@ class SimComm:
         #: Labelled phase spans recorded via :meth:`region` (always on,
         #: independent of segment tracing — they cost one Span each).
         self.spans: List[Span] = []
+        #: Per-rank fault injector (:class:`repro.mpi.faults.RankFaultInjector`),
+        #: set by the launcher when ``mpirun`` is given a fault plan.
+        self.faults: Optional[Any] = None
 
     # -- identity ---------------------------------------------------------
     @property
@@ -147,6 +175,18 @@ class SimComm:
         return self._state.size
 
     # -- internals --------------------------------------------------------
+    def _barrier_wait(self, op: str = "collective") -> None:
+        """One barrier rendezvous that converts a peer-failure abort into
+        a tagged :class:`~repro.errors.CommAbandonedError` — every
+        blocking collective path observes ``state.failed`` consistently
+        instead of leaking a raw ``BrokenBarrierError``."""
+        try:
+            self._state.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise CommAbandonedError(
+                f"{op} on rank {self._rank} abandoned: a peer rank failed"
+            ) from None
+
     def _exchange(self, value: Any) -> List[Any]:
         """All-to-all slot exchange: returns the list of all contributions.
 
@@ -157,10 +197,10 @@ class SimComm:
         st = self._state
         st.slots[self._rank] = value
         st.clock_slots[self._rank] = self.clock.now
-        st.barrier.wait()
+        self._barrier_wait()
         snapshot = list(st.slots)
         t_sync = max(st.clock_slots)
-        st.barrier.wait()  # all ranks have read; slots may be reused
+        self._barrier_wait()  # all ranks have read; slots may be reused
         self.clock.sync_to(t_sync)
         return snapshot
 
@@ -198,6 +238,27 @@ class SimComm:
         ``now - t0`` bookkeeping the stage bodies used to carry.
         """
         return _Region(self, label, serial, attrs)
+
+    # -- fault injection ----------------------------------------------------
+    def check_io_fault(self, label: str) -> None:
+        """Fault-injection point for one simulated I/O operation.
+
+        A no-op unless the run was launched with a fault plan whose
+        :class:`~repro.mpi.faults.FlakyIO` schedule marks this op as
+        failing — then a :class:`~repro.errors.TransientIOError` is
+        raised (and a zero-length ``fault`` span recorded) for the
+        stage's retry policy (:func:`repro.parallel.recovery.with_retry`)
+        to absorb.
+        """
+        inj = self.faults
+        if inj is not None and inj.io_fault():
+            now = self.clock.now
+            self.spans.append(
+                Span("fault", now, now, f"fault:io:{label}", track=f"rank {self._rank}")
+            )
+            raise TransientIOError(
+                f"transient I/O fault during {label!r} on rank {self._rank}"
+            )
 
     # -- rank-shared compute-once cache ------------------------------------
     def shared(self, key: Any, fn: Callable[[], Any], cost: Optional[float] = None) -> Any:
@@ -240,13 +301,16 @@ class SimComm:
             cell.done.set()
             self.stats.shared_computes += 1
         else:
-            while not cell.done.wait(timeout=0.1):
-                if st.failed.is_set():
-                    raise CommError(
-                        f"shared({key!r}) abandoned: a peer rank failed"
+            while not cell.done.wait(timeout=0.05):
+                if st.failed.is_set() and not cell.done.is_set():
+                    raise CommAbandonedError(
+                        f"shared({key!r}) on rank {self._rank} abandoned: "
+                        "a peer rank failed before publishing"
                     )
             if cell.exc is not None:
-                raise CommError(
+                # Derivative of the owner's failure: tagged as secondary
+                # so the launcher surfaces the owner's exception instead.
+                raise CommAbandonedError(
                     f"shared({key!r}) failed on computing rank {cell.owner}: "
                     f"{cell.exc!r}"
                 ) from cell.exc
@@ -460,17 +524,21 @@ class SimComm:
         # One rank per color creates the sub-state; epoch isolates calls.
         if self._rank == 0:
             st.split_epoch += 1
-        st.barrier.wait()
+        self._barrier_wait("split")
         epoch = st.split_epoch
         if group is None:
-            st.barrier.wait()
+            self._barrier_wait("split")
             return None
         my_index = [r for _k, r in group].index(self._rank)
         key_id = (epoch, color)
         if my_index == 0:
             with st.mailbox_lock:
-                st.split_states[key_id] = _SharedState(len(group), st.network)
-        st.barrier.wait()
+                # Sub-communicators share the parent's failure event so a
+                # rank death releases waiters at every nesting level.
+                st.split_states[key_id] = _SharedState(
+                    len(group), st.network, failed=st.failed
+                )
+        self._barrier_wait("split")
         sub_state = st.split_states[key_id]
         return SimComm(my_index, sub_state, clock=self.clock)
 
@@ -485,6 +553,15 @@ class SimComm:
         cost = self._state.network.ptp(n)
         st = self._state
         with st.mailbox_cv:
+            if dest in st.failed_ranks:
+                # Without this check the message lands in a dead mailbox
+                # and the send "succeeds" silently — the sender must learn
+                # its peer is gone (tagged secondary: the root cause is
+                # whatever killed the destination rank).
+                raise CommAbandonedError(
+                    f"send from rank {self._rank} to dead rank {dest}: "
+                    "peer already failed"
+                )
             st.mailboxes.setdefault((self._rank, dest), deque()).append(
                 (tag, obj, self.clock.now + cost, cost)
             )
@@ -527,7 +604,8 @@ class SimComm:
                                 self.stats.comm_time += transfer
                             return obj
                 if st.failed.is_set():
-                    raise CommError(
-                        f"recv from rank {source} abandoned: a peer rank failed"
+                    raise CommAbandonedError(
+                        f"recv on rank {self._rank} from rank {source} "
+                        "abandoned: a peer rank failed"
                     )
                 st.mailbox_cv.wait(timeout=0.1)

@@ -13,8 +13,9 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import CommError
+from repro.errors import CommAbandonedError, CommError, MpiAbortError, RankCrash
 from repro.mpi.comm import CommStats, SimComm, _SharedState
+from repro.mpi.faults import FaultPlan, FaultyClock
 from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.result import StageResult
@@ -52,12 +53,32 @@ class _RankFailure:
     exc: BaseException
 
 
+def _failure_severity(failure: _RankFailure) -> int:
+    """Order failures by how likely they are to be the root cause.
+
+    0 — a genuine exception (the bug, or an injected crash);
+    1 — a tagged secondary: a blocking op abandoned *because* a peer
+        failed (``CommAbandonedError``);
+    2 — a raw ``BrokenBarrierError`` leaked from a barrier abort.
+
+    The old picker sorted by rank and only skipped ``BrokenBarrierError``,
+    so a secondary abandonment from a low rank masked the true primary
+    from a higher rank.
+    """
+    if isinstance(failure.exc, threading.BrokenBarrierError):
+        return 2
+    if isinstance(failure.exc, CommAbandonedError):
+        return 1
+    return 0
+
+
 def mpirun(
     fn: Callable[..., Any],
     nprocs: int,
     *args: Any,
     network: NetworkModel = IDATAPLEX_FDR10,
     trace: bool = False,
+    faults: Optional[FaultPlan] = None,
     **kwargs: Any,
 ) -> StageResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` simulated ranks.
@@ -67,11 +88,23 @@ def mpirun(
     value in rank order.  With ``trace=True``, per-rank compute/wait/comm
     segment traces are recorded (see :mod:`repro.mpi.trace`).
 
+    With ``faults`` (a :class:`~repro.mpi.faults.FaultPlan`), rank
+    crashes, stragglers and flaky I/O are injected deterministically
+    through each rank's clock and communicator; see
+    :func:`repro.parallel.recovery.mpirun_with_recovery` for the
+    crash-recovering wrapper.
+
     Returns a :class:`~repro.obs.result.StageResult`: per-rank return
     values in ``outputs`` (deprecated alias ``returns``), per-rank
     ``CommStats`` in ``comm`` (deprecated alias ``stats``), labelled
     phase spans plus — when traced — raw clock segments in ``spans``,
     and the aggregated comm counters in ``metrics``.
+
+    On any rank failure the remaining ranks are released (barrier abort,
+    mailbox wakeup, cascading into split sub-communicators) and an
+    :class:`~repro.errors.MpiAbortError` is raised carrying the *primary*
+    (root-cause) rank and exception; tagged secondary abandonment errors
+    never mask it and are attached as notes/``secondaries``.
     """
     if nprocs <= 0:
         raise CommError(f"nprocs must be positive, got {nprocs}")
@@ -85,6 +118,11 @@ def mpirun(
         comms = [SimComm(r, state, clock=TracingClock(traces[r])) for r in range(nprocs)]
     else:
         comms = [SimComm(r, state) for r in range(nprocs)]
+    if faults is not None and not faults.is_empty:
+        for comm in comms:
+            injector = faults.injector(comm.rank)
+            comm.faults = injector
+            comm.clock = FaultyClock(comm.clock, injector)
     returns: List[Any] = [None] * nprocs
     failures: List[_RankFailure] = []
     failure_lock = threading.Lock()
@@ -95,11 +133,19 @@ def mpirun(
         except BaseException as exc:  # noqa: BLE001 - must not hang peers
             with failure_lock:
                 failures.append(_RankFailure(rank, exc))
-            # Release peers stuck at a barrier AND peers blocked in recv.
-            state.failed.set()
-            state.barrier.abort()
+            if isinstance(exc, RankCrash):
+                now = comms[rank].clock.now
+                comms[rank].spans.append(
+                    Span("fault", now, now, f"fault:crash:rank{rank}",
+                         track=f"rank {rank}", attrs={"exc": repr(exc)})
+                )
+                GLOBAL_METRICS.inc("faults.crashes")
+            # Mark the rank dead *before* the global release so peers that
+            # wake observe a consistent view, then release everyone blocked
+            # anywhere in the communicator tree.
             with state.mailbox_cv:
-                state.mailbox_cv.notify_all()
+                state.failed_ranks.add(rank)
+            state.abort()
 
     if nprocs == 1:
         # Fast path: no threads for serial "parallel" runs.
@@ -115,12 +161,34 @@ def mpirun(
             t.join()
 
     if failures:
-        failures.sort(key=lambda f: f.rank)
-        primary = next(
-            (f for f in failures if not isinstance(f.exc, threading.BrokenBarrierError)),
-            failures[0],
+        failures.sort(key=lambda f: (_failure_severity(f), f.rank))
+        primary, secondaries = failures[0], failures[1:]
+        all_spans: List[Span] = []
+        for c in comms:
+            all_spans.extend(c.spans)
+        err = MpiAbortError(
+            f"rank {primary.rank} failed: {primary.exc!r}",
+            rank=primary.rank,
+            elapsed=[c.clock.now for c in comms],
+            spans=all_spans,
+            secondaries=secondaries,
         )
-        raise CommError(f"rank {primary.rank} failed: {primary.exc!r}") from primary.exc
+        for s in secondaries:
+            note = f"secondary failure on rank {s.rank}: {s.exc!r}"
+            if hasattr(err, "add_note"):  # 3.11+
+                err.add_note(note)
+        GLOBAL_METRICS.inc(f"mpirun.{getattr(fn, '__name__', 'mpirun')}.aborts")
+        raise err from primary.exc
+    orphans = {
+        f"{src}->{dst}": len(box)
+        for (src, dst), box in state.mailboxes.items()
+        if box
+    }
+    if orphans:
+        raise CommError(
+            f"orphaned mailbox entries on clean completion (sent but never "
+            f"received): {orphans}"
+        )
     elapsed = [c.clock.now for c in comms]
     stats = [c.stats for c in comms]
     spans: List[Span] = []

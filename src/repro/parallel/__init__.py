@@ -14,6 +14,8 @@ timing the paper's Figures 7-11 report.
 * :mod:`repro.parallel.mpi_reads_to_transcripts` — redundant-read
   streaming assignment (SS:III.C).
 * :mod:`repro.parallel.merge` — per-rank output merging strategies.
+* :mod:`repro.parallel.recovery` — transient-fault retry and crash
+  recovery over the fault-injected runtime (:mod:`repro.mpi.faults`).
 * :mod:`repro.parallel.driver` — ``Trinity.pl --nprocs`` equivalent.
 * :mod:`repro.parallel.scaling` — calibrated paper-scale replays that
   regenerate the scaling figures.
@@ -27,9 +29,19 @@ from repro.parallel.mpi_reads_to_transcripts import (
     RttOutputs,
     mpi_reads_to_transcripts,
 )
+from repro.parallel.recovery import (
+    RecoveryPolicy,
+    RetryPolicy,
+    mpirun_with_recovery,
+    with_retry,
+)
 from repro.parallel.driver import ParallelTrinityConfig, ParallelTrinityDriver
 
 __all__ = [
+    "RecoveryPolicy",
+    "RetryPolicy",
+    "mpirun_with_recovery",
+    "with_retry",
     "chunk_ranges",
     "chunks_for_rank",
     "rank_items",

@@ -14,15 +14,19 @@ serial and parallel outputs feed the same validation harness.
 from __future__ import annotations
 
 import logging
+import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import PipelineError
 from repro.monitor import ResourceMonitor
+from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.result import StageResult
 from repro.mpi import MpiRunResult, mpirun
+from repro.mpi.faults import FaultPlan
 from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+from repro.parallel.recovery import DEFAULT_RECOVERY, RecoveryPolicy, mpirun_with_recovery
 from repro.seq.fasta import write_fasta
 from repro.seq.records import SeqRecord
 from repro.trinity.bowtie import BowtieConfig, scaffold_pairs_from_sam
@@ -50,12 +54,65 @@ class ParallelTrinityConfig:
     nprocs: int = 4
     nthreads: int = 16  # OpenMP threads per rank (paper: 16 per node)
     network: NetworkModel = IDATAPLEX_FDR10
+    #: Deterministic fault schedule injected into every MPI stage launch.
+    faults: Optional[FaultPlan] = None
+    #: Crash-recovery policy; set (or leave default with ``faults``) to
+    #: launch stages through :func:`mpirun_with_recovery`.
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.nprocs <= 0:
             raise PipelineError(f"nprocs must be positive, got {self.nprocs}")
         if self.nthreads <= 0:
             raise PipelineError(f"nthreads must be positive, got {self.nthreads}")
+
+
+def _checkpoint_path(checkpoint_dir: PathLike, stage: str) -> Path:
+    return Path(checkpoint_dir) / f"{stage}.ckpt.pkl"
+
+
+def _load_checkpoint(
+    checkpoint_dir: PathLike, stage: str, key: Dict[str, Any]
+) -> Optional[StageResult]:
+    """A previously checkpointed StageResult, or None if absent/stale.
+
+    Corrupt pickles and key mismatches (different workload, nprocs or
+    fault plan) are treated as misses — the stage recomputes.
+    """
+    path = _checkpoint_path(checkpoint_dir, stage)
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as f:
+            payload = pickle.load(f)
+    except Exception as exc:  # noqa: BLE001 - any corruption => recompute
+        logger.warning("discarding unreadable checkpoint %s: %r", path, exc)
+        return None
+    if not isinstance(payload, dict) or payload.get("key") != key:
+        logger.info("checkpoint %s is stale (key mismatch); recomputing", path)
+        return None
+    GLOBAL_METRICS.inc("checkpoint.restores")
+    logger.info("restored stage %r from checkpoint %s", stage, path)
+    return payload["result"]
+
+
+def _write_checkpoint(
+    checkpoint_dir: PathLike, stage: str, key: Dict[str, Any], result: StageResult
+) -> None:
+    """Atomically persist a stage result (tmp file + rename)."""
+    ckpt_dir = Path(checkpoint_dir)
+    ckpt_dir.mkdir(parents=True, exist_ok=True)
+    path = _checkpoint_path(ckpt_dir, stage)
+    tmp = path.with_suffix(".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            pickle.dump({"key": key, "result": result}, f)
+        tmp.replace(path)
+    except Exception as exc:  # noqa: BLE001 - checkpointing is best-effort
+        logger.warning("failed to write checkpoint %s: %r", path, exc)
+        tmp.unlink(missing_ok=True)
+        return
+    GLOBAL_METRICS.inc("checkpoint.writes")
 
 
 @dataclass
@@ -74,10 +131,41 @@ class ParallelTrinityDriver:
         self.config = config or ParallelTrinityConfig()
         self.last_timings: Optional[ParallelStageTimings] = None
 
+    def _launch(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        checkpoint_dir: Optional[PathLike] = None,
+        checkpoint_key: Optional[Dict[str, Any]] = None,
+        **kwargs: Any,
+    ) -> StageResult:
+        """One MPI stage launch: checkpoint restore, else (recovering)
+        ``mpirun``, then checkpoint write."""
+        cfg = self.config
+        stage = getattr(fn, "__name__", "stage")
+        if checkpoint_dir is not None:
+            cached = _load_checkpoint(checkpoint_dir, stage, checkpoint_key or {})
+            if cached is not None:
+                return cached
+        if cfg.faults is not None or cfg.recovery is not None:
+            res = mpirun_with_recovery(
+                fn, cfg.nprocs, *args,
+                faults=cfg.faults,
+                policy=cfg.recovery or DEFAULT_RECOVERY,
+                network=cfg.network,
+                **kwargs,
+            )
+        else:
+            res = mpirun(fn, cfg.nprocs, *args, network=cfg.network, **kwargs)
+        if checkpoint_dir is not None:
+            _write_checkpoint(checkpoint_dir, stage, checkpoint_key or {}, res)
+        return res
+
     def run(
         self,
         reads: Sequence[SeqRecord],
         workdir: Optional[PathLike] = None,
+        checkpoint_dir: Optional[PathLike] = None,
     ) -> StageResult:
         """Assemble ``reads`` with the hybrid Chrysalis; per-stage MPI
         timings land in :attr:`last_timings`.
@@ -86,6 +174,13 @@ class ParallelTrinityDriver:
         is the :class:`TrinityResult` and whose ``children`` are the three
         ``mpirun`` StageResults (bowtie, gff, rtt) — the full span tree a
         single :func:`repro.obs.chrome.write_chrome_trace` can export.
+
+        With ``checkpoint_dir``, each MPI stage's result is pickled there
+        after it completes and restored (skipping the launch) on a rerun
+        with an identical workload/config — stage-level restart after a
+        non-recoverable failure.  Stale or corrupt checkpoints recompute.
+        With ``config.faults``/``config.recovery`` set, stages launch via
+        :func:`repro.parallel.recovery.mpirun_with_recovery`.
         """
         cfg = self.config
         tcfg = cfg.trinity
@@ -110,16 +205,27 @@ class ParallelTrinityDriver:
         if not contigs:
             raise PipelineError("inchworm produced no contigs")
 
+        # The checkpoint key pins everything a stage result depends on;
+        # any mismatch (other workload, nprocs or fault plan) recomputes.
+        ckpt_key = {
+            "nprocs": cfg.nprocs,
+            "nthreads": cfg.nthreads,
+            "n_reads": len(reads),
+            "n_contigs": len(contigs),
+            "faults": repr(cfg.faults),
+            "workdir": str(wd),
+        }
+
         # -- mpirun Bowtie ----------------------------------------------------
         with monitor.stage("chrysalis.bowtie[mpi]"):
-            bowtie_run = mpirun(
+            bowtie_run = self._launch(
                 mpi_bowtie,
-                cfg.nprocs,
                 reads,
                 contigs,
                 BowtieConfig(),
                 workdir=wd,
-                network=cfg.network,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_key=ckpt_key,
             )
         sams = bowtie_run.outputs[0].records
         if wd is not None:
@@ -132,15 +238,15 @@ class ParallelTrinityDriver:
 
         # -- mpirun GraphFromFasta ---------------------------------------------
         with monitor.stage("chrysalis.graph_from_fasta[mpi]"):
-            gff_run = mpirun(
+            gff_run = self._launch(
                 mpi_graph_from_fasta,
-                cfg.nprocs,
                 contigs,
                 reads,
                 tcfg.gff(),
                 extra_pairs=scaffolds,
                 nthreads=cfg.nthreads,
-                network=cfg.network,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_key=ckpt_key,
             )
         gff = gff_run.outputs[0]
         from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaResult
@@ -161,16 +267,16 @@ class ParallelTrinityDriver:
 
         # -- mpirun ReadsToTranscripts ------------------------------------------
         with monitor.stage("chrysalis.reads_to_transcripts[mpi]"):
-            rtt_run = mpirun(
+            rtt_run = self._launch(
                 mpi_reads_to_transcripts,
-                cfg.nprocs,
                 reads,
                 contigs,
                 gff_result.components,
                 tcfg.rtt(),
                 nthreads=cfg.nthreads,
                 workdir=wd,
-                network=cfg.network,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_key=ckpt_key,
             )
         assignments = rtt_run.outputs[0].assignments
         if rtt_run.outputs[0].out_path is not None:

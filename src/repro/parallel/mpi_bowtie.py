@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.mpi.comm import SimComm
 from repro.obs.result import StageResult
+from repro.parallel.recovery import with_retry
 from repro.seq.pyfasta import plan_split
 from repro.seq.records import Contig, SeqRecord
 from repro.seq.sam import SamRecord, write_sam
@@ -73,7 +74,11 @@ def mpi_bowtie(
     with comm.region("bowtie:split", serial=True):
         if comm.rank == 0:
             t0 = time.perf_counter()
-            pieces = plan_split([len(c.seq) for c in contigs], comm.size)
+            pieces = with_retry(
+                comm,
+                "bowtie:pyfasta_split",
+                lambda: plan_split([len(c.seq) for c in contigs], comm.size),
+            )
             split_time = time.perf_counter() - t0
             # Model the file rewrite at 200 MB/s (PyFasta is I/O bound).
             split_time += sum(len(c.seq) for c in contigs) / 200e6
@@ -103,7 +108,9 @@ def mpi_bowtie(
             resolve_orientation(read, fwd, rev, lambda g: contigs[g].name)
             for read, (fwd, rev) in zip(reads, bests)
         ]
-        write_sam(part_path, part_records)
+        with_retry(
+            comm, "bowtie:write_part", lambda: write_sam(part_path, part_records)
+        )
 
     # -- merge: reduce per-orientation bests across pieces ------------------
     merge_time = 0.0
@@ -124,10 +131,12 @@ def mpi_bowtie(
             if workdir is not None:
                 from repro.seq.sam import sam_header
 
-                write_sam(
-                    Path(workdir) / "bowtie.sam",
-                    merged,
-                    sam_header([(c.name, len(c.seq)) for c in contigs]),
+                final_sam = Path(workdir) / "bowtie.sam"
+                header = sam_header([(c.name, len(c.seq)) for c in contigs])
+                with_retry(
+                    comm,
+                    "bowtie:write_sam",
+                    lambda: write_sam(final_sam, merged, header),
                 )
         merged = comm.bcast(merged, root=0)
     return StageResult(

@@ -30,6 +30,7 @@ from repro.mpi.datatypes import pack_int_pairs, pack_strings, unpack_int_pairs, 
 from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
+from repro.parallel.recovery import with_retry
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component, build_components
 from repro.trinity.chrysalis.graph_from_fasta import (
@@ -81,6 +82,10 @@ def mpi_graph_from_fasta(
         chunk_size = default_chunk_size(len(contigs), comm.size, nthreads)
     ranges = chunk_ranges(len(contigs), chunk_size)
     my_chunks = chunks_for_rank(len(ranges), comm.rank, comm.size)
+
+    # Simulated input-FASTA read: the retryable I/O point for flaky-I/O
+    # fault plans.  A no-op in fault-free runs (zero cost, no spans).
+    with_retry(comm, "gff:read_fasta", lambda: None)
 
     # -- serial region: k-mer -> contigs map + read weldmer index ----------
     # (redundant on every real rank — part of Fig 8's non-parallel share —

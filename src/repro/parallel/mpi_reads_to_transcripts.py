@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.mpi.comm import SimComm
 from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
+from repro.parallel.recovery import with_retry
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component
 from repro.trinity.chrysalis.reads_to_transcripts import (
@@ -86,7 +87,13 @@ def mpi_reads_to_transcripts(
         for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
             # Every rank "reads" the chunk (redundant I/O, no communication)…
             read_cost = _chunk_read_cost(chunk)
-            comm.clock.advance(read_cost, label=f"rtt:read_chunk{chunk_idx}")
+            with_retry(
+                comm,
+                f"rtt:read_chunk{chunk_idx}",
+                lambda: comm.clock.advance(
+                    read_cost, label=f"rtt:read_chunk{chunk_idx}"
+                ),
+            )
             # …but only processes chunks congruent to its rank.
             if chunk_idx % comm.size != comm.rank:
                 continue
@@ -109,7 +116,7 @@ def mpi_reads_to_transcripts(
         wd = Path(workdir)
         wd.mkdir(parents=True, exist_ok=True)
         part = wd / f"readsToComponents.part{comm.rank}.out"
-        write_assignments(part, mine)
+        with_retry(comm, "rtt:write_part", lambda: write_assignments(part, mine))
         parts = comm.gather(part, root=0)
         if comm.rank == 0:
             from repro.parallel.merge import cat_files
@@ -118,7 +125,7 @@ def mpi_reads_to_transcripts(
             # Wall time, not thread CPU time: cat is I/O-bound, and the
             # peers are parked at the barrier below (no GIL contention).
             t0 = time.perf_counter()
-            cat_files(out_path, parts)
+            with_retry(comm, "rtt:concat", lambda: cat_files(out_path, parts))
             concat_time = time.perf_counter() - t0
             comm.clock.advance(concat_time, label="rtt:concat")
         comm.barrier()

@@ -1,0 +1,232 @@
+"""Recovery policies over the fault-injected simulated MPI runtime.
+
+The paper's design choices make recovery *cheap*, and this module cashes
+that in:
+
+* **Transient faults** (flaky I/O) are absorbed where they happen with
+  :func:`with_retry` — exponential backoff charged to the rank's virtual
+  clock as ``wait`` time, so retries show up honestly in the makespan
+  attribution.
+* **Rank loss** (fail-stop crash) is recovered by
+  :func:`mpirun_with_recovery`: the stage is relaunched on the surviving
+  ranks and the paper's ``i mod p`` chunked round-robin map re-deals
+  every chunk — including the dead rank's — over the new ``p``.  No
+  per-rank state needs migrating: GraphFromFasta pools results on every
+  rank, ReadsToTranscripts re-reads the whole file anyway (redundant
+  I/O), and MPI Bowtie simply re-splits the contig FASTA into ``p - 1``
+  PyFasta pieces.  Stage outputs are therefore identical to a fault-free
+  run — a tested invariant.
+
+Faults and recoveries emit dedicated ``fault`` spans (on the failing
+rank's track and on a ``recovery`` track) and ``faults.*`` metrics
+through :mod:`repro.obs`, so a recovered run's Chrome trace shows the
+failed attempts, the crash instants and the backoff intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, TypeVar
+
+from repro.errors import FaultError, MpiAbortError, RankCrash, TransientIOError
+from repro.mpi.comm import SimComm
+from repro.mpi.faults import FaultPlan
+from repro.mpi.launcher import mpirun
+from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.result import StageResult
+from repro.obs.span import Span
+
+T = TypeVar("T")
+
+#: Track name the recovery wrapper emits its attempt/restart spans on.
+RECOVERY_TRACK = "recovery"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry for transient (I/O) faults."""
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0 or self.backoff_factor < 1.0:
+            raise FaultError("backoff must be non-negative with factor >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Virtual backoff before retry number ``attempt`` (1-based)."""
+        return self.base_backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+DEFAULT_RETRY = RetryPolicy()
+
+
+def with_retry(
+    comm: SimComm,
+    label: str,
+    fn: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_RETRY,
+) -> T:
+    """Run one simulated I/O operation with transient-fault retry.
+
+    Consults the rank's flaky-I/O schedule (``comm.check_io_fault``)
+    before each attempt; on an injected :class:`TransientIOError` the
+    rank backs off exponentially on its *virtual* clock (a ``wait``
+    segment plus a ``fault:retry`` span) and tries again.  Fault-free
+    runs pay nothing — the check is a no-op without a plan.  The policy's
+    default attempt budget exceeds :class:`~repro.mpi.faults.FlakyIO`'s
+    default ``max_consecutive``, so injected flakiness always converges.
+    """
+    attempt = 0
+    while True:
+        try:
+            comm.check_io_fault(label)
+            return fn()
+        except TransientIOError:
+            attempt += 1
+            GLOBAL_METRICS.inc("faults.transient_io")
+            if attempt >= policy.max_attempts:
+                raise
+            backoff = policy.backoff_s(attempt)
+            t0 = comm.clock.now
+            comm.clock.advance(backoff, kind="wait", label=f"fault:backoff:{label}")
+            comm.spans.append(
+                Span(
+                    "fault",
+                    t0,
+                    comm.clock.now,
+                    f"fault:retry:{label}",
+                    track=f"rank {comm.rank}",
+                    attrs={"attempt": attempt, "backoff_s": backoff},
+                )
+            )
+            GLOBAL_METRICS.inc("faults.retries")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How many rank losses a stage survives, and at what cost."""
+
+    max_rank_losses: int = 2
+    min_survivors: int = 1
+    #: Virtual seconds charged per recovery for failure detection plus
+    #: relaunch (MPI job teardown + restart on the survivors).
+    restart_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_rank_losses < 0:
+            raise FaultError(f"max_rank_losses must be >= 0, got {self.max_rank_losses}")
+        if self.min_survivors < 1:
+            raise FaultError(f"min_survivors must be >= 1, got {self.min_survivors}")
+        if self.restart_overhead_s < 0:
+            raise FaultError("restart_overhead_s must be >= 0")
+
+
+DEFAULT_RECOVERY = RecoveryPolicy()
+
+
+def mpirun_with_recovery(
+    fn: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    faults: Optional[FaultPlan] = None,
+    policy: RecoveryPolicy = DEFAULT_RECOVERY,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    trace: bool = False,
+    **kwargs: Any,
+) -> StageResult:
+    """``mpirun`` that survives injected rank crashes by rerunning on the
+    survivors.
+
+    On a :class:`~repro.errors.RankCrash` primary failure, the dead
+    rank's faults are dropped (:meth:`FaultPlan.restrict`), the virtual
+    time burnt by the failed attempt (its makespan at abort) plus the
+    policy's restart overhead is banked, and the stage is relaunched with
+    ``p - 1`` ranks — the chunked round-robin map redistributes the dead
+    rank's work automatically.  Repeats up to ``policy.max_rank_losses``
+    times.  Non-crash failures (genuine bugs, exhausted retries) are
+    re-raised unchanged.
+
+    The returned :class:`StageResult` covers the *whole* timeline: failed
+    attempts' spans, ``fault`` spans on the ``recovery`` track, and the
+    final attempt's spans shifted to start where the last crash left off;
+    ``makespan``/``elapsed`` include the banked time.  Per-rank ``traces``
+    are dropped on recovered runs (they are per-attempt and would break
+    the exact-attribution invariant on the merged timeline).
+
+    Deterministic: the same plan over the same workload yields the same
+    survivor sequence, recovery spans and outputs on every run.
+    """
+    survivors: List[int] = list(range(nprocs))
+    t_base = 0.0
+    losses = 0
+    merged_spans: List[Span] = []
+    lost_ranks: List[int] = []
+    while True:
+        sub_plan = faults.restrict(survivors) if faults is not None else None
+        try:
+            res = mpirun(
+                fn, len(survivors), *args,
+                network=network, trace=trace, faults=sub_plan, **kwargs,
+            )
+            break
+        except MpiAbortError as exc:
+            crash = exc.__cause__
+            recoverable = (
+                isinstance(crash, RankCrash)
+                and losses < policy.max_rank_losses
+                and len(survivors) - 1 >= policy.min_survivors
+            )
+            if not recoverable:
+                raise
+            losses += 1
+            dead = survivors[exc.rank]
+            lost_ranks.append(dead)
+            attempt_makespan = max(exc.elapsed) if exc.elapsed else 0.0
+            merged_spans.extend(s.shifted(t_base) for s in exc.spans)
+            merged_spans.append(
+                Span(
+                    "fault",
+                    t_base,
+                    t_base + attempt_makespan + policy.restart_overhead_s,
+                    f"fault:lost-rank{dead}:attempt{losses}",
+                    track=RECOVERY_TRACK,
+                    attrs={
+                        "dead_rank": dead,
+                        "survivors": len(survivors) - 1,
+                        "restart_overhead_s": policy.restart_overhead_s,
+                    },
+                )
+            )
+            t_base += attempt_makespan + policy.restart_overhead_s
+            survivors.remove(dead)
+            GLOBAL_METRICS.inc("faults.rank_losses")
+
+    if losses == 0:
+        return res
+    GLOBAL_METRICS.inc("faults.recovered_runs")
+    merged_spans.extend(s.shifted(t_base) for s in res.spans)
+    metrics = dict(res.metrics)
+    metrics.update(
+        {
+            "faults.rank_losses": float(losses),
+            "faults.survivors": float(len(survivors)),
+            "faults.recovery_overhead_s": t_base,
+        }
+    )
+    return StageResult(
+        stage=res.stage,
+        outputs=res.outputs,
+        makespan=t_base + res.makespan,
+        spans=merged_spans,
+        comm=res.comm,
+        metrics=metrics,
+        elapsed=[t_base + e for e in res.elapsed],
+        traces=None,
+        children=res.children,
+        rank=res.rank,
+    )

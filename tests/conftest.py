@@ -1,6 +1,17 @@
-"""Shared fixtures: small deterministic datasets and pipeline artefacts."""
+"""Shared fixtures: small deterministic datasets and pipeline artefacts.
+
+Also hosts the suite's hang watchdog: the simulated MPI runtime blocks
+ranks on barriers/condition variables, so a failure-propagation bug
+shows up as a deadlocked test.  pytest-timeout is not a baked-in
+dependency, so a SIGALRM watchdog (main-thread alarm; rank threads are
+daemons) fails the test after ``DEFAULT_TEST_TIMEOUT_S`` instead of
+letting the run hang.  Override per test with ``@pytest.mark.timeout(N)``.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
@@ -8,6 +19,57 @@ from repro.simdata import get_recipe
 from repro.simdata.reads import flatten_reads
 from repro.trinity import TrinityConfig, TrinityPipeline
 from repro.trinity.jellyfish import jellyfish_count
+
+
+DEFAULT_TEST_TIMEOUT_S = 300.0
+
+
+def _watchdog_timeout(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    return DEFAULT_TEST_TIMEOUT_S
+
+
+def _watchdog_available() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _run_with_watchdog(item, phase: str):
+    seconds = _watchdog_timeout(item)
+
+    def _alarm(signum, frame):  # noqa: ARG001 - signal-handler signature
+        raise TimeoutError(
+            f"watchdog: {item.nodeid} {phase} exceeded {seconds:.0f}s "
+            f"(likely a deadlocked simulated-MPI rank)"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_setup(item):
+    if not _watchdog_available():
+        yield
+        return
+    yield from _run_with_watchdog(item, "setup")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _watchdog_available():
+        yield
+        return
+    yield from _run_with_watchdog(item, "call")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,227 @@
+"""Fault recovery end-to-end: a crashed-and-recovered MPI stage produces
+*identical* outputs to a fault-free run — the paper's chunked round-robin
+map (GFF/RTT) and PyFasta re-split (Bowtie) redistribute the dead rank's
+work with no stage-body changes — plus stage-level checkpoint/restart in
+the driver and the fault-sweep experiment/CLI."""
+
+import pickle
+
+import pytest
+
+from repro.errors import MpiAbortError, RankCrash
+from repro.mpi import CrashFault, FaultPlan, mpirun
+from repro.mpi.datatypes import pack_strings
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.parallel import ParallelTrinityDriver, mpirun_with_recovery
+from repro.parallel.driver import ParallelTrinityConfig
+from repro.parallel.mpi_bowtie import mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+from repro.parallel.recovery import RecoveryPolicy
+from repro.trinity import TrinityConfig
+from repro.trinity.bowtie import BowtieConfig
+from repro.trinity.inchworm import inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def tcfg():
+    return TrinityConfig(seed=1)
+
+
+@pytest.fixture(scope="module")
+def contigs(smoke_reads, tcfg):
+    return inchworm_assemble(jellyfish_count(smoke_reads, tcfg.k), tcfg.inchworm())
+
+
+@pytest.fixture(scope="module")
+def gff_fault_free(smoke_reads, contigs, tcfg):
+    return mpirun(
+        mpi_graph_from_fasta, NPROCS, contigs, smoke_reads, tcfg.gff(), nthreads=2
+    )
+
+
+def canonical_welds(welds) -> bytes:
+    """Byte-canonical form of a weld multiset (pooling order varies with
+    the rank count, so compare packed *sorted* candidates)."""
+    packed, lengths = pack_strings(
+        sorted(
+            f"{w.left_flank},{w.seed},{w.right_flank},{w.owner},{w.seed_code}"
+            for w in welds
+        )
+    )
+    return bytes(packed) + lengths.tobytes()
+
+
+class TestGffRecovery:
+    @pytest.mark.timeout(120)
+    def test_phase_crash_recovers_byte_identical_welds(
+        self, smoke_reads, contigs, tcfg, gff_fault_free
+    ):
+        plan = FaultPlan(crashes=(CrashFault(rank=3, phase="gff:loop1"),))
+        rec = mpirun_with_recovery(
+            mpi_graph_from_fasta, NPROCS, contigs, smoke_reads, tcfg.gff(),
+            nthreads=2, faults=plan,
+        )
+        base = gff_fault_free.outputs[0]
+        out = rec.outputs[0]
+        assert len(rec.outputs) == NPROCS - 1  # reran on the survivors
+        assert canonical_welds(out.welds) == canonical_welds(base.welds)
+        assert out.pairs == base.pairs
+        assert out.components == base.components
+
+    @pytest.mark.timeout(120)
+    def test_makespan_accumulates_and_recovery_spans_emitted(
+        self, smoke_reads, contigs, tcfg, gff_fault_free
+    ):
+        plan = FaultPlan(crashes=(CrashFault(rank=3, phase="gff:loop1"),))
+        policy = RecoveryPolicy(restart_overhead_s=5.0)
+        rec = mpirun_with_recovery(
+            mpi_graph_from_fasta, NPROCS, contigs, smoke_reads, tcfg.gff(),
+            nthreads=2, faults=plan, policy=policy,
+        )
+        # Final-attempt time rides on top of the failed attempt + overhead.
+        assert rec.makespan > 5.0
+        assert rec.metrics["faults.rank_losses"] == 1.0
+        assert rec.traces is None  # per-attempt traces dropped on recovery
+        recovery_spans = [s for s in rec.spans if s.track == "recovery"]
+        assert len(recovery_spans) == 1
+        assert recovery_spans[0].attrs["dead_rank"] == 3
+        crash_spans = [s for s in rec.spans if s.label.startswith("fault:crash")]
+        assert crash_spans, "the failed attempt's crash span must be kept"
+
+    @pytest.mark.timeout(120)
+    def test_unrecoverable_when_losses_exhausted(self, smoke_reads, contigs, tcfg):
+        plan = FaultPlan(crashes=(CrashFault(rank=1, phase="gff:loop1"),))
+        with pytest.raises(MpiAbortError) as ei:
+            mpirun_with_recovery(
+                mpi_graph_from_fasta, 2, contigs, smoke_reads, tcfg.gff(),
+                nthreads=2, faults=plan,
+                policy=RecoveryPolicy(max_rank_losses=0),
+            )
+        assert isinstance(ei.value.__cause__, RankCrash)
+
+    @pytest.mark.timeout(120)
+    def test_recovery_is_deterministic(self, smoke_reads, contigs, tcfg):
+        plan = FaultPlan(crashes=(CrashFault(rank=2, at_time=0.01),))
+
+        def run():
+            res = mpirun_with_recovery(
+                mpi_graph_from_fasta, 4, contigs, smoke_reads, tcfg.gff(),
+                nthreads=2, faults=plan,
+                policy=RecoveryPolicy(restart_overhead_s=1.0),
+            )
+            fault_labels = sorted(s.label for s in res.spans if s.kind == "fault")
+            return canonical_welds(res.outputs[0].welds), fault_labels
+
+        # Same plan + workload => identical outputs and fault/recovery spans.
+        assert run() == run()
+
+
+class TestRttAndBowtieRecovery:
+    @pytest.mark.timeout(120)
+    def test_rtt_recovery_equivalence(self, smoke_reads, contigs, tcfg, gff_fault_free):
+        components = gff_fault_free.outputs[0].components
+        base = mpirun(
+            mpi_reads_to_transcripts, NPROCS, smoke_reads, contigs, components,
+            tcfg.rtt(), nthreads=2,
+        )
+        plan = FaultPlan(crashes=(CrashFault(rank=5, phase="rtt:loop"),))
+        rec = mpirun_with_recovery(
+            mpi_reads_to_transcripts, NPROCS, smoke_reads, contigs, components,
+            tcfg.rtt(), nthreads=2, faults=plan,
+        )
+        key = lambda a: (a.read_index, a.component, a.shared_kmers)
+        assert list(map(key, rec.outputs[0].assignments)) == list(
+            map(key, base.outputs[0].assignments)
+        )
+        assert rec.metrics["faults.rank_losses"] == 1.0
+
+    @pytest.mark.timeout(120)
+    def test_bowtie_resplit_recovery_equivalence(self, smoke_reads, contigs):
+        base = mpirun(mpi_bowtie, NPROCS, smoke_reads, contigs, BowtieConfig())
+        plan = FaultPlan(crashes=(CrashFault(rank=4, phase="bowtie:align"),))
+        rec = mpirun_with_recovery(
+            mpi_bowtie, NPROCS, smoke_reads, contigs, BowtieConfig(), faults=plan
+        )
+        # Re-split over the survivors must yield the identical merged SAM.
+        assert rec.outputs[0].records == base.outputs[0].records
+
+
+class TestDriverFaultsAndCheckpoints:
+    @pytest.mark.timeout(300)
+    def test_driver_run_with_faults_matches_fault_free(self, smoke_reads):
+        base = ParallelTrinityDriver(
+            ParallelTrinityConfig(trinity=TrinityConfig(seed=1), nprocs=4, nthreads=2)
+        ).run(smoke_reads)
+        plan = FaultPlan(crashes=(CrashFault(rank=2, phase="gff:loop1"),))
+        faulted = ParallelTrinityDriver(
+            ParallelTrinityConfig(
+                trinity=TrinityConfig(seed=1), nprocs=4, nthreads=2, faults=plan
+            )
+        ).run(smoke_reads)
+        assert sorted(t.seq for t in faulted.outputs.transcripts) == sorted(
+            t.seq for t in base.outputs.transcripts
+        )
+
+    @pytest.mark.timeout(300)
+    def test_checkpoint_restart(self, smoke_reads, tmp_path):
+        cfg = ParallelTrinityConfig(trinity=TrinityConfig(seed=1), nprocs=2, nthreads=2)
+        ckpt = tmp_path / "ckpts"
+        first = ParallelTrinityDriver(cfg).run(smoke_reads, checkpoint_dir=ckpt)
+        written = sorted(p.name for p in ckpt.glob("*.ckpt.pkl"))
+        assert written == [
+            "mpi_bowtie.ckpt.pkl",
+            "mpi_graph_from_fasta.ckpt.pkl",
+            "mpi_reads_to_transcripts.ckpt.pkl",
+        ]
+        restores_before = GLOBAL_METRICS.get("checkpoint.restores")
+        second = ParallelTrinityDriver(cfg).run(smoke_reads, checkpoint_dir=ckpt)
+        assert GLOBAL_METRICS.get("checkpoint.restores") == restores_before + 3
+        assert sorted(t.seq for t in second.outputs.transcripts) == sorted(
+            t.seq for t in first.outputs.transcripts
+        )
+
+    @pytest.mark.timeout(300)
+    def test_corrupt_or_stale_checkpoint_recomputes(self, smoke_reads, tmp_path):
+        cfg = ParallelTrinityConfig(trinity=TrinityConfig(seed=1), nprocs=2, nthreads=2)
+        ckpt = tmp_path / "ckpts"
+        ParallelTrinityDriver(cfg).run(smoke_reads, checkpoint_dir=ckpt)
+        # Corrupt one checkpoint; key-mismatch another (different nprocs).
+        (ckpt / "mpi_bowtie.ckpt.pkl").write_bytes(b"not a pickle")
+        path = ckpt / "mpi_graph_from_fasta.ckpt.pkl"
+        payload = pickle.loads(path.read_bytes())
+        payload["key"]["nprocs"] = 99
+        path.write_bytes(pickle.dumps(payload))
+        result = ParallelTrinityDriver(cfg).run(smoke_reads, checkpoint_dir=ckpt)
+        assert result.outputs.transcripts  # recomputed, not crashed
+
+
+class TestSweepAndCli:
+    @pytest.mark.timeout(120)
+    def test_sweep_renders_and_outputs_hold(self):
+        from repro.experiments.faults import run_fault_sweep
+
+        result = run_fault_sweep(
+            nprocs=4, seed=0, n_chunks=8,
+            crash_rates=(0.4,), straggler_slowdowns=(2.0,), io_rates=(0.3,),
+        )
+        assert all(s.outputs_ok for s in result.scenarios)
+        text = result.render()
+        assert "degradation" in text and "fault-free" in text
+        # Degradation is measured against the fault-free row.
+        assert result.scenarios[0].degradation == 1.0
+
+    @pytest.mark.timeout(120)
+    def test_faults_cli(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["faults", "--nprocs", "4", "--chunks", "8",
+             "--crash-rates", "0.4", "--slowdowns", "2", "--io-rates", "0.2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Fault sweep" in out and "outputs ok" in out

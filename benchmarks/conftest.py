@@ -1,13 +1,24 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures and the ``BENCH_*.json`` history format.
 
 Each figure benchmark runs its experiment once per round (`pedantic`,
 rounds=1) because the experiments are deterministic replays — variance
 across rounds would only measure host noise — and records the figure's
 key numbers in ``extra_info`` so `--benchmark-json` output carries the
 paper-vs-measured comparison.
+
+:func:`append_bench_entry` is the one writer of the checked-in
+``BENCH_*.json`` wall-clock histories (fig07, fig09, …): every
+invocation *appends* a ``{label, timestamp, points}`` entry — never
+overwrites — so the files accumulate a before/after trajectory across
+PRs.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
 
 import pytest
 
@@ -43,3 +54,38 @@ def bench_reads():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run a deterministic experiment exactly once under the benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def append_bench_entry(
+    out: Path,
+    bench: str,
+    workload: str,
+    fields: Dict[str, str],
+    label: str,
+    points: List[Dict[str, float]],
+) -> None:
+    """Append one labeled, timestamped entry to a ``BENCH_*.json`` history.
+
+    Creates the document (with its ``bench``/``workload``/``fields``
+    header) on first use; thereafter only ``entries`` grows, so earlier
+    measurements are never lost.
+    """
+    out = Path(out)
+    if out.exists():
+        doc = json.loads(out.read_text())
+    else:
+        doc = {
+            "bench": bench,
+            "workload": workload,
+            "fields": fields,
+            "entries": [],
+        }
+    doc["entries"].append(
+        {
+            "label": label,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "points": points,
+        }
+    )
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"appended entry {label!r} -> {out}")

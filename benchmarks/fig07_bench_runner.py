@@ -24,10 +24,9 @@ JSON accumulates a before/after history across PRs.
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.mpi import mpirun
 from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
@@ -76,37 +75,31 @@ def run_points(nprocs_list: List[int]) -> List[Dict[str, float]]:
 
 
 def append_entry(out: Path, label: str, points: List[Dict[str, float]]) -> None:
-    if out.exists():
-        doc = json.loads(out.read_text())
-    else:
-        doc = {
-            "bench": "fig07_gff_wallclock",
-            "workload": f"{WORKLOAD}, GraphFromFastaConfig(k={WELD_K}), nthreads={NTHREADS}",
-            "fields": {
-                "wall_s": "host wall-clock of the simulated mpirun",
-                "virtual_makespan_s": "modelled cluster runtime (slowest rank)",
-            },
-            "entries": [],
-        }
-    doc["entries"].append(
-        {
-            "label": label,
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "points": points,
-        }
+    from benchmarks.conftest import append_bench_entry
+
+    append_bench_entry(
+        out,
+        bench="fig07_gff_wallclock",
+        workload=f"{WORKLOAD}, GraphFromFastaConfig(k={WELD_K}), nthreads={NTHREADS}",
+        fields={
+            "wall_s": "host wall-clock of the simulated mpirun",
+            "virtual_makespan_s": "modelled cluster runtime (slowest rank)",
+        },
+        label=label,
+        points=points,
     )
-    out.write_text(json.dumps(doc, indent=2) + "\n")
-    print(f"appended entry {label!r} -> {out}")
 
 
-def main() -> None:
+def run_cli(argv: Optional[List[str]] = None) -> int:
+    """Entry point shared by ``python -m`` and ``repro bench gff``."""
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--label", required=True, help="entry label, e.g. a change name")
     ap.add_argument("--nprocs", type=int, nargs="+", default=[1, 8, 64])
     ap.add_argument("--out", type=Path, default=Path("BENCH_fig07.json"))
-    args = ap.parse_args()
+    args = ap.parse_args(argv)
     append_entry(args.out, args.label, run_points(args.nprocs))
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(run_cli())

@@ -69,7 +69,7 @@ def run(seed: int = 0) -> Fig01Result:
     ]
     counts = jellyfish_count(reads, K)
     view = _KmerView(counts)
-    filtered = dict(counts.counts)
+    filtered = counts.index  # no abundance floor in the illustration
     salt = derive_seed(seed, "inchworm-ties")
     mask = (1 << (2 * K)) - 1
 

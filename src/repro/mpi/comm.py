@@ -333,9 +333,10 @@ class SimComm:
         """Broadcast a generic object from ``root`` to every rank."""
         if not (0 <= root < self.size):
             raise CommError(f"bcast root {root} out of range")
-        snapshot = self._exchange(obj if self._rank == root else None)
-        payload = snapshot[root]
-        n = nbytes_of(payload)
+        snapshot = self._exchange(
+            (obj, nbytes_of(obj)) if self._rank == root else None
+        )
+        payload, n = snapshot[root]
         self._charge(
             self._state.network.bcast(self.size, n),
             n if self._rank == root else 0,
@@ -348,29 +349,34 @@ class SimComm:
         """Collect one object per rank at ``root`` (None elsewhere)."""
         if not (0 <= root < self.size):
             raise CommError(f"gather root {root} out of range")
-        snapshot = self._exchange(obj)
-        total = sum(nbytes_of(v) for v in snapshot)
+        # Each rank sizes only its own payload (sizing may pickle, which is
+        # the dominant host cost of a collective); the exchange then makes
+        # every size visible without re-sizing peers' objects O(size^2).
+        mine = nbytes_of(obj)
+        snapshot = self._exchange((obj, mine))
+        total = sum(s for _v, s in snapshot)
         self._charge(
             self._state.network.gather(self.size, total),
-            nbytes_of(obj),
+            mine,
             op="gather",
             pooled_bytes=total,
             items=self.size,
         )
-        return list(snapshot) if self._rank == root else None
+        return [v for v, _s in snapshot] if self._rank == root else None
 
     def allgather(self, obj: Any) -> List[Any]:
         """Pool one object per rank onto every rank (generic payloads)."""
-        snapshot = self._exchange(obj)
-        total = sum(nbytes_of(v) for v in snapshot)
+        mine = nbytes_of(obj)
+        snapshot = self._exchange((obj, mine))
+        total = sum(s for _v, s in snapshot)
         self._charge(
             self._state.network.allgatherv(self.size, total),
-            nbytes_of(obj),
+            mine,
             op="allgather",
             pooled_bytes=total,
             items=self.size,
         )
-        return list(snapshot)
+        return [v for v, _s in snapshot]
 
     def allgatherv(self, obj: Any) -> List[Any]:
         """The paper's pooling collective.
@@ -381,7 +387,8 @@ class SimComm:
         the two-phase size exchange is modelled: a small int allgather
         (the size exchange) precedes the payload allgather.
         """
-        sizes = self._exchange(nbytes_of(obj))
+        mine = nbytes_of(obj)
+        sizes = self._exchange(mine)
         self._charge(
             self._state.network.allgatherv(self.size, 8 * self.size),
             8,
@@ -391,7 +398,7 @@ class SimComm:
         total = sum(int(s) for s in sizes)
         self._charge(
             self._state.network.allgatherv(self.size, total),
-            nbytes_of(obj),
+            mine,
             op="allgatherv",
             pooled_bytes=total,
             items=self.size,

@@ -108,3 +108,49 @@ class ThreadTeam:
             serial_time=float(cost_arr.sum()),
             n_threads=self.n_threads,
         )
+
+    def batch(
+        self,
+        values: Sequence[R],
+        total_cost: float,
+        weights: Optional[Sequence[float]] = None,
+    ) -> TeamResult:
+        """Simulate the team over items computed by one vectorised call.
+
+        Batched kernels produce all of a loop's results in one array pass,
+        so there is no per-item ``fn`` to measure.  The measured batch
+        cost (thread CPU time of the single call) is apportioned across
+        the items — proportionally to ``weights`` when given (e.g. k-mers
+        per read), evenly otherwise.
+
+        A fused array region has no per-item dispatch, so its makespan is
+        the analytic work-span bound ``max(total/n_threads, max_item)``
+        (perfect load balance, floored by the largest indivisible item)
+        rather than a per-item schedule simulation — the items here are
+        an accounting fiction for the one vectorised call, and simulating
+        a dispatch loop over thousands of them would dominate the very
+        kernel being modelled.
+        """
+        n = len(values)
+        if n == 0:
+            return TeamResult(values=list(values), makespan=0.0, serial_time=0.0,
+                              n_threads=self.n_threads)
+        if weights is None:
+            max_item = total_cost / n
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != (n,):
+                raise ScheduleError(
+                    f"weights shape {w.shape} does not match {n} items"
+                )
+            wsum = float(w.sum())
+            max_item = (
+                total_cost * float(w.max()) / wsum if wsum > 0 else total_cost / n
+            )
+        makespan = max(total_cost / self.n_threads, max_item)
+        return TeamResult(
+            values=list(values),
+            makespan=makespan,
+            serial_time=float(total_cost),
+            n_threads=self.n_threads,
+        )

@@ -11,31 +11,96 @@ paper tried, master/slave chunk distribution, is implemented in
 Each rank writes its own assignment file; the master concatenates them
 with a plain ``cat`` at the end (the measured-constant <15 s step of
 Figure 9), via :mod:`repro.parallel.merge`.
+
+The main loop runs the **batched sorted-array kernel**
+(:func:`~repro.trinity.chrysalis.reads_to_transcripts.assign_reads_batched`)
+by default: each ``max_mem_reads`` chunk is assigned in a handful of
+numpy passes against the shared
+:class:`~repro.seq.kmer_index.KmerMap`.  ``kernel="per_read"`` selects
+the legacy per-read dict loop (same output byte for byte — the ablation
+measured in ``BENCH_fig09.json``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from operator import attrgetter
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.errors import PipelineError
 from repro.mpi.comm import SimComm
 from repro.obs.result import StageResult
-from repro.openmp import Schedule, ThreadTeam
+from repro.openmp import Schedule, TeamResult, ThreadTeam
 from repro.parallel.recovery import with_retry
+from repro.seq.kmer_index import KmerMap
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component
 from repro.trinity.chrysalis.reads_to_transcripts import (
     ReadAssignment,
     ReadsToTranscriptsConfig,
     assign_read,
-    build_kmer_to_component,
+    assign_reads_batched,
+    build_kmer_map,
     stream_chunks,
     write_assignments,
 )
 
 PathLike = Union[str, Path]
+
+#: Selectable main-loop kernels: the batched sorted-array kernel is the
+#: production path; the per-read reference loop stays for the ablation
+#: bench and as the equivalence oracle.
+KERNELS = ("batched", "per_read")
+
+
+def _shared_setup(
+    comm: SimComm,
+    contigs: Sequence[Contig],
+    components: Sequence[Component],
+    cfg: ReadsToTranscriptsConfig,
+    kernel: str,
+):
+    """Build the k-mer -> component structure once per simulated run.
+
+    Returns ``(kmer_map, kmer_dict)``; the dict view is only materialised
+    for the per-read kernel (it is that kernel's lookup structure).
+    """
+    if kernel not in KERNELS:
+        raise PipelineError(f"unknown RTT kernel {kernel!r}; known: {KERNELS}")
+    kmer_map = comm.shared(
+        "rtt:kmer_map", lambda: build_kmer_map(contigs, components, cfg.k)
+    )
+    kmer_dict = None
+    if kernel == "per_read":
+        kmer_dict = comm.shared("rtt:kmer_to_component", kmer_map.to_dict)
+    return kmer_map, kmer_dict
+
+
+def _assign_chunk(
+    team: ThreadTeam,
+    chunk: Sequence[Tuple[int, SeqRecord]],
+    kmer_map: KmerMap,
+    kmer_dict,
+    cfg: ReadsToTranscriptsConfig,
+    kernel: str,
+) -> TeamResult:
+    """Run one chunk through the selected kernel, with OpenMP timing.
+
+    The batched kernel computes the whole chunk in one vectorised call;
+    its measured thread CPU time is apportioned across the reads by
+    k-mer-position count (each read's share of the flattened code array)
+    so the simulated team schedule sees the same per-item cost shape the
+    per-read loop measures directly.
+    """
+    if kernel == "batched":
+        t0 = time.thread_time()
+        values = assign_reads_batched(chunk, kmer_map, cfg)
+        cost = time.thread_time() - t0
+        weights = [max(len(read.seq) - cfg.k + 1, 1) for _i, read in chunk]
+        return team.batch(values, cost, weights=weights)
+    return team.map(lambda item: assign_read(item[0], item[1], kmer_dict, cfg), chunk)
 
 
 @dataclass
@@ -61,12 +126,22 @@ def mpi_reads_to_transcripts(
     cfg: Optional[ReadsToTranscriptsConfig] = None,
     nthreads: int = 16,
     workdir: Optional[PathLike] = None,
+    kernel: str = "batched",
+    pool: bool = True,
 ) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`.
 
     Returns identical, serially-equal assignments on every rank (pooled
     with a gather+bcast that stands in for the final file concatenation
-    when no ``workdir`` is given).
+    when no ``workdir`` is given).  ``kernel`` selects the main-loop
+    implementation (``"batched"`` sorted-array kernel, or the
+    ``"per_read"`` reference loop); both produce byte-identical output.
+
+    ``pool=False`` skips the final allgather and returns only this rank's
+    own assignments (in chunk order).  The real pipeline's product is the
+    concatenated ``workdir`` file — pooling Python objects on every rank
+    is a simulation convenience — so the Figure-9 bench measures the
+    paper-faithful ``pool=False`` + ``workdir`` path.
     """
     cfg = cfg or ReadsToTranscriptsConfig()
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
@@ -75,18 +150,20 @@ def mpi_reads_to_transcripts(
     # (redundant on every real rank, so every rank is charged the build
     # cost — but computed once per simulated run)
     with comm.region("rtt:setup", serial=True) as setup_region:
-        kmer_map = comm.shared(
-            "rtt:kmer_to_component",
-            lambda: build_kmer_to_component(contigs, components, cfg.k),
-        )
+        kmer_map, kmer_dict = _shared_setup(comm, contigs, components, cfg, kernel)
     setup_time = setup_region.elapsed
 
     # -- MPI loop: redundant-read streaming --------------------------------
+    # The chunk boundaries and per-chunk read costs depend only on the
+    # input, so they are computed once per simulated run (cost=0.0: the
+    # virtual charge is the per-chunk read advance below, unchanged).
+    plan = comm.shared(
+        "rtt:chunk_plan", lambda: _chunk_plan(reads, cfg.max_mem_reads), cost=0.0
+    )
     mine: List[ReadAssignment] = []
     with comm.region("rtt:loop") as loop_region:
-        for chunk_idx, chunk in enumerate(stream_chunks(reads, cfg.max_mem_reads)):
+        for chunk_idx, (start, stop, read_cost) in enumerate(plan):
             # Every rank "reads" the chunk (redundant I/O, no communication)…
-            read_cost = _chunk_read_cost(chunk)
             with_retry(
                 comm,
                 f"rtt:read_chunk{chunk_idx}",
@@ -97,10 +174,8 @@ def mpi_reads_to_transcripts(
             # …but only processes chunks congruent to its rank.
             if chunk_idx % comm.size != comm.rank:
                 continue
-            result = team.map(
-                lambda item: assign_read(item[0], item[1], kmer_map, cfg),
-                chunk,
-            )
+            chunk = [(i, reads[i]) for i in range(start, stop)]
+            result = _assign_chunk(team, chunk, kmer_map, kmer_dict, cfg, kernel)
             mine.extend(result.values)
             comm.clock.advance(
                 result.makespan,
@@ -133,10 +208,13 @@ def mpi_reads_to_transcripts(
     # Pool assignments so every rank returns the full, ordered table
     # (downstream QuantifyGraph needs it; rank order then index sort is
     # deterministic and equals the serial order).
-    pooled = comm.allgather(mine)
-    assignments = sorted(
-        (a for part in pooled for a in part), key=lambda a: a.read_index
-    )
+    if pool:
+        pooled = comm.allgather(mine)
+        assignments = sorted(
+            (a for part in pooled for a in part), key=attrgetter("read_index")
+        )
+    else:
+        assignments = mine
     return StageResult(
         stage="rtt",
         outputs=RttOutputs(assignments=assignments, out_path=out_path),
@@ -160,6 +238,24 @@ def _chunk_read_cost(chunk: Sequence[Tuple[int, SeqRecord]]) -> float:
     return nbytes / 500e6
 
 
+def _chunk_plan(
+    reads: Sequence[SeqRecord], chunk_size: int
+) -> List[Tuple[int, int, float]]:
+    """``(start, stop, read_cost)`` per ``max_mem_reads`` chunk.
+
+    Input-only, so it is built once per simulated run via
+    ``comm.shared`` and each rank materialises ``(index, read)`` tuples
+    only for the chunks congruent to its rank.  The costs equal
+    :func:`_chunk_read_cost` over :func:`stream_chunks` chunk for chunk.
+    """
+    plan: List[Tuple[int, int, float]] = []
+    start = 0
+    for chunk in stream_chunks(reads, chunk_size):
+        plan.append((start, start + len(chunk), _chunk_read_cost(chunk)))
+        start += len(chunk)
+    return plan
+
+
 def mpi_reads_to_transcripts_master_slave(
     comm: SimComm,
     reads: Sequence[SeqRecord],
@@ -167,6 +263,7 @@ def mpi_reads_to_transcripts_master_slave(
     components: Sequence[Component],
     cfg: Optional[ReadsToTranscriptsConfig] = None,
     nthreads: int = 16,
+    kernel: str = "batched",
 ) -> StageResult:
     """The paper's *first* (rejected) strategy, for the ablation bench:
 
@@ -179,10 +276,7 @@ def mpi_reads_to_transcripts_master_slave(
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
 
     with comm.region("rtt:setup", serial=True) as setup_region:
-        kmer_map = comm.shared(
-            "rtt:kmer_to_component",
-            lambda: build_kmer_to_component(contigs, components, cfg.k),
-        )
+        kmer_map, kmer_dict = _shared_setup(comm, contigs, components, cfg, kernel)
     setup_time = setup_region.elapsed
 
     mine: List[ReadAssignment] = []
@@ -200,9 +294,7 @@ def mpi_reads_to_transcripts_master_slave(
                 elif comm.rank == target:
                     chunk = comm.recv(source=0, tag=chunk_idx)
             if comm.rank == target:
-                result = team.map(
-                    lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk
-                )
+                result = _assign_chunk(team, chunk, kmer_map, kmer_dict, cfg, kernel)
                 mine.extend(result.values)
                 comm.clock.advance(
                     result.makespan,
@@ -213,7 +305,7 @@ def mpi_reads_to_transcripts_master_slave(
 
     pooled = comm.allgather(mine)
     assignments = sorted(
-        (a for part in pooled for a in part), key=lambda a: a.read_index
+        (a for part in pooled for a in part), key=attrgetter("read_index")
     )
     return StageResult(
         stage="rtt",

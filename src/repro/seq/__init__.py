@@ -19,6 +19,15 @@ from repro.seq.kmers import (
     canonical_kmers,
     kmer_set,
 )
+from repro.seq.kmer_index import (
+    KmerIndex,
+    KmerCounter,
+    KmerCounterBuilder,
+    KmerMap,
+    decode_kmers,
+    read_counter_dump,
+    write_counter_dump,
+)
 from repro.seq.records import SeqRecord, ReadPair
 from repro.seq.fasta import read_fasta, write_fasta, iter_fasta
 from repro.seq.fastq import read_fastq, write_fastq, iter_fastq
@@ -36,6 +45,13 @@ __all__ = [
     "kmer_array",
     "canonical_kmers",
     "kmer_set",
+    "KmerIndex",
+    "KmerCounter",
+    "KmerCounterBuilder",
+    "KmerMap",
+    "decode_kmers",
+    "read_counter_dump",
+    "write_counter_dump",
     "SeqRecord",
     "ReadPair",
     "read_fasta",

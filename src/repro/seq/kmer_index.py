@@ -1,0 +1,382 @@
+"""Sorted-array k-mer indexes: the shared data structure of the pipeline.
+
+Every hot stage of the reproduction keys work off a packed-k-mer table —
+Jellyfish counts them, Inchworm extends over them, GraphFromFasta welds
+on them, ReadsToTranscripts assigns reads through them.  Before this
+module each stage carried its own ``Dict[int, int]``, probed one Python
+lookup per k-mer position.  Here the table is one subsystem: an immutable
+pair of parallel numpy arrays — ``codes`` (sorted unique ``uint64``
+2-bit-packed k-mers) and ``values`` (``int64`` payload) — so that
+
+* membership / lookup of a whole batch is one ``np.searchsorted``;
+* set operations are ``np.intersect1d`` / ``np.isin`` on the codes;
+* construction is sort + ``np.unique`` with segmented reductions
+  (``np.add.reduceat`` for counts, first-per-segment for min-id maps);
+* serialization round-trips the Jellyfish dump format (FASTA-like,
+  header=count, body=k-mer) that the pipeline already writes.
+
+Two payload interpretations cover every consumer:
+
+:class:`KmerCounter`
+    code -> abundance (Jellyfish / DSK / Inchworm).
+:class:`KmerMap`
+    code -> component id, smallest id winning ties (ReadsToTranscripts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SequenceError
+from repro.seq.alphabet import CODE_TO_BASE
+from repro.seq.kmers import _check_k, encode_kmer
+
+PathLike = Union[str, Path]
+
+_U64 = np.uint64
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class KmerIndex:
+    """Immutable sorted-``uint64`` k-mer index: codes + parallel values.
+
+    ``codes`` must be strictly increasing (sorted unique); ``values[i]``
+    is the payload of ``codes[i]``.  Constructors below enforce the
+    invariant; building directly is for callers that already hold sorted
+    unique arrays.
+    """
+
+    __slots__ = ("k", "codes", "values", "_bucket_prefix", "_bucket_shift", "_bucket_depth")
+
+    def __init__(self, k: int, codes: np.ndarray, values: np.ndarray) -> None:
+        _check_k(k)
+        codes = np.ascontiguousarray(codes, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if codes.shape != values.shape or codes.ndim != 1:
+            raise SequenceError(
+                f"codes/values must be parallel 1-d arrays, got {codes.shape} vs {values.shape}"
+            )
+        self.k = k
+        self.codes = codes
+        self.values = values
+        codes.setflags(write=False)
+        values.setflags(write=False)
+        self._bucket_prefix = None  # built lazily on the first large find()
+        self._bucket_shift = 0
+        self._bucket_depth = 0
+
+    # -- scalar interface ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def __contains__(self, code: int) -> bool:
+        i = int(np.searchsorted(self.codes, _U64(code)))
+        return i < self.codes.size and int(self.codes[i]) == int(code)
+
+    def get(self, code: int, default: int = 0) -> int:
+        """Payload of one code, or ``default`` if absent."""
+        i = int(np.searchsorted(self.codes, _U64(code)))
+        if i < self.codes.size and int(self.codes[i]) == int(code):
+            return int(self.values[i])
+        return default
+
+    # -- batched interface (the hot path) ----------------------------------
+
+    def _ensure_buckets(self) -> None:
+        """Build the top-bits bucket accelerator for batched lookups.
+
+        ``np.searchsorted`` against tens of thousands of codes is cache-
+        and branch-miss bound (~100 ns/query on commodity hosts).  A
+        prefix table over the codes' top bits narrows every query to a
+        handful of candidates first: ``prefix[b]`` is the index of the
+        first code whose top bits are ``>= b`` (an exclusive running
+        count, so ``prefix[b] .. prefix[b+1]`` brackets bucket ``b``),
+        after which a fixed-depth vectorised binary search resolves the
+        exact position.  Cheap to build (one bincount + cumsum) and safe
+        to race: concurrent builders produce identical arrays.
+        """
+        nbits = 2 * self.k
+        bits = min(nbits, max(int(self.codes.size).bit_length(), 6))
+        shift = np.uint64(nbits - bits)
+        counts = np.bincount(
+            (self.codes >> shift).astype(np.int64), minlength=(1 << bits) + 1
+        )
+        prefix = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=prefix[1:])
+        self._bucket_shift = shift
+        # L.bit_length() halvings take a length-L range all the way to an
+        # empty one, where lo == the searchsorted-left insertion point.
+        self._bucket_depth = int(counts.max()).bit_length()
+        self._bucket_prefix = prefix
+
+    def find(self, query: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched lookup: positions of ``query`` codes in this index.
+
+        Returns ``(positions, found)``: ``positions[i]`` indexes into
+        ``codes``/``values`` where ``found[i]`` is True; positions of
+        missing codes are clamped to 0 and must be ignored.
+
+        Small batches go straight to ``np.searchsorted``; large batches
+        use the bucket accelerator (top-bits prefix table + fixed-depth
+        branchless binary search), which is ~4x faster per query once the
+        code array outgrows cache.
+        """
+        query = np.asarray(query, dtype=np.uint64)
+        size = self.codes.size
+        if size == 0:
+            return np.zeros(query.shape, dtype=np.intp), np.zeros(query.shape, dtype=bool)
+        if query.size < 1024 or size < 1024:
+            pos = np.searchsorted(self.codes, query)
+        else:
+            if self._bucket_prefix is None:
+                self._ensure_buckets()
+            bucket = (query >> self._bucket_shift).astype(np.int64)
+            lo = self._bucket_prefix[bucket]
+            hi = self._bucket_prefix[bucket + 1]
+            last = size - 1
+            for _ in range(self._bucket_depth):
+                open_ = lo < hi
+                mid = (lo + hi) >> 1
+                go_right = open_ & (self.codes[np.minimum(mid, last)] < query)
+                lo = np.where(go_right, mid + 1, lo)
+                hi = np.where(open_ & ~go_right, mid, hi)
+            pos = lo
+        pos[pos == size] = 0
+        found = self.codes[pos] == query
+        return pos, found
+
+    def contains(self, query: np.ndarray) -> np.ndarray:
+        """Vectorised membership of ``query`` codes (any order, dups ok)."""
+        _pos, found = self.find(query)
+        return found
+
+    def lookup(self, query: np.ndarray, default: int = 0) -> np.ndarray:
+        """Payloads for a batch of codes (``default`` where absent)."""
+        pos, found = self.find(query)
+        out = np.full(np.asarray(query).shape, default, dtype=np.int64)
+        out[found] = self.values[pos[found]]
+        return out
+
+    # -- set operations -----------------------------------------------------
+
+    def intersect_codes(self, other: "KmerIndex | np.ndarray") -> np.ndarray:
+        """Sorted codes present in both indexes (``np.intersect1d``)."""
+        other_codes = other.codes if isinstance(other, KmerIndex) else np.asarray(
+            other, dtype=np.uint64
+        )
+        return np.intersect1d(self.codes, other_codes, assume_unique=isinstance(other, KmerIndex))
+
+    def isin(self, query: np.ndarray) -> np.ndarray:
+        """``np.isin`` of arbitrary codes against this index's code set."""
+        return np.isin(np.asarray(query, dtype=np.uint64), self.codes, assume_unique=False)
+
+    # -- views ---------------------------------------------------------------
+
+    def to_dict(self) -> Dict[int, int]:
+        """Materialise the (deprecated) dict view: code -> value."""
+        return dict(zip(self.codes.tolist(), self.values.tolist()))
+
+    def memory_bytes(self) -> int:
+        """Actual backing-store size (both arrays)."""
+        return int(self.codes.nbytes + self.values.nbytes)
+
+
+class KmerCounter(KmerIndex):
+    """code -> count, built by segmented reduction over raw code streams."""
+
+    @classmethod
+    def empty(cls, k: int) -> "KmerCounter":
+        return cls(k, _EMPTY_U64, _EMPTY_I64)
+
+    @classmethod
+    def from_codes(cls, codes: np.ndarray, k: int) -> "KmerCounter":
+        """Count one raw (unsorted, duplicated) code stream."""
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.size == 0:
+            return cls.empty(k)
+        uniq, counts = np.unique(codes, return_counts=True)
+        return cls(k, uniq, counts.astype(np.int64))
+
+    @classmethod
+    def from_pairs(cls, codes: np.ndarray, counts: np.ndarray, k: int) -> "KmerCounter":
+        """Merge (code, count) pairs, summing duplicate codes.
+
+        Sort + ``np.add.reduceat`` over segment starts — the merge step of
+        batched counting.
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if codes.size == 0:
+            return cls.empty(k)
+        order = np.argsort(codes, kind="stable")
+        cs = codes[order]
+        ns = counts[order]
+        starts = np.flatnonzero(np.concatenate(([True], cs[1:] != cs[:-1])))
+        return cls(k, cs[starts], np.add.reduceat(ns, starts))
+
+    @classmethod
+    def from_dict(cls, counts: Mapping[int, int], k: int) -> "KmerCounter":
+        """Adopt a legacy dict table (sorted on entry)."""
+        if not counts:
+            return cls.empty(k)
+        codes = np.fromiter(counts.keys(), dtype=np.uint64, count=len(counts))
+        vals = np.fromiter(counts.values(), dtype=np.int64, count=len(counts))
+        order = np.argsort(codes)
+        return cls(k, codes[order], vals[order])
+
+    def filtered(self, min_count: int) -> "KmerCounter":
+        """Drop codes below ``min_count`` (error-kmer removal)."""
+        if min_count <= 1:
+            return self
+        keep = self.values >= min_count
+        return KmerCounter(self.k, self.codes[keep], self.values[keep])
+
+    @property
+    def total(self) -> int:
+        return int(self.values.sum())
+
+    def histogram(self, max_bin: int = 50) -> np.ndarray:
+        """Abundance histogram: index i = number of k-mers seen i times."""
+        hist = np.zeros(max_bin + 1, dtype=np.int64)
+        if self.values.size:
+            clipped = np.minimum(self.values, max_bin)
+            hist += np.bincount(clipped, minlength=max_bin + 1)[: max_bin + 1]
+        return hist
+
+
+class KmerCounterBuilder:
+    """Streaming accumulator: per-batch partial counts, one final merge.
+
+    ``add_codes`` reduces each incoming batch to (unique, count) pairs so
+    resident size stays proportional to distinct k-mers, then ``build``
+    merges all partials with one sort + segmented sum.
+    """
+
+    def __init__(self, k: int) -> None:
+        _check_k(k)
+        self.k = k
+        self._codes: List[np.ndarray] = []
+        self._counts: List[np.ndarray] = []
+
+    def add_codes(self, codes: np.ndarray) -> None:
+        codes = np.asarray(codes, dtype=np.uint64)
+        if codes.size == 0:
+            return
+        uniq, counts = np.unique(codes, return_counts=True)
+        self._codes.append(uniq)
+        self._counts.append(counts.astype(np.int64))
+
+    def build(self) -> KmerCounter:
+        if not self._codes:
+            return KmerCounter.empty(self.k)
+        if len(self._codes) == 1:
+            return KmerCounter(self.k, self._codes[0], self._counts[0])
+        return KmerCounter.from_pairs(
+            np.concatenate(self._codes), np.concatenate(self._counts), self.k
+        )
+
+
+class KmerMap(KmerIndex):
+    """code -> component id; duplicate codes resolve to the smallest id."""
+
+    @classmethod
+    def empty(cls, k: int) -> "KmerMap":
+        return cls(k, _EMPTY_U64, _EMPTY_I64)
+
+    @classmethod
+    def from_pairs(cls, codes: np.ndarray, components: np.ndarray, k: int) -> "KmerMap":
+        """Build from (code, component) pairs with min-id tie-break.
+
+        Lexsort by (component within code) puts the smallest component
+        first in each code segment; first-per-segment is then the min.
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        components = np.asarray(components, dtype=np.int64)
+        if codes.size == 0:
+            return cls.empty(k)
+        order = np.lexsort((components, codes))
+        cs = codes[order]
+        vs = components[order]
+        starts = np.flatnonzero(np.concatenate(([True], cs[1:] != cs[:-1])))
+        return cls(k, cs[starts], vs[starts])
+
+
+# --------------------------------------------------------------------------
+# Jellyfish dump serialization (round-trips trinity.jellyfish's format)
+# --------------------------------------------------------------------------
+
+
+def decode_kmers(codes: np.ndarray, k: int) -> List[str]:
+    """Vectorised unpack of many codes into k-mer strings.
+
+    The 2-bit fields are extracted into an (n, k) byte matrix in one shot;
+    only the final bytes->str conversion is per-row.
+    """
+    _check_k(k)
+    codes = np.asarray(codes, dtype=np.uint64)
+    if codes.size == 0:
+        return []
+    shifts = np.arange(2 * (k - 1), -1, -2, dtype=np.uint64)
+    fields = (codes[:, None] >> shifts[None, :]) & _U64(3)
+    rows = CODE_TO_BASE[fields.astype(np.uint8)].tobytes()
+    return [rows[i * k : (i + 1) * k].decode("ascii") for i in range(codes.size)]
+
+
+def write_counter_dump(counter: KmerCounter, path: PathLike) -> int:
+    """Write the Jellyfish text dump (``>count\\nkmer``); returns #records.
+
+    Codes are already sorted, matching the historical ``sorted(dict)``
+    emission order byte for byte.
+    """
+    kmers = decode_kmers(counter.codes, counter.k)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.writelines(
+            f">{count}\n{kmer}\n" for count, kmer in zip(counter.values.tolist(), kmers)
+        )
+    return len(kmers)
+
+
+def read_counter_dump(path: PathLike) -> KmerCounter:
+    """Parse a Jellyfish text dump back into a :class:`KmerCounter`."""
+    counts: List[int] = []
+    kmers: List[str] = []
+    with open(path, "r", encoding="ascii") as fh:
+        header = None
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                header = line[1:]
+            else:
+                if header is None:
+                    raise SequenceError(f"malformed dump near {line!r}")
+                try:
+                    counts.append(int(header))
+                except ValueError:
+                    raise SequenceError(f"dump header is not a count: {header!r}") from None
+                kmers.append(line)
+                header = None
+    if not kmers:
+        raise SequenceError(f"empty jellyfish dump: {path}")
+    k = len(kmers[0])
+    for kmer in kmers:
+        if len(kmer) != k:
+            raise SequenceError(f"inconsistent k in dump: saw {k} then {len(kmer)} ({kmer!r})")
+    codes = np.fromiter((encode_kmer(m) for m in kmers), dtype=np.uint64, count=len(kmers))
+    return KmerCounter.from_pairs(codes, np.asarray(counts, dtype=np.int64), k)
+
+
+def counter_from_reads(seqs: Iterable[str], k: int, canonical: bool = True) -> KmerCounter:
+    """Convenience one-shot counter over sequence strings (tests, DSK)."""
+    from repro.seq.kmers import canonical_kmers, kmer_array
+
+    builder = KmerCounterBuilder(k)
+    for seq in seqs:
+        builder.add_codes(canonical_kmers(seq, k) if canonical else kmer_array(seq, k))
+    return builder.build()

@@ -9,7 +9,7 @@ per-base Python loops.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -30,14 +30,15 @@ def encode_kmer(kmer: str) -> int:
     >>> encode_kmer("ACGT")
     27
     """
-    _check_k(len(kmer))
+    k = len(kmer)
+    _check_k(k)
     codes = encode_bases(kmer)
     if np.any(codes == 255):
         raise SequenceError(f"k-mer contains non-ACGT characters: {kmer!r}")
-    val = 0
-    for c in codes:
-        val = (val << 2) | int(c)
-    return val
+    # Shift-and-or over the whole codes array at once: dot the 2-bit codes
+    # against descending base-4 place weights (same pack as kmer_array).
+    weights = np.uint64(1) << (np.uint64(2) * np.arange(k - 1, -1, -1, dtype=np.uint64))
+    return int(codes.astype(np.uint64) @ weights)
 
 
 def decode_kmer(code: int, k: int) -> str:
@@ -55,6 +56,44 @@ def decode_kmer(code: int, k: int) -> str:
     return "".join(out)
 
 
+def _pack_windows(codes: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack every length-k window of encoded bases into uint64 codes.
+
+    Returns ``(vals, window_ok)`` over all ``codes.size - k + 1`` windows
+    (the caller guarantees that count is positive): ``vals`` are the
+    packed codes (garbage where invalid) and ``window_ok`` flags windows
+    free of non-ACGT bases.
+
+    The pack runs in O(log k) array passes by doubling: width-1 codes
+    combine into width-2, width-4, ... blocks, and k is then composed
+    from its binary decomposition — ~5 passes instead of a k-wide
+    window dot product.
+    """
+    valid = codes != 255
+    safe = np.where(valid, codes, 0).astype(np.uint64)
+    blocks = {1: safe}
+    width = 1
+    while 2 * width <= k:
+        b = blocks[width]
+        blocks[2 * width] = (b[:-width] << np.uint64(2 * width)) | b[width:]
+        width *= 2
+    n = codes.size - k + 1
+    vals: np.ndarray = None  # type: ignore[assignment]
+    off = 0
+    for width in sorted(blocks, reverse=True):
+        if off + width > k:
+            continue
+        piece = blocks[width][off : off + n]
+        vals = piece if vals is None else ((vals << np.uint64(2 * width)) | piece)
+        off += width
+    # A window is clean iff it contains no invalid base: O(n) via a
+    # running count of invalid bases instead of an O(n*k) window reduce.
+    bad = np.cumsum(~valid)
+    wbad = bad[k - 1 :].copy()
+    wbad[1:] -= bad[: n - 1]
+    return vals, wbad == 0
+
+
 def kmer_array(seq: str, k: int) -> np.ndarray:
     """All k-mer codes of ``seq``, in order, as a uint64 array.
 
@@ -64,33 +103,72 @@ def kmer_array(seq: str, k: int) -> np.ndarray:
     """
     _check_k(k)
     codes = encode_bases(seq)
-    n = codes.size - k + 1
-    if n <= 0:
+    if codes.size - k + 1 <= 0:
         return np.empty(0, dtype=np.uint64)
-    valid = codes != 255
-    # Rolling pack: cumulative base-4 polynomial via a strided dot product.
-    weights = (np.uint64(1) << (np.uint64(2) * np.arange(k - 1, -1, -1, dtype=np.uint64)))
-    safe = np.where(valid, codes, 0).astype(np.uint64)
-    windows = np.lib.stride_tricks.sliding_window_view(safe, k)
-    vals = windows @ weights
-    window_ok = np.all(np.lib.stride_tricks.sliding_window_view(valid, k), axis=1)
-    return vals[window_ok].astype(np.uint64)
+    vals, window_ok = _pack_windows(codes, k)
+    return vals[window_ok]
+
+
+def kmer_arrays_batch(
+    seqs: Sequence[str], k: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All k-mer codes of many sequences in one vectorised pass.
+
+    Returns ``(codes, seq_ids, positions)``: the concatenation of every
+    sequence's :func:`kmer_array` (same codes, same order), the index of
+    the sequence each code came from, and each code's position within its
+    sequence's own valid-window enumeration.  Equivalent to calling
+    :func:`kmer_array` per sequence but ~100x cheaper for chunks of short
+    reads, because the encode + window pack runs once over the joined
+    text (reads separated by ``N``, which invalidates the windows that
+    would otherwise span a boundary).
+    """
+    _check_k(k)
+    empty = (
+        np.empty(0, dtype=np.uint64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+    if not seqs:
+        return empty
+    codes = encode_bases("N".join(seqs))
+    if codes.size - k + 1 <= 0:
+        return empty
+    vals, window_ok = _pack_windows(codes, k)
+    w_idx = np.flatnonzero(window_ok)
+    if w_idx.size == 0:
+        return empty
+    # A valid window never crosses a separator, so the sequence owning a
+    # window is determined by its start offset in the joined text.
+    lens = np.fromiter((len(s) for s in seqs), dtype=np.int64, count=len(seqs))
+    starts = np.concatenate(([0], np.cumsum(lens[:-1] + 1)))
+    seq_ids = np.searchsorted(starts, w_idx, side="right") - 1
+    # Rank each window among its own sequence's valid windows (the same
+    # enumeration per-sequence kmer_array yields after dropping invalid
+    # windows): arange minus each segment's first index.
+    seg = np.flatnonzero(np.concatenate(([True], seq_ids[1:] != seq_ids[:-1])))
+    seg_len = np.diff(np.concatenate((seg, [w_idx.size])))
+    positions = np.arange(w_idx.size, dtype=np.int64) - np.repeat(seg, seg_len)
+    return vals[w_idx], seq_ids, positions
 
 
 def revcomp_codes(codes: np.ndarray, k: int) -> np.ndarray:
     """Reverse-complement packed k-mer codes, vectorised.
 
-    Complement is bitwise NOT of each 2-bit field; reversal swaps fields.
+    Complement is bitwise NOT of each 2-bit field; reversal swaps fields —
+    done in five swap-doubling passes (pairs, nibbles, bytes, halfwords,
+    words) instead of k per-field passes, then a shift drops the unused
+    high fields.
     """
     _check_k(k)
-    codes = np.asarray(codes, dtype=np.uint64)
-    mask2 = np.uint64(0x3)
-    out = np.zeros_like(codes)
-    comp = (~codes) & np.uint64((1 << (2 * k)) - 1)
-    for i in range(k):
-        field = (comp >> np.uint64(2 * i)) & mask2
-        out |= field << np.uint64(2 * (k - 1 - i))
-    return out
+    x = ~np.asarray(codes, dtype=np.uint64)
+    u = np.uint64
+    x = ((x & u(0x3333333333333333)) << u(2)) | ((x >> u(2)) & u(0x3333333333333333))
+    x = ((x & u(0x0F0F0F0F0F0F0F0F)) << u(4)) | ((x >> u(4)) & u(0x0F0F0F0F0F0F0F0F))
+    x = ((x & u(0x00FF00FF00FF00FF)) << u(8)) | ((x >> u(8)) & u(0x00FF00FF00FF00FF))
+    x = ((x & u(0x0000FFFF0000FFFF)) << u(16)) | ((x >> u(16)) & u(0x0000FFFF0000FFFF))
+    x = (x << u(32)) | (x >> u(32))
+    return x >> u(64 - 2 * k)
 
 
 # Byte table: reverse the four 2-bit fields of a byte AND complement them.

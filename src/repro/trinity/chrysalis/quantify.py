@@ -58,11 +58,11 @@ def quantify_graph(
     base_weight = {cid: g.total_weight() for cid, g in graphs.items()}
     counts: Dict[int, int] = {}
     node_sets = {cid: set(g.edges) for cid, g in graphs.items()}
-    solid_codes = None
+    solid = None
     if kmer_counts is not None:
-        solid_codes = {
-            code for code, n in kmer_counts.counts.items() if n >= min_kmer_count
-        }
+        # Sorted-array index of solid codes: each read's canonical codes
+        # are then masked with one vectorised membership test.
+        solid = kmer_counts.index.filtered(min_kmer_count)
     for a in assignments:
         if a.component < 0 or a.component not in graphs:
             continue
@@ -71,14 +71,14 @@ def quantify_graph(
         # Reads are strand-symmetric; thread the orientation that shares
         # more nodes with the (single-stranded) component graph.
         oriented = best_orientation(read.seq, node_sets[a.component], graph.k)
-        if solid_codes is None:
+        if solid is None:
             graph.add_sequence(oriented)
         else:
             arr = kmer_array(oriented, graph.k)
             if arr.size == 0:
                 continue
             canon = np.minimum(arr, revcomp_codes(arr, graph.k))
-            mask = [int(c) in solid_codes for c in canon]
+            mask = solid.contains(canon).tolist()
             graph.add_sequence_masked(oriented, mask)
         counts[a.component] = counts.get(a.component, 0) + 1
     for cid, graph in graphs.items():

@@ -9,9 +9,16 @@ memory).
 
 Split into kernels so the hybrid MPI version can reuse them:
 
-* :func:`build_kmer_to_component` — the OpenMP-only "assignment of k-mers
-  to Inchworm bundles" setup step (the non-MPI share of Figure 9);
-* :func:`assign_read` — the per-read body of the MPI-enabled main loop;
+* :func:`build_kmer_map` — the OpenMP-only "assignment of k-mers to
+  Inchworm bundles" setup step (the non-MPI share of Figure 9), producing
+  a sorted-array :class:`~repro.seq.kmer_index.KmerMap`
+  (:func:`build_kmer_to_component` is its deprecated dict view);
+* :func:`assign_reads_batched` — the whole-chunk batched kernel of the
+  MPI-enabled main loop: one ``searchsorted`` against the map plus
+  per-(read, component) segmented reductions, byte-identical to the
+  per-read reference path;
+* :func:`assign_read` — the per-read reference body, kept for
+  equivalence tests and the ``kernel="per_read"`` ablation;
 * :func:`reads_to_transcripts` — the serial streaming driver.
 """
 
@@ -24,7 +31,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 import numpy as np
 
 from repro.errors import PipelineError
-from repro.seq.kmers import kmer_array, revcomp_codes
+from repro.seq.kmer_index import KmerMap
+from repro.seq.kmers import kmer_array, kmer_arrays_batch, revcomp_codes
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component, component_of_map
 
@@ -76,29 +84,167 @@ class ReadAssignment:
         )
 
 
+def build_kmer_map(
+    contigs: Sequence[Contig],
+    components: Sequence[Component],
+    k: int,
+) -> KmerMap:
+    """Canonical k-mer code -> component id, as a sorted-array index.
+
+    K-mers occurring in several components map to the smallest component
+    id (deterministic; such k-mers are rare once welding has merged the
+    overlapping contigs).  All contigs are encoded in one batched pass
+    into a (code, component) pair stream; :meth:`KmerMap.from_pairs`
+    then resolves duplicates with a lexsort + first-per-segment min.
+    """
+    table = component_of_map(components, len(contigs))
+    flat, contig_ids, _pos = kmer_arrays_batch([c.seq for c in contigs], k)
+    if flat.size == 0:
+        return KmerMap.empty(k)
+    canon = np.minimum(flat, revcomp_codes(flat, k))
+    comps = np.asarray(table, dtype=np.int64)[contig_ids]
+    # Duplicate codes (within or across contigs) are fine: from_pairs
+    # keeps the smallest component id per code, and duplicates within a
+    # contig carry the same id — identical to deduping per contig first.
+    return KmerMap.from_pairs(canon, comps, k)
+
+
 def build_kmer_to_component(
     contigs: Sequence[Contig],
     components: Sequence[Component],
     k: int,
 ) -> Dict[int, int]:
-    """Canonical k-mer code -> component id.
+    """Deprecated dict view of :func:`build_kmer_map` (same contents)."""
+    return build_kmer_map(contigs, components, k).to_dict()
 
-    K-mers occurring in several components map to the smallest component
-    id (deterministic; such k-mers are rare once welding has merged the
-    overlapping contigs).
+
+def assign_reads_batched(
+    chunk: Sequence[Tuple[int, SeqRecord]],
+    kmer_map: KmerMap,
+    cfg: ReadsToTranscriptsConfig,
+) -> List[ReadAssignment]:
+    """Whole-chunk main-loop kernel: assign every read of one
+    ``max_mem_reads`` upload in a handful of array passes.
+
+    Layout: all reads are encoded in one pass (:func:`kmer_arrays_batch`
+    joins them with ``N`` separators, so no per-read numpy round-trips),
+    flattening every read's canonical codes into one array with read-id
+    and position bookkeeping; a single ``searchsorted`` against the
+    sorted :class:`KmerMap` resolves every position's component;
+    shared-k-mer counts and contributing-region extents then come from
+    per-(read, component) segmented reductions (composite-key sort +
+    boundary diffs), and the best component per read falls out of a
+    segmented min whose key mirrors the per-read tie-break (largest
+    shared count, then smallest component id).  Byte-identical to
+    mapping :func:`assign_read` over the chunk — a tested invariant.
+
+    Positions are indices into each read's valid-window code array (the
+    same enumeration :func:`assign_read` uses), so non-ACGT handling and
+    region extents match the reference path exactly.
     """
-    table = component_of_map(components, len(contigs))
-    out: Dict[int, int] = {}
-    for idx, contig in enumerate(contigs):
-        comp = table[idx]
-        arr = kmer_array(contig.seq, k)
-        if arr.size == 0:
-            continue
-        canon = np.minimum(arr, revcomp_codes(arr, k))
-        for code in np.unique(canon).tolist():
-            prev = out.get(code)
-            if prev is None or comp < prev:
-                out[code] = comp
+    n = len(chunk)
+    if n == 0:
+        return []
+
+    best_comp = np.full(n, -1, dtype=np.int64)
+    best_count = np.zeros(n, dtype=np.int64)
+    best_first = np.zeros(n, dtype=np.int64)
+    best_last = np.zeros(n, dtype=np.int64)
+
+    flat, read_ids, pos = kmer_arrays_batch([read.seq for _i, read in chunk], cfg.k)
+    if flat.size:
+        flat = np.minimum(flat, revcomp_codes(flat, cfg.k))
+        hit_at, found = kmer_map.find(flat)
+        r = read_ids[found]
+        c = kmer_map.values[hit_at[found]]
+        p = pos[found]
+        if r.size:
+            # Segment the hits by (read, component), pos ascending within
+            # each segment.  The hot branch packs (read, component, pos)
+            # into one int64 key so a single np.sort replaces a 3-key
+            # lexsort (~18x at chunk scale); guards fall back to lexsort
+            # when any field would overflow its bit budget.
+            cmax = int(c.max())
+            pmax = int(p.max())
+            mask20 = np.int64((1 << 20) - 1)
+            u20 = np.int64(20)
+            if (
+                pmax < (1 << 20)
+                and cmax < (1 << 20)
+                and r.size < (1 << 20)
+                and n < (1 << 22)
+            ):
+                span = np.int64(cmax + 1)
+                key = ((r * span + c) << u20) | p
+                key.sort()
+                rc = key >> u20
+                seg = np.flatnonzero(np.concatenate(([True], rc[1:] != rc[:-1])))
+                seg_rc = rc[seg]
+                seg_read = seg_rc // span
+                seg_comp = seg_rc % span
+                seg_count = np.diff(np.concatenate((seg, [r.size])))
+                seg_first = key[seg] & mask20
+                seg_last = key[np.concatenate((seg[1:], [r.size])) - 1] & mask20
+                # Best segment per read: largest shared count, ties to the
+                # smallest component id.  Segments are already grouped by
+                # read, so a reduceat-min over a (count desc, comp asc,
+                # segment index) composite resolves every read at once;
+                # the low 20 bits carry the winning segment's index out.
+                big = np.int64(1 << 20)
+                choose_key = (
+                    ((big - seg_count) << np.int64(40))
+                    | (seg_comp << u20)
+                    | np.arange(seg.size, dtype=np.int64)
+                )
+                read_start = np.flatnonzero(
+                    np.concatenate(([True], seg_read[1:] != seg_read[:-1]))
+                )
+                best = np.minimum.reduceat(choose_key, read_start) & mask20
+            else:
+                order = np.lexsort((p, c, r))
+                r, c, p = r[order], c[order], p[order]
+                seg = np.flatnonzero(
+                    np.concatenate(([True], (r[1:] != r[:-1]) | (c[1:] != c[:-1])))
+                )
+                seg_read = r[seg]
+                seg_comp = c[seg]
+                seg_count = np.diff(np.concatenate((seg, [r.size])))
+                seg_first = p[seg]
+                seg_last = p[np.concatenate((seg[1:], [r.size])) - 1]
+                choose = np.lexsort((seg_comp, -seg_count, seg_read))
+                first_of_read = np.flatnonzero(
+                    np.concatenate(
+                        ([True], seg_read[choose][1:] != seg_read[choose][:-1])
+                    )
+                )
+                best = choose[first_of_read]
+            ok = seg_count[best] >= cfg.min_shared_kmers
+            winners = seg_read[best][ok]
+            best_comp[winners] = seg_comp[best][ok]
+            best_count[winners] = seg_count[best][ok]
+            best_first[winners] = seg_first[best][ok]
+            best_last[winners] = seg_last[best][ok]
+
+    comp_l = best_comp.tolist()
+    count_l = best_count.tolist()
+    first_l = best_first.tolist()
+    last_l = best_last.tolist()
+    out: List[ReadAssignment] = []
+    for j, (idx, read) in enumerate(chunk):
+        comp = comp_l[j]
+        if comp < 0:
+            out.append(ReadAssignment(idx, read.name, -1, 0, 0, 0))
+        else:
+            out.append(
+                ReadAssignment(
+                    read_index=idx,
+                    read_name=read.name,
+                    component=comp,
+                    shared_kmers=count_l[j],
+                    region_start=first_l[j],
+                    region_end=last_l[j] + cfg.k,
+                )
+            )
     return out
 
 
@@ -108,7 +254,12 @@ def assign_read(
     kmer_to_component: Dict[int, int],
     cfg: ReadsToTranscriptsConfig,
 ) -> ReadAssignment:
-    """Main-loop body: link one read to its best component."""
+    """Per-read reference body: link one read to its best component.
+
+    Kept as the readable specification of the assignment rule and as the
+    equivalence oracle for :func:`assign_reads_batched`; the hot paths
+    (serial driver and MPI stage) run the batched kernel.
+    """
     arr = kmer_array(read.seq, cfg.k)
     if arr.size == 0:
         return ReadAssignment(read_index, read.name, -1, 0, 0, 0)
@@ -168,11 +319,11 @@ def reads_to_transcripts(
     tab-separated file downstream stages consume (one line per read).
     """
     cfg = cfg or ReadsToTranscriptsConfig()
-    kmer_map = build_kmer_to_component(contigs, components, cfg.k)  # OpenMP-only setup
+    kmer_map = build_kmer_map(contigs, components, cfg.k)  # OpenMP-only setup
     out: List[ReadAssignment] = []
     for chunk in stream_chunks(reads, cfg.max_mem_reads):  # streaming model
-        for idx, read in chunk:  # the MPI-enabled loop in the hybrid version
-            out.append(assign_read(idx, read, kmer_map, cfg))
+        # the MPI-enabled loop in the hybrid version, one batch per upload
+        out.extend(assign_reads_batched(chunk, kmer_map, cfg))
     if out_path is not None:
         write_assignments(out_path, out)
     return out

@@ -18,11 +18,12 @@ output *distribution* the paper's validation (SS:IV) studies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.seq.kmer_index import KmerCounter
 from repro.seq.kmers import canonical_code, decode_kmer
 from repro.seq.records import Contig
 from repro.trinity.jellyfish import JellyfishCounts
@@ -43,13 +44,18 @@ class InchwormConfig:
 
 
 class _KmerView:
-    """Count lookups over canonical counts, by *directed* k-mer code."""
+    """Count lookups over canonical counts, by *directed* k-mer code.
 
-    __slots__ = ("k", "_counts", "_canonical")
+    Backed by the sorted-array :class:`~repro.seq.kmer_index.KmerCounter`:
+    scalar probes are one ``searchsorted`` each, and batches of candidate
+    codes resolve in a single call (:meth:`counts_for`).
+    """
+
+    __slots__ = ("k", "_index", "_canonical")
 
     def __init__(self, counts: JellyfishCounts) -> None:
         self.k = counts.k
-        self._counts = counts.counts
+        self._index = counts.index
         self._canonical = counts.canonical
 
     def canon(self, code: int) -> int:
@@ -58,7 +64,11 @@ class _KmerView:
         return canonical_code(code, self.k)
 
     def count(self, code: int) -> int:
-        return self._counts.get(self.canon(code), 0)
+        return self._index.get(self.canon(code), 0)
+
+    def counts_for(self, codes: List[int]) -> np.ndarray:
+        """Counts of many *already-canonical* codes: one ``searchsorted``."""
+        return self._index.lookup(np.asarray(codes, dtype=np.uint64))
 
 
 def inchworm_assemble(
@@ -71,18 +81,22 @@ def inchworm_assemble(
     if k < 2:
         raise PipelineError(f"inchworm needs k >= 2, got {k}")
     view = _KmerView(counts)
-    filtered = {c: n for c, n in counts.counts.items() if n >= cfg.min_kmer_count}
-    if not filtered:
+    filtered = counts.index.filtered(cfg.min_kmer_count)
+    if len(filtered) == 0:
         return []
 
     # Decreasing abundance; ties broken by a seed-salted hash then code, so
     # different seeds explore equal-abundance seeds in different orders
-    # (the modelled source of Trinity's run-to-run variation).
+    # (the modelled source of Trinity's run-to-run variation).  The sort
+    # key is computed over the whole sorted-array index at once; uint64
+    # wraparound in the multiply leaves the low 32 bits identical to the
+    # unbounded-int expression ``(c * G ^ salt) & 0xFFFFFFFF``.
     salt = derive_seed(cfg.seed, "inchworm-ties")
-    order = sorted(
-        filtered,
-        key=lambda c: (-filtered[c], (c * 0x9E3779B97F4A7C15 ^ salt) & 0xFFFFFFFF, c),
-    )
+    tie = (
+        (filtered.codes * np.uint64(0x9E3779B97F4A7C15))
+        ^ np.uint64(salt & 0xFFFFFFFF)
+    ) & np.uint64(0xFFFFFFFF)
+    order = filtered.codes[np.lexsort((filtered.codes, tie, -filtered.values))].tolist()
 
     used: Set[int] = set()
     contigs: List[Contig] = []
@@ -118,14 +132,14 @@ def inchworm_assemble(
         seq = _codes_to_seq(all_codes, k)
         if len(seq) < min_len:
             continue
-        coverage = float(np.mean([view.count(c) for c in all_codes]))
+        coverage = float(np.mean(view.counts_for([view.canon(c) for c in all_codes])))
         contigs.append(Contig(name=f"iw_contig_{len(contigs)}", seq=seq, coverage=coverage))
     return contigs
 
 
 def _best_extension(
     view: _KmerView,
-    filtered: Dict[int, int],
+    filtered: KmerCounter,
     used: Set[int],
     cur: int,
     mask: int,
@@ -134,22 +148,24 @@ def _best_extension(
 ) -> Optional[int]:
     """Highest-count unused (k-1)-overlap neighbour, or None.
 
-    Ties between equal-count candidates are broken by a seed-salted hash
+    The four candidate codes resolve against the filtered sorted-array
+    index in a single ``searchsorted`` (count 0 = not solid).  Ties
+    between equal-count candidates are broken by a seed-salted hash
     — the modelled analogue of the thread-race nondeterminism that makes
     real Trinity's repeated runs differ slightly (paper SS:IV).  A fixed
     salt keeps each individual run fully reproducible.
     """
     k = view.k
+    if right:
+        cands = [((cur << 2) | b) & mask for b in range(4)]
+    else:
+        cands = [(b << (2 * (k - 1))) | (cur >> 2) for b in range(4)]
+    canons = [view.canon(c) for c in cands]
+    counts = filtered.lookup(np.asarray(canons, dtype=np.uint64))
     best: Optional[Tuple[int, int, int]] = None  # (count, -tiebreak, candidate)
-    for b in range(4):
-        if right:
-            cand = ((cur << 2) | b) & mask
-        else:
-            cand = (b << (2 * (k - 1))) | (cur >> 2)
-        canon = view.canon(cand)
-        if canon in used or canon not in filtered:
+    for cand, canon, cnt in zip(cands, canons, counts.tolist()):
+        if cnt == 0 or canon in used:
             continue
-        cnt = filtered[canon]
         tie = (cand * 0x9E3779B97F4A7C15 ^ salt) & 0xFFFFFFFF
         if best is None or (cnt, -tie) > (best[0], best[1]):
             best = (cnt, -tie, cand)
@@ -172,4 +188,4 @@ def mean_coverage(contig_seq: str, counts: JellyfishCounts) -> float:
         return 0.0
     if counts.canonical:
         arr = np.minimum(arr, revcomp_codes(arr, counts.k))
-    return float(np.mean([counts.counts.get(int(c), 0) for c in arr]))
+    return float(np.mean(counts.index.lookup(arr)))

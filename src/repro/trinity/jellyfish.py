@@ -7,38 +7,82 @@ the Trinity-consumed dump: a FASTA-like text file where each record's
 header is the count and the body is the k-mer (``jellyfish dump`` default
 format).
 
-The in-memory representation is a plain dict keyed by packed k-mer codes;
-Inchworm consumes either the dict or the dump file.
+The in-memory representation is a :class:`repro.seq.kmer_index.KmerCounter`
+— the shared sorted-array k-mer index — so downstream consumers (Inchworm,
+QuantifyGraph, coverage) probe it with batched ``searchsorted`` lookups.
+The historical ``Dict[int, int]`` table survives only as the deprecated
+``counts`` view.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, Tuple, Union
+from typing import Dict, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
 from repro.errors import SequenceError
-from repro.seq.kmers import canonical_code, decode_kmer, encode_kmer, kmer_array, revcomp_codes
+from repro.seq.kmer_index import (
+    KmerCounter,
+    KmerCounterBuilder,
+    read_counter_dump,
+    write_counter_dump,
+)
+from repro.seq.kmers import canonical_code, encode_kmer, kmer_array, revcomp_codes
 from repro.seq.records import SeqRecord
 
 PathLike = Union[str, Path]
 
 
-@dataclass
 class JellyfishCounts:
-    """K-mer counts plus the k they were counted at."""
+    """K-mer counts plus the k they were counted at.
 
-    k: int
-    counts: Dict[int, int]
-    canonical: bool = True
+    Array-backed: ``index`` is the sorted-array :class:`KmerCounter`.
+    ``counts`` — the old plain-dict table — is kept for one release as a
+    lazily materialised, read-only *view*; new code should use ``index``
+    (or the scalar ``get`` / ``get_kmer`` accessors, which are unchanged).
+    """
+
+    __slots__ = ("k", "canonical", "index", "_dict_view")
+
+    def __init__(
+        self,
+        k: int,
+        counts: Optional[Mapping[int, int]] = None,
+        canonical: bool = True,
+        index: Optional[KmerCounter] = None,
+    ) -> None:
+        if index is None:
+            index = KmerCounter.from_dict(counts or {}, k)
+        elif counts is not None:
+            raise SequenceError("pass either counts (deprecated) or index, not both")
+        self.k = k
+        self.canonical = canonical
+        self.index = index
+        self._dict_view: Optional[Dict[int, int]] = None
+
+    @property
+    def counts(self) -> Dict[int, int]:
+        """Deprecated dict view (code -> count); prefer ``index``."""
+        if self._dict_view is None:
+            self._dict_view = self.index.to_dict()
+        return self._dict_view
 
     def __len__(self) -> int:
-        return len(self.counts)
+        return len(self.index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JellyfishCounts):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and self.canonical == other.canonical
+            and np.array_equal(self.index.codes, other.index.codes)
+            and np.array_equal(self.index.values, other.index.values)
+        )
 
     def get(self, code: int, default: int = 0) -> int:
-        return self.counts.get(code, default)
+        return self.index.get(code, default)
 
     def get_kmer(self, kmer: str) -> int:
         """Count of a k-mer given as a string (canonicalised if needed)."""
@@ -47,27 +91,26 @@ class JellyfishCounts:
         code = encode_kmer(kmer)
         if self.canonical:
             code = canonical_code(code, self.k)
-        return self.counts.get(code, 0)
+        return self.index.get(code, 0)
 
     @property
     def total(self) -> int:
-        return sum(self.counts.values())
+        return self.index.total
 
     def filtered(self, min_count: int) -> "JellyfishCounts":
         """Drop k-mers below ``min_count`` (error-kmer removal)."""
         if min_count <= 1:
             return self
-        return JellyfishCounts(
-            self.k,
-            {c: n for c, n in self.counts.items() if n >= min_count},
-            self.canonical,
-        )
+        return JellyfishCounts(self.k, canonical=self.canonical, index=self.index.filtered(min_count))
 
     def memory_bytes(self) -> int:
-        """Rough resident size of the counts table (for the monitor)."""
-        # dict entry overhead ~100 B/key in CPython; good enough for the
-        # RAM timeline, which needs relative magnitudes.
-        return 100 * len(self.counts)
+        """Resident size of the backing store (for the monitor).
+
+        The sorted-array index holds exactly two parallel arrays, so this
+        is the true footprint (16 B/key), not the ~100 B/key CPython-dict
+        estimate the monitor used to extrapolate from.
+        """
+        return self.index.memory_bytes()
 
 
 def jellyfish_count(
@@ -77,33 +120,28 @@ def jellyfish_count(
 
     Batched vectorisation: reads are joined with ``N`` separators (which
     no valid k-mer window can span) so each batch needs a single packing
-    pass and one ``np.unique`` — the per-read numpy call overhead was the
-    measured hotspot at miniature scale.
+    pass; per-batch partial (code, count) pairs are merged by the
+    :class:`KmerCounterBuilder`'s final sort + segmented sum.
     """
-    counts: Dict[int, int] = {}
+    builder = KmerCounterBuilder(k)
     batch: list = []
     batch_len = 0
     for rec in reads:
         batch.append(rec.seq)
         batch_len += len(rec.seq)
         if batch_len >= batch_bases:
-            _count_batch(counts, batch, k, canonical)
+            builder.add_codes(_batch_codes(batch, k, canonical))
             batch, batch_len = [], 0
     if batch:
-        _count_batch(counts, batch, k, canonical)
-    return JellyfishCounts(k=k, counts=counts, canonical=canonical)
+        builder.add_codes(_batch_codes(batch, k, canonical))
+    return JellyfishCounts(k=k, canonical=canonical, index=builder.build())
 
 
-def _count_batch(counts: Dict[int, int], seqs: list, k: int, canonical: bool) -> None:
+def _batch_codes(seqs: list, k: int, canonical: bool) -> np.ndarray:
     arr = kmer_array("N".join(seqs), k)
-    if arr.size == 0:
-        return
-    if canonical:
+    if arr.size and canonical:
         arr = np.minimum(arr, revcomp_codes(arr, k))
-    vals, cnts = np.unique(arr, return_counts=True)
-    get = counts.get
-    for v, c in zip(vals.tolist(), cnts.tolist()):
-        counts[v] = get(v, 0) + c
+    return arr
 
 
 def jellyfish_dump(counts: JellyfishCounts, path: PathLike) -> int:
@@ -111,55 +149,18 @@ def jellyfish_dump(counts: JellyfishCounts, path: PathLike) -> int:
 
     Returns the number of records written.  The dump can be "extremely
     voluminous" (paper SS:II.A) — it is the interface file Inchworm reads.
+    Records are emitted in ascending code order, byte-identical to the
+    historical ``sorted(dict)`` emission.
     """
-    n = 0
-    with open(path, "w", encoding="ascii") as fh:
-        for code in sorted(counts.counts):
-            fh.write(f">{counts.counts[code]}\n{decode_kmer(code, counts.k)}\n")
-            n += 1
-    return n
+    return write_counter_dump(counts.index, path)
 
 
 def jellyfish_load(path: PathLike, canonical: bool = True) -> JellyfishCounts:
     """Read a dump file back into :class:`JellyfishCounts`."""
-    counts: Dict[int, int] = {}
-    k = None
-    for count, kmer in _iter_dump(path):
-        if k is None:
-            k = len(kmer)
-        elif len(kmer) != k:
-            raise SequenceError(
-                f"inconsistent k in dump: saw {k} then {len(kmer)} ({kmer!r})"
-            )
-        counts[encode_kmer(kmer)] = count
-    if k is None:
-        raise SequenceError(f"empty jellyfish dump: {path}")
-    return JellyfishCounts(k=k, counts=counts, canonical=canonical)
-
-
-def _iter_dump(path: PathLike) -> Iterator[Tuple[int, str]]:
-    with open(path, "r", encoding="ascii") as fh:
-        header = None
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith(">"):
-                header = line[1:]
-            else:
-                if header is None:
-                    raise SequenceError(f"malformed dump near {line!r}")
-                try:
-                    count = int(header)
-                except ValueError:
-                    raise SequenceError(f"dump header is not a count: {header!r}") from None
-                yield count, line
-                header = None
+    counter = read_counter_dump(path)
+    return JellyfishCounts(k=counter.k, canonical=canonical, index=counter)
 
 
 def kmer_histogram(counts: JellyfishCounts, max_bin: int = 50) -> np.ndarray:
     """Abundance histogram (``jellyfish histo``): index i = #kmers seen i times."""
-    hist = np.zeros(max_bin + 1, dtype=np.int64)
-    for c in counts.counts.values():
-        hist[min(c, max_bin)] += 1
-    return hist
+    return counts.index.histogram(max_bin)

@@ -130,3 +130,43 @@ class TestSetsAndCounts:
         counts = {}
         count_kmers_into(counts, "A", 2)
         assert counts == {}
+
+
+class TestKmerArraysBatch:
+    def _reference(self, seqs, k):
+        from repro.seq.kmers import kmer_arrays_batch
+
+        codes, seq_ids, positions = kmer_arrays_batch(seqs, k)
+        off = 0
+        for sid, seq in enumerate(seqs):
+            ref = kmer_array(seq, k)
+            n = ref.size
+            assert np.array_equal(codes[off : off + n], ref), sid
+            assert np.all(seq_ids[off : off + n] == sid), sid
+            assert np.array_equal(positions[off : off + n], np.arange(n)), sid
+            off += n
+        assert off == codes.size == seq_ids.size == positions.size
+
+    def test_matches_per_sequence_kmer_array(self):
+        seqs = ["ACGTACGTA", "TTTTT", "ACGNNGTACA", "", "ACG", "NNNNNNN", "GATTACA"]
+        for k in (1, 3, 5, 7):
+            self._reference(seqs, k)
+
+    def test_randomized(self):
+        import random
+
+        rng = random.Random(99)
+        for k in (2, 8, 16, 25, 31):
+            seqs = [
+                "".join(rng.choice("ACGTN") for _ in range(rng.randint(0, 70)))
+                for _ in range(40)
+            ]
+            self._reference(seqs, k)
+
+    def test_empty_inputs(self):
+        from repro.seq.kmers import kmer_arrays_batch
+
+        codes, seq_ids, positions = kmer_arrays_batch([], 5)
+        assert codes.size == seq_ids.size == positions.size == 0
+        codes, _s, _p = kmer_arrays_batch(["AC", "G"], 5)
+        assert codes.size == 0

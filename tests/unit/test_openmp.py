@@ -145,3 +145,30 @@ class TestGuided:
         from repro.openmp.schedule import guided_makespan
 
         assert guided_makespan([], 4) == 0.0
+
+
+class TestTeamBatch:
+    def test_apportions_by_weights(self):
+        team = ThreadTeam(2)
+        res = team.batch(["a", "b", "c"], total_cost=6.0, weights=[1.0, 1.0, 4.0])
+        # analytic fused-region bound: max(total/nthreads, max_item)
+        assert res.values == ["a", "b", "c"]
+        assert res.serial_time == pytest.approx(6.0)
+        assert res.makespan == pytest.approx(4.0)  # largest item dominates
+
+    def test_balanced_items_hit_work_bound(self):
+        res = ThreadTeam(4).batch(list(range(8)), total_cost=8.0)
+        assert res.makespan == pytest.approx(2.0)
+        assert res.speedup == pytest.approx(4.0)
+
+    def test_empty_batch(self):
+        res = ThreadTeam(4).batch([], total_cost=0.0)
+        assert res.values == [] and res.makespan == 0.0
+
+    def test_zero_weights_fall_back_to_even(self):
+        res = ThreadTeam(2).batch([1, 2], total_cost=2.0, weights=[0.0, 0.0])
+        assert res.makespan == pytest.approx(1.0)
+
+    def test_weights_shape_checked(self):
+        with pytest.raises(ScheduleError):
+            ThreadTeam(2).batch([1, 2], total_cost=1.0, weights=[1.0])

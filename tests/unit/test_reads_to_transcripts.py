@@ -1,5 +1,8 @@
 """Unit tests for ReadsToTranscripts (streaming read assignment)."""
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.errors import PipelineError
@@ -10,6 +13,8 @@ from repro.trinity.chrysalis.reads_to_transcripts import (
     ReadAssignment,
     ReadsToTranscriptsConfig,
     assign_read,
+    assign_reads_batched,
+    build_kmer_map,
     build_kmer_to_component,
     read_assignments,
     reads_to_transcripts,
@@ -130,3 +135,105 @@ class TestFileFormat:
         out_path = tmp_path / "assignments.tsv"
         result = reads_to_transcripts(reads, contigs, comps, cfg, out_path=out_path)
         assert read_assignments(out_path) == result
+
+
+class TestBatchedEquivalence:
+    """assign_reads_batched must be byte-identical to mapping assign_read."""
+
+    def _check(self, contigs, reads, cfg):
+        comps = build_components(len(contigs), [])
+        kmer_map = build_kmer_map(contigs, comps, cfg.k)
+        kmer_dict = build_kmer_to_component(contigs, comps, cfg.k)
+        chunk = list(enumerate(reads))
+        got = assign_reads_batched(chunk, kmer_map, cfg)
+        want = [assign_read(i, r, kmer_dict, cfg) for i, r in chunk]
+        assert [a.to_line() for a in got] == [a.to_line() for a in want]
+        return got
+
+    def test_tie_goes_to_smallest_component(self):
+        shared = "ACGTTGCAGCATT"
+        contigs = [Contig("A", shared + "AAAAA"), Contig("B", shared + "CCCCC")]
+        # a read of only shared k-mers ties A and B -> must pick component 0
+        got = self._check(contigs, [SeqRecord("r", shared)], ReadsToTranscriptsConfig(k=K))
+        assert got[0].component == 0
+
+    def test_non_acgt_reads(self):
+        contigs = [Contig("A", SRC_A), Contig("B", SRC_B)]
+        reads = [
+            SeqRecord("r0", SRC_A[:6] + "N" + SRC_A[6:22]),
+            SeqRecord("r1", "N" * 20),
+            SeqRecord("r2", SRC_B[2:14] + "NN" + SRC_B[14:30]),
+        ]
+        self._check(contigs, reads, ReadsToTranscriptsConfig(k=K))
+
+    def test_reads_shorter_than_k(self):
+        contigs = [Contig("A", SRC_A)]
+        reads = [SeqRecord("r0", ""), SeqRecord("r1", "ACGT"), SeqRecord("r2", SRC_A[:K - 1])]
+        got = self._check(contigs, reads, ReadsToTranscriptsConfig(k=K))
+        assert all(a.component == -1 for a in got)
+
+    def test_min_shared_rejection(self):
+        contigs = [Contig("A", SRC_A)]
+        reads = [SeqRecord("r", SRC_A[:K] + "G" * 12)]  # exactly one shared k-mer
+        got = self._check(
+            contigs, reads, ReadsToTranscriptsConfig(k=K, min_shared_kmers=2)
+        )
+        assert got[0].component == -1
+        got = self._check(
+            contigs, reads, ReadsToTranscriptsConfig(k=K, min_shared_kmers=1)
+        )
+        assert got[0].component == 0
+
+    def test_empty_chunk(self):
+        cfg = ReadsToTranscriptsConfig(k=K)
+        kmer_map = build_kmer_map([Contig("A", SRC_A)], build_components(1, []), K)
+        assert assign_reads_batched([], kmer_map, cfg) == []
+
+    def test_randomized_reads(self):
+        rng = random.Random(13)
+        bases = "ACGT"
+        contigs = [
+            Contig(f"c{i}", "".join(rng.choice(bases) for _ in range(rng.randint(K, 50))))
+            for i in range(6)
+        ]
+        reads = []
+        for i in range(200):
+            kind = rng.random()
+            if kind < 0.2:
+                seq = "".join(rng.choice(bases) for _ in range(rng.randint(0, K - 1)))
+            elif kind < 0.5:
+                seq = "".join(rng.choice(bases + "N") for _ in range(rng.randint(K, 60)))
+            else:
+                src = rng.choice(contigs).seq
+                lo = rng.randint(0, max(len(src) - K, 0))
+                seq = src[lo : lo + rng.randint(K, 40)]
+            reads.append(SeqRecord(f"r{i}", seq))
+        for min_shared in (1, 3):
+            self._check(contigs, reads, ReadsToTranscriptsConfig(k=K, min_shared_kmers=min_shared))
+
+    def test_lexsort_fallback_branch(self):
+        # Force the composite-key guard off with a huge component value.
+        from repro.seq.kmer_index import KmerMap
+
+        contigs = [Contig("A", SRC_A)]
+        comps = build_components(1, [])
+        km = build_kmer_map(contigs, comps, K)
+        big = KmerMap(K, km.codes, np.full(km.values.size, 2 ** 21, dtype=np.int64))
+        cfg = ReadsToTranscriptsConfig(k=K)
+        chunk = [(0, SeqRecord("r", SRC_A[:20]))]
+        got = assign_reads_batched(chunk, big, cfg)
+        want = [assign_read(0, chunk[0][1], big.to_dict(), cfg)]
+        assert [a.to_line() for a in got] == [a.to_line() for a in want]
+        assert got[0].component == 2 ** 21
+
+
+class TestBuildKmerMap:
+    def test_map_equals_dict_view(self):
+        contigs = [Contig("A", SRC_A), Contig("B", SRC_B), Contig("C", SRC_A[5:30])]
+        comps = build_components(3, [(0, 2)])
+        km = build_kmer_map(contigs, comps, K)
+        assert km.to_dict() == build_kmer_to_component(contigs, comps, K)
+
+    def test_empty_contigs(self):
+        km = build_kmer_map([], [], K)
+        assert len(km) == 0

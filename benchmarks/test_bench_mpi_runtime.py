@@ -49,4 +49,4 @@ def test_bench_spmd_launch_overhead(benchmark):
     result = benchmark.pedantic(
         lambda: mpirun(_compute_body, 32, network=ZERO_COST), rounds=3, iterations=1
     )
-    assert len(result.returns) == 32
+    assert len(result.outputs) == 32

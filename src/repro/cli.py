@@ -14,7 +14,7 @@ stats        assembly statistics (N50 etc.) of a FASTA
 profile      trace one MPI stage: critical path, Gantt, Chrome export
 faults       sweep injected crash/straggler/flaky-IO rates vs makespan
 experiments  regenerate paper figures (same as python -m repro.experiments)
-bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt)
+bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -299,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="run a wall-clock bench runner (appends to its BENCH_*.json)",
     )
-    p.add_argument("bench_id", help="bench id, e.g. gff or rtt")
+    p.add_argument("bench_id", help="bench id, e.g. gff, rtt or inchworm")
     p.add_argument(
         "bench_args",
         nargs=argparse.REMAINDER,

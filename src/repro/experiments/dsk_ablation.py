@@ -84,5 +84,5 @@ def run_dsk_ablation(
         dsk_peak_mem_bytes=stats.peak_memory_bytes(),
         dsk_spilled_bytes=stats.bytes_spilled,
         n_partitions=n_partitions,
-        identical_counts=dsk.counts == jf.counts,
+        identical_counts=dsk == jf,
     )

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.seq.kmers import decode_kmer, encode_kmer
+import numpy as np
+
+from repro.seq.kmers import canonical_code, decode_kmer, encode_kmer
 from repro.seq.records import SeqRecord
-from repro.trinity.inchworm import _KmerView, _best_extension
+from repro.trinity.inchworm import probe_extensions, select_extensions
 from repro.trinity.jellyfish import jellyfish_count
 from repro.util.fmt import format_table
 from repro.util.rng import derive_seed
@@ -68,30 +70,36 @@ def run(seed: int = 0) -> Fig01Result:
         SeqRecord("err", ERROR_SEQ)
     ]
     counts = jellyfish_count(reads, K)
-    view = _KmerView(counts)
     filtered = counts.index  # no abundance floor in the illustration
     salt = derive_seed(seed, "inchworm-ties")
-    mask = (1 << (2 * K)) - 1
 
     seed_kmer = TRUE_SEQ[:K]
     cur = encode_kmer(seed_kmer)
-    used = {view.canon(cur)}
+    used = {canonical_code(cur, K)}
     contig = seed_kmer
     steps: List[ExtensionStep] = []
     for pos in range(len(TRUE_SEQ)):
-        candidates = []
-        for b, base in enumerate("ACGT"):
-            cand = ((cur << 2) | b) & mask
-            count = filtered.get(view.canon(cand), 0)
-            if count > 0:
-                candidates.append((decode_kmer(cand, K), count))
-        nxt = _best_extension(view, filtered, used, cur, mask, salt, right=True)
-        if nxt is None:
+        # One shipped-kernel dispatch resolves all four candidates of the
+        # (single-row) batch: counts, canon codes and salted tie hashes.
+        probe = probe_extensions(
+            filtered, np.array([cur], dtype=np.uint64), right=True, salt=salt
+        )
+        candidates = [
+            (decode_kmer(int(probe.cands[0, b]), K), int(probe.counts[0, b]))
+            for b in range(4)
+            if probe.counts[0, b] > 0
+        ]
+        blocked = ~probe.found | np.isin(
+            probe.canons, np.fromiter(used, dtype=np.uint64, count=len(used))
+        )
+        cols, ok = select_extensions(probe, blocked)
+        if not ok[0]:
             steps.append(ExtensionStep(pos, decode_kmer(cur, K), candidates, None))
             break
+        nxt = int(probe.cands[0, cols[0]])
         chosen = decode_kmer(nxt, K)
         steps.append(ExtensionStep(pos, decode_kmer(cur, K), candidates, chosen))
         contig += chosen[-1]
-        used.add(view.canon(nxt))
+        used.add(int(probe.canons[0, cols[0]]))
         cur = nxt
     return Fig01Result(seed_kmer=seed_kmer, steps=steps, contig=contig, true_seq=TRUE_SEQ)

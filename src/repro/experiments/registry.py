@@ -101,6 +101,7 @@ BENCHES: Dict[str, Bench] = {
     for b in [
         Bench("gff", "Fig-7 GraphFromFasta wall-clock under mpirun", "benchmarks.fig07_bench_runner"),
         Bench("rtt", "Fig-9 ReadsToTranscripts wall-clock under mpirun", "benchmarks.fig09_bench_runner"),
+        Bench("inchworm", "Inchworm batched-extension kernel wall-clock", "benchmarks.inchworm_bench_runner"),
     ]
 }
 

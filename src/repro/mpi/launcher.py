@@ -22,8 +22,8 @@ from repro.obs.result import StageResult
 from repro.obs.span import Span
 
 #: Deprecated alias, kept for one release: an ``mpirun`` outcome is now
-#: the unified :class:`repro.obs.result.StageResult` (``.returns`` and
-#: ``.stats`` remain available as deprecated properties on it).
+#: the unified :class:`repro.obs.result.StageResult` — per-rank returns
+#: live in ``.outputs``, per-rank comm stats in ``.comm``.
 MpiRunResult = StageResult
 
 

@@ -18,12 +18,11 @@ A :class:`StageResult` separates the concerns those classes mixed:
 ``comm`` / ``metrics``
     communication accounting and scalar counters/gauges.
 
-Backwards compatibility: the pre-existing field names (``returns``,
-``stats``, ``welds``, ``loop1_time``, ``transcripts``, …) keep working —
-``returns``/``stats`` as thin deprecated properties, everything else by
-delegation to ``outputs`` and ``metrics``.  These accessors exist so
-experiments written against the old per-stage classes run unmodified for
-one release; new code should read ``outputs``/``metrics`` directly.
+Backwards compatibility: the pre-existing per-stage field names
+(``welds``, ``loop1_time``, ``transcripts``, …) keep working by
+delegation to ``outputs`` and ``metrics``.  The ``returns``/``stats``
+aliases from the ``MpiRunResult`` era served their one deprecation
+release and are gone — read ``outputs``/``comm`` directly.
 """
 
 from __future__ import annotations
@@ -84,17 +83,6 @@ class StageResult:
         from repro.obs.chrome import write_chrome_trace
 
         return write_chrome_trace(path, self)
-
-    # -- deprecated accessors (one release; see module docstring) ----------
-    @property
-    def returns(self) -> Any:
-        """Deprecated alias for :attr:`outputs` (``MpiRunResult.returns``)."""
-        return self.outputs
-
-    @property
-    def stats(self) -> List[Any]:
-        """Deprecated alias for :attr:`comm` (``MpiRunResult.stats``)."""
-        return self.comm
 
     def __getattr__(self, name: str) -> Any:
         # Delegation keeps pre-StageResult field access working: stage

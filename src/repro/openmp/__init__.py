@@ -8,6 +8,7 @@ thread takes the next chunk".
 
 from repro.openmp.schedule import (
     Schedule,
+    deal_partition,
     static_chunks,
     dynamic_makespan,
     guided_makespan,
@@ -18,6 +19,7 @@ from repro.openmp.team import ThreadTeam, TeamResult
 
 __all__ = [
     "Schedule",
+    "deal_partition",
     "static_chunks",
     "dynamic_makespan",
     "guided_makespan",

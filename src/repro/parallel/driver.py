@@ -19,6 +19,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import PipelineError
 from repro.monitor import ResourceMonitor
 from repro.obs.metrics import GLOBAL_METRICS
@@ -34,7 +36,7 @@ from repro.trinity.butterfly import butterfly_assemble
 from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
 from repro.trinity.chrysalis.orient import orient_component
 from repro.trinity.chrysalis.quantify import quantify_graph
-from repro.trinity.inchworm import inchworm_assemble
+from repro.trinity.inchworm import inchworm_assemble, inchworm_assemble_threaded
 from repro.trinity.jellyfish import jellyfish_count
 from repro.trinity.pipeline import TrinityConfig, TrinityResult
 from repro.parallel.mpi_bowtie import mpi_bowtie
@@ -59,12 +61,42 @@ class ParallelTrinityConfig:
     #: Crash-recovery policy; set (or leave default with ``faults``) to
     #: launch stages through :func:`mpirun_with_recovery`.
     recovery: Optional[RecoveryPolicy] = None
+    #: Simulated OpenMP thread count for the Inchworm front end; 1 keeps
+    #: the serial reference path (the paper leaves Inchworm untouched).
+    #: Straggler faults from ``faults`` slow the matching thread's clock.
+    inchworm_threads: int = 1
 
     def __post_init__(self) -> None:
         if self.nprocs <= 0:
             raise PipelineError(f"nprocs must be positive, got {self.nprocs}")
         if self.nthreads <= 0:
             raise PipelineError(f"nthreads must be positive, got {self.nthreads}")
+        if self.inchworm_threads <= 0:
+            raise PipelineError(
+                f"inchworm_threads must be positive, got {self.inchworm_threads}"
+            )
+
+
+def _inchworm_thread_slowdowns(
+    plan: Optional[FaultPlan], n_threads: int
+) -> Optional[np.ndarray]:
+    """Straggler factors from ``plan`` mapped onto Inchworm's threads.
+
+    The fault plan indexes stragglers by MPI rank; the serial front end
+    runs on rank 0's node, whose OpenMP threads are numbered the same
+    way, so straggler rank ``t`` slows Inchworm thread ``t`` whenever
+    ``t < n_threads``.  Returns ``None`` when no straggler lands on a
+    live thread, so the fast no-faults path stays allocation-free.
+    """
+    if plan is None or not plan.stragglers:
+        return None
+    slow = np.ones(n_threads)
+    for s in plan.stragglers:
+        if s.rank < n_threads:
+            slow[s.rank] = max(slow[s.rank], s.slowdown)
+    if np.all(slow == 1.0):
+        return None
+    return slow
 
 
 def _checkpoint_path(checkpoint_dir: PathLike, stage: str) -> Path:
@@ -199,8 +231,25 @@ class ParallelTrinityDriver:
         with monitor.stage("jellyfish") as st:
             counts = jellyfish_count(reads, tcfg.k)
             st.ram_bytes = counts.memory_bytes()
+        inchworm_attrs: Dict[str, float] = {}
         with monitor.stage("inchworm") as st:
-            contigs = inchworm_assemble(counts, tcfg.inchworm())
+            if cfg.inchworm_threads > 1:
+                iw = inchworm_assemble_threaded(
+                    counts,
+                    tcfg.inchworm(),
+                    n_threads=cfg.inchworm_threads,
+                    batch_size=tcfg.inchworm_batch,
+                    thread_slowdowns=_inchworm_thread_slowdowns(
+                        cfg.faults, cfg.inchworm_threads
+                    ),
+                )
+                contigs = iw.contigs
+                inchworm_attrs = {
+                    f"inchworm.{key}": float(val)
+                    for key, val in iw.as_span_attrs().items()
+                }
+            else:
+                contigs = inchworm_assemble(counts, tcfg.inchworm())
             st.ram_bytes = counts.memory_bytes() + sum(len(c.seq) for c in contigs)
         if not contigs:
             raise PipelineError("inchworm produced no contigs")
@@ -323,8 +372,10 @@ class ParallelTrinityDriver:
             spans=list(timeline.spans),
             metrics={
                 **{f"stage.{name}_s": timeline.duration_of(name) for name in timeline.stages()},
+                **inchworm_attrs,
                 "nprocs": float(cfg.nprocs),
                 "nthreads": float(cfg.nthreads),
+                "inchworm_threads": float(cfg.inchworm_threads),
                 "n_transcripts": float(len(transcripts)),
                 "mpi.bowtie_makespan_s": bowtie_run.makespan,
                 "mpi.gff_makespan_s": gff_run.makespan,

@@ -43,7 +43,7 @@ from repro.trinity.chrysalis.reads_to_transcripts import (
     ReadAssignment,
     ReadsToTranscriptsConfig,
     assign_read,
-    build_kmer_to_component,
+    build_kmer_map,
     stream_chunks,
 )
 
@@ -68,8 +68,8 @@ def mpi_reads_to_transcripts_striped(
 
     with comm.region("fw:rtt:setup", serial=True) as setup_region:
         kmer_map = comm.shared(
-            "fw:rtt:kmer_to_component",
-            lambda: build_kmer_to_component(contigs, components, cfg.k),
+            "fw:rtt:kmer_map",
+            lambda: build_kmer_map(contigs, components, cfg.k),
         )
     setup_time = setup_region.elapsed
     comm.clock.advance(0.0005, label="fw:rtt:file_open")  # MPI_File_open + Set_view

@@ -61,28 +61,23 @@ def _shared_setup(
     components: Sequence[Component],
     cfg: ReadsToTranscriptsConfig,
     kernel: str,
-):
-    """Build the k-mer -> component structure once per simulated run.
+) -> KmerMap:
+    """Build the k-mer -> component map once per simulated run.
 
-    Returns ``(kmer_map, kmer_dict)``; the dict view is only materialised
-    for the per-read kernel (it is that kernel's lookup structure).
+    Both kernels probe the same sorted-array :class:`KmerMap` — batched
+    via one ``searchsorted`` per chunk, per-read via scalar ``get``.
     """
     if kernel not in KERNELS:
         raise PipelineError(f"unknown RTT kernel {kernel!r}; known: {KERNELS}")
-    kmer_map = comm.shared(
+    return comm.shared(
         "rtt:kmer_map", lambda: build_kmer_map(contigs, components, cfg.k)
     )
-    kmer_dict = None
-    if kernel == "per_read":
-        kmer_dict = comm.shared("rtt:kmer_to_component", kmer_map.to_dict)
-    return kmer_map, kmer_dict
 
 
 def _assign_chunk(
     team: ThreadTeam,
     chunk: Sequence[Tuple[int, SeqRecord]],
     kmer_map: KmerMap,
-    kmer_dict,
     cfg: ReadsToTranscriptsConfig,
     kernel: str,
 ) -> TeamResult:
@@ -100,7 +95,7 @@ def _assign_chunk(
         cost = time.thread_time() - t0
         weights = [max(len(read.seq) - cfg.k + 1, 1) for _i, read in chunk]
         return team.batch(values, cost, weights=weights)
-    return team.map(lambda item: assign_read(item[0], item[1], kmer_dict, cfg), chunk)
+    return team.map(lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk)
 
 
 @dataclass
@@ -150,7 +145,7 @@ def mpi_reads_to_transcripts(
     # (redundant on every real rank, so every rank is charged the build
     # cost — but computed once per simulated run)
     with comm.region("rtt:setup", serial=True) as setup_region:
-        kmer_map, kmer_dict = _shared_setup(comm, contigs, components, cfg, kernel)
+        kmer_map = _shared_setup(comm, contigs, components, cfg, kernel)
     setup_time = setup_region.elapsed
 
     # -- MPI loop: redundant-read streaming --------------------------------
@@ -175,7 +170,7 @@ def mpi_reads_to_transcripts(
             if chunk_idx % comm.size != comm.rank:
                 continue
             chunk = [(i, reads[i]) for i in range(start, stop)]
-            result = _assign_chunk(team, chunk, kmer_map, kmer_dict, cfg, kernel)
+            result = _assign_chunk(team, chunk, kmer_map, cfg, kernel)
             mine.extend(result.values)
             comm.clock.advance(
                 result.makespan,
@@ -276,7 +271,7 @@ def mpi_reads_to_transcripts_master_slave(
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
 
     with comm.region("rtt:setup", serial=True) as setup_region:
-        kmer_map, kmer_dict = _shared_setup(comm, contigs, components, cfg, kernel)
+        kmer_map = _shared_setup(comm, contigs, components, cfg, kernel)
     setup_time = setup_region.elapsed
 
     mine: List[ReadAssignment] = []
@@ -294,7 +289,7 @@ def mpi_reads_to_transcripts_master_slave(
                 elif comm.rank == target:
                     chunk = comm.recv(source=0, tag=chunk_idx)
             if comm.rank == target:
-                result = _assign_chunk(team, chunk, kmer_map, kmer_dict, cfg, kernel)
+                result = _assign_chunk(team, chunk, kmer_map, cfg, kernel)
                 mine.extend(result.values)
                 comm.clock.advance(
                     result.makespan,

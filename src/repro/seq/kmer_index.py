@@ -26,7 +26,7 @@ Two payload interpretations cover every consumer:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Tuple, Union
+from typing import Iterable, List, Mapping, Tuple, Union
 
 import numpy as np
 
@@ -174,12 +174,6 @@ class KmerIndex:
     def isin(self, query: np.ndarray) -> np.ndarray:
         """``np.isin`` of arbitrary codes against this index's code set."""
         return np.isin(np.asarray(query, dtype=np.uint64), self.codes, assume_unique=False)
-
-    # -- views ---------------------------------------------------------------
-
-    def to_dict(self) -> Dict[int, int]:
-        """Materialise the (deprecated) dict view: code -> value."""
-        return dict(zip(self.codes.tolist(), self.values.tolist()))
 
     def memory_bytes(self) -> int:
         """Actual backing-store size (both arrays)."""

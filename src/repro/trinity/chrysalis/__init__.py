@@ -36,7 +36,7 @@ from repro.trinity.chrysalis.reads_to_transcripts import (
     ReadsToTranscriptsConfig,
     ReadAssignment,
     reads_to_transcripts,
-    build_kmer_to_component,
+    build_kmer_map,
     assign_read,
 )
 from repro.trinity.chrysalis.quantify import quantify_graph, ComponentQuant
@@ -64,7 +64,7 @@ __all__ = [
     "ReadsToTranscriptsConfig",
     "ReadAssignment",
     "reads_to_transcripts",
-    "build_kmer_to_component",
+    "build_kmer_map",
     "assign_read",
     "quantify_graph",
     "ComponentQuant",

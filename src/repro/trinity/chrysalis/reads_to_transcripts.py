@@ -11,8 +11,7 @@ Split into kernels so the hybrid MPI version can reuse them:
 
 * :func:`build_kmer_map` — the OpenMP-only "assignment of k-mers to
   Inchworm bundles" setup step (the non-MPI share of Figure 9), producing
-  a sorted-array :class:`~repro.seq.kmer_index.KmerMap`
-  (:func:`build_kmer_to_component` is its deprecated dict view);
+  a sorted-array :class:`~repro.seq.kmer_index.KmerMap`;
 * :func:`assign_reads_batched` — the whole-chunk batched kernel of the
   MPI-enabled main loop: one ``searchsorted`` against the map plus
   per-(read, component) segmented reductions, byte-identical to the
@@ -107,15 +106,6 @@ def build_kmer_map(
     # keeps the smallest component id per code, and duplicates within a
     # contig carry the same id — identical to deduping per contig first.
     return KmerMap.from_pairs(canon, comps, k)
-
-
-def build_kmer_to_component(
-    contigs: Sequence[Contig],
-    components: Sequence[Component],
-    k: int,
-) -> Dict[int, int]:
-    """Deprecated dict view of :func:`build_kmer_map` (same contents)."""
-    return build_kmer_map(contigs, components, k).to_dict()
 
 
 def assign_reads_batched(
@@ -251,14 +241,16 @@ def assign_reads_batched(
 def assign_read(
     read_index: int,
     read: SeqRecord,
-    kmer_to_component: Dict[int, int],
+    kmer_to_component: KmerMap,
     cfg: ReadsToTranscriptsConfig,
 ) -> ReadAssignment:
     """Per-read reference body: link one read to its best component.
 
     Kept as the readable specification of the assignment rule and as the
     equivalence oracle for :func:`assign_reads_batched`; the hot paths
-    (serial driver and MPI stage) run the batched kernel.
+    (serial driver and MPI stage) run the batched kernel.  Probes the
+    same sorted-array :class:`KmerMap` as the batched kernel, one
+    binary-search ``get`` per k-mer.
     """
     arr = kmer_array(read.seq, cfg.k)
     if arr.size == 0:
@@ -268,8 +260,8 @@ def assign_read(
     first_pos: Dict[int, int] = {}
     last_pos: Dict[int, int] = {}
     for pos, code in enumerate(canon.tolist()):
-        comp = kmer_to_component.get(code)
-        if comp is None:
+        comp = kmer_to_component.get(code, -1)
+        if comp < 0:
             continue
         shared[comp] = shared.get(comp, 0) + 1
         if comp not in first_pos:

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Union
 import numpy as np
 
 from repro.errors import PipelineError
+from repro.seq.kmer_index import KmerCounter
 from repro.seq.kmers import kmer_array, revcomp_codes
 from repro.seq.records import SeqRecord
 from repro.trinity.jellyfish import JellyfishCounts
@@ -103,7 +104,8 @@ def dsk_count_with_stats(
             part_counts = _count_partition(path)
             stats.peak_partition_kmers = max(stats.peak_partition_kmers, len(part_counts))
             merged.update(part_counts)
-        return JellyfishCounts(k=k, counts=merged, canonical=canonical), stats
+        index = KmerCounter.from_dict(merged, k)
+        return JellyfishCounts(k=k, canonical=canonical, index=index), stats
     finally:
         for path in part_paths:
             path.unlink(missing_ok=True)

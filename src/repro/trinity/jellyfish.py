@@ -10,14 +10,14 @@ format).
 The in-memory representation is a :class:`repro.seq.kmer_index.KmerCounter`
 — the shared sorted-array k-mer index — so downstream consumers (Inchworm,
 QuantifyGraph, coverage) probe it with batched ``searchsorted`` lookups.
-The historical ``Dict[int, int]`` table survives only as the deprecated
-``counts`` view.
+The historical ``Dict[int, int]`` table is gone; batch consumers read
+the index arrays, scalar consumers use ``get`` / ``get_kmer``.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Iterable, Optional, Union
 
 import numpy as np
 
@@ -37,36 +37,24 @@ PathLike = Union[str, Path]
 class JellyfishCounts:
     """K-mer counts plus the k they were counted at.
 
-    Array-backed: ``index`` is the sorted-array :class:`KmerCounter`.
-    ``counts`` — the old plain-dict table — is kept for one release as a
-    lazily materialised, read-only *view*; new code should use ``index``
-    (or the scalar ``get`` / ``get_kmer`` accessors, which are unchanged).
+    Array-backed: ``index`` is the sorted-array :class:`KmerCounter`;
+    batch access goes through its ``codes``/``values`` arrays and
+    ``find``/``lookup``, scalar access through ``get`` / ``get_kmer``.
+    (The plain-dict ``counts`` view from the pre-array era served its one
+    deprecation release and is gone.)
     """
 
-    __slots__ = ("k", "canonical", "index", "_dict_view")
+    __slots__ = ("k", "canonical", "index")
 
     def __init__(
         self,
         k: int,
-        counts: Optional[Mapping[int, int]] = None,
         canonical: bool = True,
         index: Optional[KmerCounter] = None,
     ) -> None:
-        if index is None:
-            index = KmerCounter.from_dict(counts or {}, k)
-        elif counts is not None:
-            raise SequenceError("pass either counts (deprecated) or index, not both")
         self.k = k
         self.canonical = canonical
-        self.index = index
-        self._dict_view: Optional[Dict[int, int]] = None
-
-    @property
-    def counts(self) -> Dict[int, int]:
-        """Deprecated dict view (code -> count); prefer ``index``."""
-        if self._dict_view is None:
-            self._dict_view = self.index.to_dict()
-        return self._dict_view
+        self.index = index if index is not None else KmerCounter.empty(k)
 
     def __len__(self) -> int:
         return len(self.index)

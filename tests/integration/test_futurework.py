@@ -40,7 +40,7 @@ class TestStripedRtt:
             cfg,
             nthreads=2,
         )
-        assert striped.returns[0].assignments == shipped.returns[0].assignments
+        assert striped.outputs[0].assignments == shipped.outputs[0].assignments
 
     def test_striped_skips_redundant_read_cost(self, smoke_reads, artefacts, monkeypatch):
         """With read cost made dominant, striping must win by ~size x.
@@ -86,8 +86,8 @@ class TestShardedGffSetup:
         sharded = mpirun(
             mpi_graph_from_fasta_sharded_setup, 3, contigs, smoke_reads, cfg, nthreads=2
         )
-        assert sharded.returns[0].pairs == shipped.returns[0].pairs
-        assert sharded.returns[0].components == shipped.returns[0].components
+        assert sharded.outputs[0].pairs == shipped.outputs[0].pairs
+        assert sharded.outputs[0].components == shipped.outputs[0].components
 
     def test_matches_serial(self, smoke_reads, artefacts):
         contigs, gff = artefacts
@@ -95,7 +95,7 @@ class TestShardedGffSetup:
         sharded = mpirun(
             mpi_graph_from_fasta_sharded_setup, 4, contigs, smoke_reads, cfg, nthreads=2
         )
-        assert sharded.returns[0].pairs == gff.pairs
+        assert sharded.outputs[0].pairs == gff.pairs
 
 
 class TestFutureWorkExperiments:

@@ -1,0 +1,148 @@
+"""Integration tests for threaded Inchworm: the acceptance criteria.
+
+* n_threads=1 is *byte-identical* to the serial reference on the
+  whitefly-mini dataset (the ISSUE's exact-equivalence bar).
+* For T in {2, 4, 8} the per-seed assembled-bases distribution is
+  statistically indistinguishable from serial (the paper's Fig-4-style
+  equivalence argument, via ``repro.validation``).
+* Fault plans reach the threaded front end through the parallel driver:
+  stragglers stretch the simulated Inchworm clocks without changing the
+  assembly, and a crashed MPI stage still recovers to identical output.
+"""
+
+import pytest
+
+from repro.mpi import CrashFault, FaultPlan
+from repro.mpi.faults import StragglerFault
+from repro.parallel import ParallelTrinityDriver
+from repro.parallel.driver import ParallelTrinityConfig
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+from repro.trinity import TrinityConfig
+from repro.trinity.inchworm import (
+    InchwormConfig,
+    inchworm_assemble,
+    inchworm_assemble_threaded,
+)
+from repro.trinity.jellyfish import jellyfish_count
+from repro.validation import two_sample_ttest
+
+ASSEMBLY_K = 25
+EQUIV_SEEDS = range(5)
+EQUIV_THREADS = (2, 4, 8)
+
+
+def whitefly_counts(seed: int):
+    _txome, pairs = get_recipe("whitefly-mini").materialize(seed=seed)
+    return jellyfish_count(flatten_reads(pairs), ASSEMBLY_K)
+
+
+@pytest.fixture(scope="module")
+def counts0():
+    return whitefly_counts(seed=0)
+
+
+class TestSingleThreadByteIdentity:
+    """Acceptance: threaded(n_threads=1, seed=s) == serial(seed=s)."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_whitefly_byte_identical(self, counts0, seed):
+        cfg = InchwormConfig(seed=seed)
+        serial = inchworm_assemble(counts0, cfg)
+        res = inchworm_assemble_threaded(counts0, cfg, n_threads=1)
+        assert [(c.name, c.seq, c.coverage) for c in serial] == [
+            (c.name, c.seq, c.coverage) for c in res.contigs
+        ]
+
+    def test_batch_size_does_not_change_output(self, counts0):
+        cfg = InchwormConfig(seed=0)
+        a = inchworm_assemble_threaded(counts0, cfg, n_threads=1, batch_size=8)
+        b = inchworm_assemble_threaded(counts0, cfg, n_threads=1, batch_size=128)
+        assert [c.seq for c in a.contigs] == [c.seq for c in b.contigs]
+
+
+@pytest.fixture(scope="module")
+def per_seed_bases():
+    """Total assembled bases per dataset seed, serial and per thread count.
+
+    Varying the *dataset* seed gives the statistic real between-seed
+    variance (for a fixed table the total is seed-invariant, which would
+    degenerate the t-test)."""
+    serial = []
+    threaded = {t: [] for t in EQUIV_THREADS}
+    for seed in EQUIV_SEEDS:
+        counts = whitefly_counts(seed)
+        cfg = InchwormConfig(seed=seed)
+        serial.append(sum(len(c.seq) for c in inchworm_assemble(counts, cfg)))
+        for t in EQUIV_THREADS:
+            res = inchworm_assemble_threaded(counts, cfg, n_threads=t)
+            threaded[t].append(sum(len(c.seq) for c in res.contigs))
+    return serial, threaded
+
+
+class TestSeedDistributionEquivalence:
+    """Acceptance: serial vs threaded assembled-bases distributions agree."""
+
+    def test_serial_distribution_varies(self, per_seed_bases):
+        serial, _ = per_seed_bases
+        assert len(set(serial)) > 1  # t-test has real variance to compare
+
+    @pytest.mark.parametrize("n_threads", EQUIV_THREADS)
+    def test_threaded_indistinguishable_from_serial(self, per_seed_bases, n_threads):
+        serial, threaded = per_seed_bases
+        result = two_sample_ttest(serial, threaded[n_threads])
+        assert not result.significant(alpha=0.05)
+
+
+@pytest.fixture(scope="module")
+def fault_free_driver_run(smoke_reads):
+    driver = ParallelTrinityDriver(
+        ParallelTrinityConfig(
+            trinity=TrinityConfig(seed=1), nprocs=4, nthreads=4, inchworm_threads=4
+        )
+    )
+    return driver.run(smoke_reads)
+
+
+class TestFaultPlansReachInchworm:
+    @pytest.mark.timeout(120)
+    def test_straggler_slows_threads_not_results(
+        self, smoke_reads, fault_free_driver_run
+    ):
+        plan = FaultPlan(stragglers=(StragglerFault(rank=0, slowdown=4.0),))
+        driver = ParallelTrinityDriver(
+            ParallelTrinityConfig(
+                trinity=TrinityConfig(seed=1), nprocs=4, nthreads=4,
+                inchworm_threads=4, faults=plan,
+            )
+        )
+        slowed = driver.run(smoke_reads)
+        base = fault_free_driver_run
+        assert sorted(t.seq for t in slowed.outputs.transcripts) == sorted(
+            t.seq for t in base.outputs.transcripts
+        )
+        # Inchworm stage attrs flow into the driver metrics, and the
+        # straggling thread drags the simulated team speedup down.
+        assert slowed.metrics["inchworm.n_threads"] == 4.0
+        assert slowed.metrics["inchworm.speedup"] < base.metrics["inchworm.speedup"]
+
+    @pytest.mark.timeout(120)
+    def test_crash_recovery_with_threaded_inchworm(
+        self, smoke_reads, fault_free_driver_run
+    ):
+        plan = FaultPlan(
+            crashes=(CrashFault(rank=3, phase="gff:loop1"),),
+            stragglers=(StragglerFault(rank=1, slowdown=2.0),),
+        )
+        driver = ParallelTrinityDriver(
+            ParallelTrinityConfig(
+                trinity=TrinityConfig(seed=1), nprocs=4, nthreads=4,
+                inchworm_threads=4, faults=plan,
+            )
+        )
+        recovered = driver.run(smoke_reads)
+        base = fault_free_driver_run
+        assert sorted(t.seq for t in recovered.outputs.transcripts) == sorted(
+            t.seq for t in base.outputs.transcripts
+        )
+        assert recovered.metrics["inchworm_threads"] == 4.0

@@ -33,7 +33,7 @@ class TestMpiBowtie:
         _counts, contigs, _gff = artefacts
         serial = bowtie_align(smoke_reads, contigs, BowtieConfig())
         run = mpirun(mpi_bowtie, 3, smoke_reads, contigs, BowtieConfig())
-        merged = run.returns[0].records
+        merged = run.outputs[0].records
         assert [r.to_line() for r in merged] == [r.to_line() for r in serial]
 
     def test_writes_parts_and_merged_sam(self, smoke_reads, artefacts, tmp_path):
@@ -47,7 +47,7 @@ class TestMpiBowtie:
     def test_split_time_charged_once(self, smoke_reads, artefacts):
         _counts, contigs, _gff = artefacts
         run = mpirun(mpi_bowtie, 3, smoke_reads, contigs, BowtieConfig())
-        split_times = [r.split_time for r in run.returns]
+        split_times = [r.split_time for r in run.outputs]
         assert split_times[0] > 0
         assert all(t == 0.0 for t in split_times[1:])
 
@@ -65,7 +65,7 @@ class TestMpiGff:
             nthreads=2,
         )
         key = lambda w: (w.owner, w.seed_code, w.left_flank, w.seed, w.right_flank)
-        for r in run.returns:
+        for r in run.outputs:
             # Bit-identical welds: pooling permutes chunk order, so compare
             # under a canonical sort.
             assert sorted(r.welds, key=key) == sorted(gff.welds, key=key)
@@ -82,8 +82,8 @@ class TestMpiGff:
         cfg = GraphFromFastaConfig(k=24)
         one = mpirun(mpi_graph_from_fasta, 1, contigs, smoke_reads, cfg, nthreads=2)
         eight = mpirun(mpi_graph_from_fasta, 8, contigs, smoke_reads, cfg, nthreads=2)
-        t1 = one.returns[0].serial_time
-        t8 = max(r.serial_time for r in eight.returns)
+        t1 = one.outputs[0].serial_time
+        t8 = max(r.serial_time for r in eight.outputs)
         assert t1 > 0 and t8 > 0
         assert t8 < 2.5 * t1
         # Whole-job sanity: splitting the loops over 8 ranks must not make
@@ -96,7 +96,7 @@ class TestMpiGff:
         run = mpirun(
             mpi_graph_from_fasta, 2, contigs, smoke_reads, GraphFromFastaConfig(k=24), nthreads=2
         )
-        r = run.returns[0]
+        r = run.outputs[0]
         assert r.loop1_time >= 0
         assert r.serial_time > 0
 
@@ -111,7 +111,7 @@ class TestMpiGff:
             nthreads=2,
             chunk_size=1,
         )
-        assert run.returns[0].pairs == gff.pairs
+        assert run.outputs[0].pairs == gff.pairs
 
 
 class TestMpiRtt:
@@ -129,7 +129,7 @@ class TestMpiRtt:
             cfg,
             nthreads=2,
         )
-        for r in run.returns:
+        for r in run.outputs:
             assert r.assignments == serial
 
     def test_master_slave_strategy_same_result(self, smoke_reads, artefacts):
@@ -145,7 +145,7 @@ class TestMpiRtt:
             cfg,
             nthreads=2,
         )
-        assert run.returns[0].assignments == serial
+        assert run.outputs[0].assignments == serial
 
     def test_output_concatenation(self, smoke_reads, artefacts, tmp_path):
         _counts, contigs, gff = artefacts
@@ -160,7 +160,7 @@ class TestMpiRtt:
             nthreads=2,
             workdir=tmp_path,
         )
-        out = run.returns[0].out_path
+        out = run.outputs[0].out_path
         assert out is not None and out.exists()
         lines = out.read_text().strip().splitlines()
         assert len(lines) == len(smoke_reads)
@@ -171,7 +171,7 @@ class TestMpiRtt:
         run = mpirun(
             mpi_reads_to_transcripts, 4, smoke_reads, contigs, gff.components, cfg, nthreads=2
         )
-        for r in run.returns:
+        for r in run.outputs:
             assert len(r.assignments) == len(smoke_reads)
 
 
@@ -207,7 +207,7 @@ class TestMpiRttSerialEquality:
             nthreads=2,
             kernel=kernel,
         )
-        for rank, r in enumerate(run.returns):
+        for rank, r in enumerate(run.outputs):
             path = tmp_path / f"rank{rank}_{kernel}.tsv"
             write_assignments(path, r.assignments)
             assert path.read_bytes() == serial_bytes
@@ -233,5 +233,5 @@ class TestMpiRttSerialEquality:
             faults=plan,
         )
         path = tmp_path / "recovered.tsv"
-        write_assignments(path, rec.returns[0].assignments)
+        write_assignments(path, rec.outputs[0].assignments)
         assert path.read_bytes() == serial_bytes

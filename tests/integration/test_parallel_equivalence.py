@@ -62,7 +62,7 @@ class TestEquivalence:
     def test_rank_returns_consistent(self, parallel):
         par, timings = parallel
         # Every rank returns identical pooled results.
-        first = timings.gff.returns[0]
-        for r in timings.gff.returns[1:]:
+        first = timings.gff.outputs[0]
+        for r in timings.gff.outputs[1:]:
             assert r.pairs == first.pairs
             assert r.components == first.components

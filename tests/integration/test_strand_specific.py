@@ -50,7 +50,7 @@ class TestStrandSpecific:
         rev = [SeqRecord("r", reverse_complement(iso.seq))]
         ss_f = jellyfish_count(fwd, 25, canonical=False)
         ss_r = jellyfish_count(rev, 25, canonical=False)
-        assert not set(ss_f.counts) & set(ss_r.counts)
+        assert not set(ss_f.index.codes.tolist()) & set(ss_r.index.codes.tolist())
         default_f = jellyfish_count(fwd, 25, canonical=True)
         default_r = jellyfish_count(rev, 25, canonical=True)
-        assert set(default_f.counts) == set(default_r.counts)
+        assert set(default_f.index.codes.tolist()) == set(default_r.index.codes.tolist())

@@ -26,19 +26,18 @@ class TestEquivalence:
         dsk = dsk_count(
             reads(*SEQS), k=9, config=DskConfig(n_partitions=n_partitions), workdir=tmp_path
         )
-        assert dsk.counts == jf.counts
-        assert dsk.k == jf.k
+        assert dsk == jf
 
     def test_non_canonical_matches(self, tmp_path):
         jf = jellyfish_count(reads(*SEQS), k=7, canonical=False)
         dsk = dsk_count(reads(*SEQS), k=7, workdir=tmp_path, canonical=False)
-        assert dsk.counts == jf.counts
+        assert dsk == jf
 
     def test_tiny_buffer_forces_flushes(self, tmp_path):
         cfg = DskConfig(n_partitions=4, buffer_kmers=2)
         dsk = dsk_count(reads(*SEQS), k=9, config=cfg, workdir=tmp_path)
         jf = jellyfish_count(reads(*SEQS), k=9)
-        assert dsk.counts == jf.counts
+        assert dsk == jf
 
     def test_empty_reads(self, tmp_path):
         counts = dsk_count(reads("ACG"), k=9, workdir=tmp_path)

@@ -1,0 +1,233 @@
+"""Unit tests for the batched/threaded Inchworm engine and its fidelity
+fixes: shared tie-break helper, filtered-table coverage, and the
+n_threads=1 byte-identity contract of the speculative-window engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.seq.kmer_index import KmerCounter
+from repro.seq.kmers import canonical_code, encode_kmer
+from repro.seq.records import SeqRecord
+from repro.trinity.inchworm import (
+    InchwormConfig,
+    inchworm_assemble,
+    inchworm_assemble_batched,
+    inchworm_assemble_threaded,
+    probe_extensions,
+    select_extensions,
+    tie_break_code,
+    tie_break_codes,
+)
+from repro.trinity.jellyfish import JellyfishCounts, jellyfish_count
+
+
+def counts_for(*seqs, k=7):
+    return jellyfish_count([SeqRecord(f"r{i}", s) for i, s in enumerate(seqs)], k)
+
+
+SRC1 = "ATCGGATTACAGTCCGGTTAACGAGCTTGGCATGCATAGCCATTGA"
+SRC2 = "GGCATGCATTTGGCCAATGGCATCCAGTAGGACCTTAGCGGATCCA"
+SRC3 = "TTGACCGTAGGCTAACCGTTAGGCCTATGCGATCAGGACCATTGCA"
+
+
+class TestTieBreakHelper:
+    """Satellite fix: one tie-break definition for scalar and batch."""
+
+    def test_scalar_matches_vectorized_random(self):
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 2 ** 63, size=500, dtype=np.uint64)
+        for salt in (0, 1, 0xDEADBEEF, int(rng.integers(0, 2 ** 62))):
+            vec = tie_break_codes(codes, salt)
+            scal = [tie_break_code(int(c), salt) for c in codes.tolist()]
+            assert vec.tolist() == scal
+
+    def test_uint64_wraparound_semantics(self):
+        # A code large enough that unbounded-int multiplication diverges
+        # from uint64 wraparound unless both sides mask identically.
+        big = (1 << 64) - 1
+        assert tie_break_code(big, 12345) == int(
+            tie_break_codes(np.array([big], dtype=np.uint64), 12345)[0]
+        )
+
+    def test_salt_changes_order(self):
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, 2 ** 62, size=64, dtype=np.uint64)
+        a = tie_break_codes(codes, 17)
+        b = tie_break_codes(codes, 0xFEEDFACE)
+        assert (a != b).any()
+        assert np.argsort(a).tolist() != np.argsort(b).tolist()
+
+
+class TestCoverageUsesFilteredTable:
+    """Satellite fix: coverage must read the same filtered table that
+    greedy extension ran on."""
+
+    def test_noncanonical_alias_does_not_leak_unfiltered_count(self):
+        # Malformed-on-purpose table: a directed (non-canonical) code F
+        # with count 5 and its canonical partner C with count 1.  With
+        # min_kmer_count=2 the filtered table keeps only F, so extension
+        # seeds from F; coverage must be F's filtered count (5.0) — the
+        # old code re-canonicalised the contig against the *unfiltered*
+        # table and read C's count (1.0) instead.
+        k = 5
+        f_code = encode_kmer("TTTTT")
+        c_code = canonical_code(f_code, k)  # AAAAA = 0
+        assert c_code != f_code
+        counts = JellyfishCounts(
+            k=k,
+            canonical=True,
+            index=KmerCounter.from_dict({f_code: 5, c_code: 1}, k),
+        )
+        cfg = InchwormConfig(min_kmer_count=2, min_contig_length=1)
+        contigs = inchworm_assemble(counts, cfg)
+        assert len(contigs) == 1
+        assert contigs[0].coverage == pytest.approx(5.0)
+
+    def test_threaded_engine_agrees(self):
+        k = 5
+        f_code = encode_kmer("TTTTT")
+        c_code = canonical_code(f_code, k)
+        counts = JellyfishCounts(
+            k=k,
+            canonical=True,
+            index=KmerCounter.from_dict({f_code: 5, c_code: 1}, k),
+        )
+        cfg = InchwormConfig(min_kmer_count=2, min_contig_length=1)
+        res = inchworm_assemble_threaded(counts, cfg, n_threads=1)
+        assert [c.coverage for c in res.contigs] == [pytest.approx(5.0)]
+
+
+class TestBatchedKernel:
+    def test_probe_matches_table(self):
+        counts = counts_for(SRC1, SRC1, SRC2, k=7)
+        filtered = counts.index.filtered(1)
+        cur = filtered.codes[:8].copy()
+        probe = probe_extensions(filtered, cur, right=True, salt=3)
+        assert probe.cands.shape == (8, 4)
+        # Every reported count must equal a direct scalar lookup.
+        for i in range(8):
+            for b in range(4):
+                want = filtered.get(int(probe.canons[i, b]), 0)
+                assert int(probe.counts[i, b]) == want
+                assert bool(probe.found[i, b]) == (want > 0)
+
+    def test_select_respects_blocking(self):
+        counts = counts_for(SRC1, SRC2, k=7)
+        filtered = counts.index.filtered(1)
+        cur = filtered.codes[:4].copy()
+        probe = probe_extensions(filtered, cur, right=True, salt=0)
+        all_blocked = np.ones_like(probe.found)
+        _cols, ok = select_extensions(probe, all_blocked)
+        assert not ok.any()
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 8, 32])
+    def test_batched_identical_to_serial(self, batch_size):
+        counts = counts_for(SRC1, SRC2, SRC3, SRC1, k=7)
+        for seed in (0, 3):
+            cfg = InchwormConfig(min_kmer_count=1, seed=seed)
+            serial = inchworm_assemble(counts, cfg)
+            batched = inchworm_assemble_batched(counts, cfg, batch_size=batch_size)
+            assert [(c.name, c.seq, c.coverage) for c in serial] == [
+                (c.name, c.seq, c.coverage) for c in batched
+            ]
+
+
+class TestThreadedDriver:
+    def test_single_thread_byte_identical(self):
+        counts = counts_for(SRC1, SRC2, SRC3, k=7)
+        cfg = InchwormConfig(min_kmer_count=1, seed=2)
+        serial = inchworm_assemble(counts, cfg)
+        res = inchworm_assemble_threaded(counts, cfg, n_threads=1)
+        assert [(c.name, c.seq, c.coverage) for c in serial] == [
+            (c.name, c.seq, c.coverage) for c in res.contigs
+        ]
+
+    @pytest.mark.parametrize("n_threads", [2, 4, 8])
+    def test_multithread_conserves_kmer_partition(self, n_threads):
+        # Different interleavings may pick different contig boundaries,
+        # but no canonical k-mer may appear in two contigs and every
+        # contig must still be made of table k-mers.
+        from repro.seq.kmers import canonical_kmers
+
+        counts = counts_for(SRC1, SRC2, SRC3, SRC1, k=7)
+        cfg = InchwormConfig(min_kmer_count=1)
+        res = inchworm_assemble_threaded(counts, cfg, n_threads=n_threads)
+        seen = set()
+        for c in res.contigs:
+            for code in canonical_kmers(c.seq, 7).tolist():
+                assert code not in seen
+                assert counts.get(code) > 0
+                seen.add(code)
+
+    def test_team_timing_populated(self):
+        counts = counts_for(SRC1, SRC2, k=7)
+        res = inchworm_assemble_threaded(
+            counts, InchwormConfig(min_kmer_count=1), n_threads=4
+        )
+        assert res.team.n_threads == 4
+        assert res.team.makespan > 0
+        assert res.thread_clocks.shape == (4,)
+        attrs = res.as_span_attrs()
+        assert attrs["n_threads"] == 4
+        assert attrs["steps"] == res.n_steps
+
+    def test_straggler_slowdown_stretches_makespan(self):
+        counts = counts_for(SRC1, SRC2, SRC3, k=7)
+        cfg = InchwormConfig(min_kmer_count=1)
+        fair = inchworm_assemble_threaded(counts, cfg, n_threads=4)
+        slowed = inchworm_assemble_threaded(
+            counts, cfg, n_threads=4, thread_slowdowns=[8.0, 1.0, 1.0, 1.0]
+        )
+        # Same output (slowdowns shape timing, never results)...
+        assert [c.seq for c in fair.contigs] == [c.seq for c in slowed.contigs]
+        # ...but the straggling thread drags the team makespan.
+        assert slowed.team.makespan > fair.team.makespan
+
+    def test_empty_counts(self):
+        counts = counts_for("AAA", k=3)
+        res = inchworm_assemble_threaded(counts, InchwormConfig(min_kmer_count=10))
+        assert res.contigs == []
+        assert res.team.makespan == 0.0
+
+    def test_invalid_args_rejected(self):
+        counts = counts_for(SRC1, k=7)
+        with pytest.raises(PipelineError):
+            inchworm_assemble_threaded(counts, n_threads=0)
+        with pytest.raises(PipelineError):
+            inchworm_assemble_threaded(counts, batch_size=0)
+        with pytest.raises(PipelineError):
+            inchworm_assemble_threaded(counts, n_threads=2, thread_slowdowns=[1.0])
+        with pytest.raises(PipelineError):
+            inchworm_assemble_threaded(
+                counts, n_threads=2, thread_slowdowns=[1.0, -2.0]
+            )
+
+
+class TestPipelineKnob:
+    def test_config_validation(self):
+        from repro.trinity.pipeline import TrinityConfig
+
+        with pytest.raises(PipelineError):
+            TrinityConfig(inchworm_threads=0)
+        with pytest.raises(PipelineError):
+            TrinityConfig(inchworm_batch=-1)
+
+    def test_parallel_config_validation(self):
+        from repro.parallel.driver import ParallelTrinityConfig
+
+        with pytest.raises(PipelineError):
+            ParallelTrinityConfig(inchworm_threads=0)
+
+    def test_straggler_mapping(self):
+        from repro.mpi.faults import FaultPlan, StragglerFault
+        from repro.parallel.driver import _inchworm_thread_slowdowns
+
+        assert _inchworm_thread_slowdowns(None, 4) is None
+        assert _inchworm_thread_slowdowns(FaultPlan(), 4) is None
+        plan = FaultPlan(stragglers=(StragglerFault(rank=1, slowdown=3.0),))
+        slow = _inchworm_thread_slowdowns(plan, 4)
+        assert slow.tolist() == [1.0, 3.0, 1.0, 1.0]
+        # A straggler beyond the thread count maps to nothing.
+        far = FaultPlan(stragglers=(StragglerFault(rank=9, slowdown=3.0),))
+        assert _inchworm_thread_slowdowns(far, 4) is None

@@ -41,8 +41,8 @@ class TestGatherMerge:
             return gather_merge(comm, [f"r{comm.rank}"])
 
         res = mpirun(body, 3)
-        assert res.returns[0] == ["r0", "r1", "r2"]
-        assert res.returns[1] is None
+        assert res.outputs[0] == ["r0", "r1", "r2"]
+        assert res.outputs[1] is None
 
     def test_writes_file_at_root(self, tmp_path):
         out = tmp_path / "merged.txt"

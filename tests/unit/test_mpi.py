@@ -106,29 +106,29 @@ class TestCollectives:
             return comm.bcast("hello" if comm.rank == 0 else None, root=0)
 
         res = mpirun(body, 4)
-        assert res.returns == ["hello"] * 4
+        assert res.outputs == ["hello"] * 4
 
     def test_gather(self):
         def body(comm):
             return comm.gather(comm.rank, root=0)
 
         res = mpirun(body, 4)
-        assert res.returns[0] == [0, 1, 2, 3]
-        assert res.returns[1] is None
+        assert res.outputs[0] == [0, 1, 2, 3]
+        assert res.outputs[1] is None
 
     def test_allgather(self):
         def body(comm):
             return comm.allgather(comm.rank * 10)
 
         res = mpirun(body, 3)
-        assert all(r == [0, 10, 20] for r in res.returns)
+        assert all(r == [0, 10, 20] for r in res.outputs)
 
     def test_allgatherv_identical_everywhere(self):
         def body(comm):
             return comm.allgatherv(np.full(comm.rank + 1, comm.rank))
 
         res = mpirun(body, 3)
-        for r in res.returns:
+        for r in res.outputs:
             assert [arr.tolist() for arr in r] == [[0], [1, 1], [2, 2, 2]]
 
     def test_reduce_max(self):
@@ -136,14 +136,14 @@ class TestCollectives:
             return comm.reduce_max(float(comm.rank), root=0)
 
         res = mpirun(body, 5)
-        assert res.returns[0] == 4.0
+        assert res.outputs[0] == 4.0
 
     def test_allreduce_sum(self):
         def body(comm):
             return comm.allreduce_sum(1.0)
 
         res = mpirun(body, 6)
-        assert res.returns == [6.0] * 6
+        assert res.outputs == [6.0] * 6
 
     def test_send_recv(self):
         def body(comm):
@@ -153,7 +153,7 @@ class TestCollectives:
             return comm.recv(source=0)
 
         res = mpirun(body, 2)
-        assert res.returns[1] == {"x": 42}
+        assert res.outputs[1] == {"x": 42}
 
     def test_send_to_self_rejected(self):
         def body(comm):
@@ -169,7 +169,7 @@ class TestCollectives:
             return comm.clock.now
 
         res = mpirun(body, 4, network=ZERO_COST)
-        assert res.returns == [3.0] * 4
+        assert res.outputs == [3.0] * 4
 
     def test_comm_cost_charged(self):
         def body(comm):
@@ -177,14 +177,14 @@ class TestCollectives:
             return comm.clock.now
 
         res = mpirun(body, 4)
-        assert all(t > 0 for t in res.returns)
-        assert all(s.comm_time > 0 for s in res.stats)
+        assert all(t > 0 for t in res.outputs)
+        assert all(s.comm_time > 0 for s in res.comm)
 
 
 class TestLauncher:
     def test_single_rank_fast_path(self):
         res = mpirun(lambda comm: comm.size, 1)
-        assert res.returns == [1]
+        assert res.outputs == [1]
 
     def test_zero_ranks_rejected(self):
         with pytest.raises(CommError):
@@ -213,7 +213,7 @@ class TestLauncher:
             return a + b + comm.rank
 
         res = mpirun(body, 2, 10, b=5)
-        assert res.returns == [15, 16]
+        assert res.outputs == [15, 16]
 
     def test_deterministic_across_runs(self):
         def body(comm):
@@ -222,7 +222,7 @@ class TestLauncher:
 
         r1 = mpirun(body, 8)
         r2 = mpirun(body, 8)
-        assert r1.returns == r2.returns
+        assert r1.outputs == r2.outputs
 
     def test_rank_failure_releases_blocked_recv(self):
         """A dying rank must not leave peers hanging in recv (regression:

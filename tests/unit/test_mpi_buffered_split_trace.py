@@ -16,7 +16,7 @@ class TestBufferCollectives:
             return comm.Bcast(arr, root=0).tolist()
 
         res = mpirun(body, 3)
-        assert res.returns == [[0, 1, 2, 3, 4]] * 3
+        assert res.outputs == [[0, 1, 2, 3, 4]] * 3
 
     def test_Bcast_requires_array_at_root(self):
         def body(comm):
@@ -30,7 +30,7 @@ class TestBufferCollectives:
             return comm.Allgatherv(np.full(comm.rank + 1, comm.rank)).tolist()
 
         res = mpirun(body, 3)
-        assert res.returns == [[0, 1, 1, 2, 2, 2]] * 3
+        assert res.outputs == [[0, 1, 1, 2, 2, 2]] * 3
 
     def test_Allgatherv_empty_contributions(self):
         def body(comm):
@@ -38,7 +38,7 @@ class TestBufferCollectives:
             return comm.Allgatherv(arr).tolist()
 
         res = mpirun(body, 3)
-        assert res.returns == [[0, 1]] * 3
+        assert res.outputs == [[0, 1]] * 3
 
     def test_Allgatherv_rejects_non_array(self):
         def body(comm):
@@ -55,9 +55,9 @@ class TestSplit:
             return (sub.rank, sub.size, sub.allgather(comm.rank))
 
         res = mpirun(body, 4)
-        assert res.returns[0] == (0, 2, [0, 2])
-        assert res.returns[1] == (0, 2, [1, 3])
-        assert res.returns[2] == (1, 2, [0, 2])
+        assert res.outputs[0] == (0, 2, [0, 2])
+        assert res.outputs[1] == (0, 2, [1, 3])
+        assert res.outputs[2] == (1, 2, [0, 2])
 
     def test_key_reorders(self):
         def body(comm):
@@ -65,7 +65,7 @@ class TestSplit:
             return sub.rank
 
         res = mpirun(body, 3)
-        assert res.returns == [2, 1, 0]
+        assert res.outputs == [2, 1, 0]
 
     def test_none_color_opts_out(self):
         def body(comm):
@@ -75,7 +75,7 @@ class TestSplit:
             return sub.size
 
         res = mpirun(body, 3)
-        assert res.returns == [2, 2, "out"]
+        assert res.outputs == [2, 2, "out"]
 
     def test_consecutive_splits_independent(self):
         def body(comm):
@@ -84,7 +84,7 @@ class TestSplit:
             return (a.size, b.size)
 
         res = mpirun(body, 4)
-        assert all(r == (2, 2) for r in res.returns)
+        assert all(r == (2, 2) for r in res.outputs)
 
     def test_sub_comm_shares_clock(self):
         def body(comm):
@@ -93,7 +93,7 @@ class TestSplit:
             return comm.clock.now >= 1.0
 
         res = mpirun(body, 2, network=ZERO_COST)
-        assert all(res.returns)
+        assert all(res.outputs)
 
 
 class TestTrace:

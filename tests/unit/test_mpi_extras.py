@@ -20,7 +20,7 @@ class TestScatter:
             return comm.scatter(values, root=0)
 
         res = mpirun(body, 4)
-        assert res.returns == ["item0", "item1", "item2", "item3"]
+        assert res.outputs == ["item0", "item1", "item2", "item3"]
 
     def test_wrong_length_rejected(self):
         def body(comm):
@@ -44,7 +44,7 @@ class TestAlltoall:
             return comm.alltoall([f"{comm.rank}->{j}" for j in range(comm.size)])
 
         res = mpirun(body, 3)
-        assert res.returns[1] == ["0->1", "1->1", "2->1"]
+        assert res.outputs[1] == ["0->1", "1->1", "2->1"]
 
     def test_length_checked(self):
         def body(comm):

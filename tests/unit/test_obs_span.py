@@ -104,10 +104,14 @@ class TestStageResult:
             metrics={"loop1_time": 1.25},
         )
 
-    def test_deprecated_returns_and_stats(self):
+    def test_deprecated_returns_and_stats_removed(self):
         r = StageResult(stage="x", outputs=[1, 2], comm=["s0"])
-        assert r.returns == [1, 2]
-        assert r.stats == ["s0"]
+        assert r.outputs == [1, 2]
+        assert r.comm == ["s0"]
+        with pytest.raises(AttributeError):
+            r.returns
+        with pytest.raises(AttributeError):
+            r.stats
 
     def test_delegates_to_outputs_then_metrics(self):
         r = self._result()

@@ -15,7 +15,6 @@ from repro.trinity.chrysalis.reads_to_transcripts import (
     assign_read,
     assign_reads_batched,
     build_kmer_map,
-    build_kmer_to_component,
     read_assignments,
     reads_to_transcripts,
     stream_chunks,
@@ -32,7 +31,7 @@ def setup():
     contigs = [Contig("A", SRC_A), Contig("B", SRC_B)]
     components = build_components(2, [])
     cfg = ReadsToTranscriptsConfig(k=K, max_mem_reads=3)
-    kmer_map = build_kmer_to_component(contigs, components, K)
+    kmer_map = build_kmer_map(contigs, components, K)
     return contigs, components, cfg, kmer_map
 
 
@@ -42,16 +41,16 @@ class TestKmerMap:
         from repro.seq.kmers import canonical_kmers
 
         for code in canonical_kmers(SRC_A, K).tolist():
-            assert kmer_map[code] == 0
+            assert kmer_map.get(code, -1) == 0
         for code in canonical_kmers(SRC_B, K).tolist():
-            assert kmer_map[code] == 1
+            assert kmer_map.get(code, -1) == 1
 
     def test_conflict_resolves_to_smallest(self):
         shared = "ACGTTGCAGCA"
         contigs = [Contig("A", shared), Contig("B", shared)]
         comps = build_components(2, [])
-        kmer_map = build_kmer_to_component(contigs, comps, K)
-        assert set(kmer_map.values()) == {0}
+        kmer_map = build_kmer_map(contigs, comps, K)
+        assert set(kmer_map.values.tolist()) == {0}
 
 
 class TestAssignRead:
@@ -143,10 +142,9 @@ class TestBatchedEquivalence:
     def _check(self, contigs, reads, cfg):
         comps = build_components(len(contigs), [])
         kmer_map = build_kmer_map(contigs, comps, cfg.k)
-        kmer_dict = build_kmer_to_component(contigs, comps, cfg.k)
         chunk = list(enumerate(reads))
         got = assign_reads_batched(chunk, kmer_map, cfg)
-        want = [assign_read(i, r, kmer_dict, cfg) for i, r in chunk]
+        want = [assign_read(i, r, kmer_map, cfg) for i, r in chunk]
         assert [a.to_line() for a in got] == [a.to_line() for a in want]
         return got
 
@@ -222,17 +220,24 @@ class TestBatchedEquivalence:
         cfg = ReadsToTranscriptsConfig(k=K)
         chunk = [(0, SeqRecord("r", SRC_A[:20]))]
         got = assign_reads_batched(chunk, big, cfg)
-        want = [assign_read(0, chunk[0][1], big.to_dict(), cfg)]
+        want = [assign_read(0, chunk[0][1], big, cfg)]
         assert [a.to_line() for a in got] == [a.to_line() for a in want]
         assert got[0].component == 2 ** 21
 
 
 class TestBuildKmerMap:
-    def test_map_equals_dict_view(self):
+    def test_map_contents_match_bruteforce(self):
+        from repro.seq.kmers import canonical_kmers
+
         contigs = [Contig("A", SRC_A), Contig("B", SRC_B), Contig("C", SRC_A[5:30])]
         comps = build_components(3, [(0, 2)])
         km = build_kmer_map(contigs, comps, K)
-        assert km.to_dict() == build_kmer_to_component(contigs, comps, K)
+        comp_of = {m: comp.id for comp in comps for m in comp.members}
+        want = {}
+        for ci, contig in enumerate(contigs):
+            for code in canonical_kmers(contig.seq, K).tolist():
+                want[code] = min(want.get(code, comp_of[ci]), comp_of[ci])
+        assert dict(zip(km.codes.tolist(), km.values.tolist())) == want
 
     def test_empty_contigs(self):
         km = build_kmer_map([], [], K)

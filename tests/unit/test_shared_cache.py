@@ -16,7 +16,7 @@ class TestSharedCache:
             return id(obj)
 
         res = mpirun(body, 4, network=ZERO_COST)
-        assert len(set(res.returns)) == 1
+        assert len(set(res.outputs)) == 1
 
     def test_computed_exactly_once(self):
         def body(comm):
@@ -24,8 +24,8 @@ class TestSharedCache:
             return (comm.stats.shared_computes, comm.stats.shared_hits)
 
         res = mpirun(body, 6, network=ZERO_COST)
-        computes = sum(c for c, _h in res.returns)
-        hits = sum(h for _c, h in res.returns)
+        computes = sum(c for c, _h in res.outputs)
+        hits = sum(h for _c, h in res.outputs)
         assert computes == 1
         assert hits == 5
 
@@ -39,7 +39,7 @@ class TestSharedCache:
             return comm.clock.now
 
         res = mpirun(body, 4, network=ZERO_COST)
-        assert res.returns == [1.5] * 4
+        assert res.outputs == [1.5] * 4
 
     def test_distinct_keys_distinct_computes(self):
         def body(comm):
@@ -48,7 +48,7 @@ class TestSharedCache:
             return (a, b)
 
         res = mpirun(body, 3, network=ZERO_COST)
-        assert all(r == ([1], [2]) for r in res.returns)
+        assert all(r == ([1], [2]) for r in res.outputs)
 
     def test_single_rank_fast_path(self):
         def body(comm):
@@ -56,7 +56,7 @@ class TestSharedCache:
             return (v, comm.clock.now, comm.stats.shared_computes)
 
         res = mpirun(body, 1)
-        assert res.returns == [("x", 0.25, 1)]
+        assert res.outputs == [("x", 0.25, 1)]
 
     def test_traced_run_matches_untraced(self):
         def body(comm):
@@ -66,7 +66,7 @@ class TestSharedCache:
 
         plain = mpirun(body, 3, network=ZERO_COST)
         traced = mpirun(body, 3, network=ZERO_COST, trace=True)
-        assert plain.returns == traced.returns
+        assert plain.outputs == traced.outputs
         assert plain.makespan == traced.makespan
 
     def test_trace_records_compute_segment(self):
@@ -96,10 +96,10 @@ class TestPtpAccounting:
                 comm.recv(source=0)
 
         res = mpirun(body, 2, network=net)
-        assert res.stats[0].comm_time == pytest.approx(net.alpha)
+        assert res.comm[0].comm_time == pytest.approx(net.alpha)
         # Receiver starts at t=0, so it idles/transfers up to arrival; the
         # transfer part (at most the full ptp cost) is comm time.
-        assert res.stats[1].comm_time > 0
+        assert res.comm[1].comm_time > 0
 
     def test_ptp_trace_has_comm_segments_both_sides(self):
         net = NetworkModel(alpha=1e-3, beta=1e-9)
@@ -126,7 +126,7 @@ class TestPtpAccounting:
 
         res = mpirun(body, 2, network=net)
         # Arrival = sender send-time (0) + full ptp cost.
-        assert res.returns[1] == pytest.approx(net.ptp(10_000))
+        assert res.outputs[1] == pytest.approx(net.ptp(10_000))
 
 
 class TestScatterCost:
@@ -139,7 +139,7 @@ class TestScatterCost:
 
         res = mpirun(body, 4, network=net)
         expected = net.scatter(4, 4000)
-        assert all(t == pytest.approx(expected) for t in res.returns)
+        assert all(t == pytest.approx(expected) for t in res.outputs)
 
     def test_network_scatter_shape(self):
         net = NetworkModel(alpha=1e-3, beta=1e-9)

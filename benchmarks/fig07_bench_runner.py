@@ -23,13 +23,17 @@ JSON accumulates a before/after history across PRs.
 
 from __future__ import annotations
 
-import argparse
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from benchmarks.common import bench_parser
 from repro.mpi import mpirun
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
 from repro.simdata import get_recipe
 from repro.simdata.reads import flatten_reads
 from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig
@@ -42,24 +46,31 @@ WELD_K = 24
 NTHREADS = 16
 
 
-def build_inputs():
+def build_inputs(seed: int = 0):
     """Deterministic bench inputs: whitefly-mini reads + Inchworm contigs."""
-    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=0)
+    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=seed)
     reads = flatten_reads(pairs)
     counts = jellyfish_count(reads, ASSEMBLY_K)
     contigs = inchworm_assemble(counts, InchwormConfig(seed=1))
     return reads, contigs
 
 
-def run_points(nprocs_list: List[int]) -> List[Dict[str, float]]:
-    """Time one mpirun of the GFF stage per requested rank count."""
-    reads, contigs = build_inputs()
-    cfg = GraphFromFastaConfig(k=WELD_K)
+def run_points(
+    nprocs_list: List[int], seed: int = 0, repeat: int = 1
+) -> List[Dict[str, float]]:
+    """Time one mpirun of the GFF stage per requested rank count
+    (best wall of ``repeat`` runs, to shave host noise off the history)."""
+    reads, contigs = build_inputs(seed=seed)
+    inputs = GffInputs(contigs=contigs, reads=reads)
+    config = GffStageConfig(gff=GraphFromFastaConfig(k=WELD_K), nthreads=NTHREADS)
     points: List[Dict[str, float]] = []
     for nprocs in nprocs_list:
-        t0 = time.perf_counter()
-        run = mpirun(mpi_graph_from_fasta, nprocs, contigs, reads, cfg, nthreads=NTHREADS)
-        wall = time.perf_counter() - t0
+        wall = None
+        for _rep in range(max(repeat, 1)):
+            t0 = time.perf_counter()
+            run = mpirun(mpi_graph_from_fasta, nprocs, inputs, config)
+            rep_wall = time.perf_counter() - t0
+            wall = rep_wall if wall is None else min(wall, rep_wall)
         points.append(
             {
                 "nprocs": nprocs,
@@ -92,12 +103,15 @@ def append_entry(out: Path, label: str, points: List[Dict[str, float]]) -> None:
 
 def run_cli(argv: Optional[List[str]] = None) -> int:
     """Entry point shared by ``python -m`` and ``repro bench gff``."""
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--label", required=True, help="entry label, e.g. a change name")
+    ap = bench_parser(
+        __doc__.splitlines()[0], Path("BENCH_fig07.json"), default_repeat=1
+    )
     ap.add_argument("--nprocs", type=int, nargs="+", default=[1, 8, 64])
-    ap.add_argument("--out", type=Path, default=Path("BENCH_fig07.json"))
     args = ap.parse_args(argv)
-    append_entry(args.out, args.label, run_points(args.nprocs))
+    append_entry(
+        args.history, args.label,
+        run_points(args.nprocs, seed=args.seed, repeat=args.repeat),
+    )
     return 0
 
 

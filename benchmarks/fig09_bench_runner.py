@@ -25,14 +25,18 @@ Usage (append a labeled entry to the checked-in history)::
 
 from __future__ import annotations
 
-import argparse
 import tempfile
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from benchmarks.common import bench_parser
 from repro.mpi import mpirun
-from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+from repro.parallel.mpi_reads_to_transcripts import (
+    RttInputs,
+    RttStageConfig,
+    mpi_reads_to_transcripts,
+)
 from repro.simdata import get_recipe
 from repro.simdata.reads import flatten_reads
 from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig, graph_from_fasta
@@ -48,9 +52,9 @@ MAX_MEM_READS = 1000
 NTHREADS = 16
 
 
-def build_inputs():
+def build_inputs(seed: int = 0):
     """Deterministic bench inputs: whitefly-mini reads, contigs, components."""
-    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=0)
+    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=seed)
     reads = flatten_reads(pairs)
     counts = jellyfish_count(reads, ASSEMBLY_K)
     contigs = inchworm_assemble(counts, InchwormConfig(seed=1))
@@ -59,7 +63,7 @@ def build_inputs():
 
 
 def run_points(
-    nprocs_list: List[int], kernel: str = "batched", repeat: int = 1
+    nprocs_list: List[int], kernel: str = "batched", repeat: int = 1, seed: int = 0
 ) -> List[Dict[str, float]]:
     """Time one mpirun of the RTT stage per requested rank count
     (best wall of ``repeat`` runs, to shave host noise off the history).
@@ -69,26 +73,19 @@ def run_points(
     ``cat`` step), with ``pool=False`` — the all-ranks Python-object
     pooling is a simulation convenience the real pipeline doesn't pay.
     """
-    reads, contigs, components = build_inputs()
+    reads, contigs, components = build_inputs(seed=seed)
+    inputs = RttInputs(reads=reads, contigs=contigs, components=components)
     cfg = ReadsToTranscriptsConfig(k=RTT_K, max_mem_reads=MAX_MEM_READS)
     points: List[Dict[str, float]] = []
     for nprocs in nprocs_list:
         wall = None
         for _rep in range(max(repeat, 1)):
             with tempfile.TemporaryDirectory(prefix="fig09_rtt_") as wd:
-                t0 = time.perf_counter()
-                run = mpirun(
-                    mpi_reads_to_transcripts,
-                    nprocs,
-                    reads,
-                    contigs,
-                    components,
-                    cfg,
-                    nthreads=NTHREADS,
-                    workdir=wd,
-                    kernel=kernel,
-                    pool=False,
+                config = RttStageConfig(
+                    rtt=cfg, nthreads=NTHREADS, workdir=wd, kernel=kernel, pool=False
                 )
+                t0 = time.perf_counter()
+                run = mpirun(mpi_reads_to_transcripts, nprocs, inputs, config)
                 rep_wall = time.perf_counter() - t0
             wall = rep_wall if wall is None else min(wall, rep_wall)
         points.append(
@@ -126,8 +123,7 @@ def append_entry(out: Path, label: str, points: List[Dict[str, float]]) -> None:
 
 def run_cli(argv: Optional[List[str]] = None) -> int:
     """Entry point shared by ``python -m`` and ``repro bench rtt``."""
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--label", required=True, help="entry label, e.g. a change name")
+    ap = bench_parser(__doc__.splitlines()[0], Path("BENCH_fig09.json"))
     ap.add_argument("--nprocs", type=int, nargs="+", default=[1, 8])
     ap.add_argument(
         "--kernel",
@@ -135,14 +131,11 @@ def run_cli(argv: Optional[List[str]] = None) -> int:
         default="batched",
         help="main-loop kernel to measure (per-read = legacy dict loop)",
     )
-    ap.add_argument(
-        "--repeat", type=int, default=3, help="runs per point; best wall is recorded"
-    )
-    ap.add_argument("--out", type=Path, default=Path("BENCH_fig09.json"))
     args = ap.parse_args(argv)
     kernel = args.kernel.replace("-", "_")
     append_entry(
-        args.out, args.label, run_points(args.nprocs, kernel=kernel, repeat=args.repeat)
+        args.history, args.label,
+        run_points(args.nprocs, kernel=kernel, repeat=args.repeat, seed=args.seed),
     )
     return 0
 

@@ -30,13 +30,13 @@ Usage (append a labeled entry to the checked-in history)::
 
 from __future__ import annotations
 
-import argparse
 import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from benchmarks.common import bench_parser
 from repro.simdata import get_recipe
 from repro.simdata.reads import flatten_reads
 from repro.trinity.inchworm import (
@@ -60,9 +60,9 @@ REFERENCE_BATCH = 64
 KERNEL_BATCHES = (16, 64, 256)
 
 
-def build_counts():
+def build_counts(seed: int = 0):
     """Deterministic bench input: the sugarbeet-mini k-mer table."""
-    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=0)
+    _txome, pairs = get_recipe(WORKLOAD).materialize(seed=seed)
     reads = flatten_reads(pairs)
     return jellyfish_count(reads, ASSEMBLY_K)
 
@@ -198,27 +198,22 @@ def append_entry(out: Path, label: str, points: List[Dict]) -> None:
 
 def run_cli(argv: Optional[List[str]] = None) -> int:
     """Entry point shared by ``python -m`` and ``repro bench inchworm``."""
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--label", required=True, help="entry label, e.g. a change name")
+    ap = bench_parser(__doc__.splitlines()[0], Path("BENCH_inchworm.json"))
     ap.add_argument(
         "--threads", type=int, nargs="+", default=[1, 2, 4, 8],
         help="simulated thread counts for the makespan rows",
     )
     ap.add_argument(
-        "--repeat", type=int, default=3, help="runs per point; best wall is recorded"
-    )
-    ap.add_argument(
         "--skip-end-to-end", action="store_true",
         help="record only kernel + thread rows (fast)",
     )
-    ap.add_argument("--out", type=Path, default=Path("BENCH_inchworm.json"))
     args = ap.parse_args(argv)
-    counts = build_counts()
+    counts = build_counts(seed=args.seed)
     points = kernel_points(counts, repeat=max(args.repeat, 3))
     if not args.skip_end_to_end:
         points += end_to_end_points(counts, repeat=args.repeat)
     points += thread_points(counts, thread_counts=args.threads)
-    append_entry(args.out, args.label, points)
+    append_entry(args.history, args.label, points)
     return 0
 
 

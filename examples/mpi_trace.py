@@ -24,7 +24,11 @@ import sys
 
 from repro.mpi import mpirun, render_gantt, trace_summary
 from repro.obs import critical_path, verify_attribution
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
 from repro.simdata import get_recipe
 from repro.simdata.reads import flatten_reads
 from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig
@@ -43,10 +47,8 @@ def main() -> None:
     run = mpirun(
         mpi_graph_from_fasta,
         nprocs,
-        contigs,
-        reads,
-        GraphFromFastaConfig(k=24),
-        nthreads=4,
+        GffInputs(contigs=contigs, reads=reads),
+        GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=4),
         trace=True,
     )
     print(render_gantt(run.traces))

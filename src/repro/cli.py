@@ -14,7 +14,7 @@ stats        assembly statistics (N50 etc.) of a FASTA
 profile      trace one MPI stage: critical path, Gantt, Chrome export
 faults       sweep injected crash/straggler/flaky-IO rates vs makespan
 experiments  regenerate paper figures (same as python -m repro.experiments)
-bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm)
+bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, butterfly)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -143,29 +143,84 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     contigs = inchworm_assemble(counts, cfg.inchworm())
 
     if args.stage == "bowtie":
-        from repro.parallel.mpi_bowtie import mpi_bowtie
-        from repro.trinity.bowtie import BowtieConfig
-
-        run = mpirun(mpi_bowtie, args.nprocs, reads, contigs, BowtieConfig(), trace=True)
-    elif args.stage == "gff":
-        from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+        from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
 
         run = mpirun(
-            mpi_graph_from_fasta, args.nprocs, contigs, reads, cfg.gff(),
-            nthreads=args.nthreads, trace=True,
+            mpi_bowtie, args.nprocs,
+            BowtieInputs(reads=reads, contigs=contigs),
+            BowtieStageConfig(bowtie=cfg.bowtie()),
+            trace=True,
         )
-    else:  # rtt
-        from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
-        from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+    elif args.stage == "gff":
+        from repro.parallel.mpi_graph_from_fasta import (
+            GffInputs,
+            GffStageConfig,
+            mpi_graph_from_fasta,
+        )
+
+        run = mpirun(
+            mpi_graph_from_fasta, args.nprocs,
+            GffInputs(contigs=contigs, reads=reads),
+            GffStageConfig(gff=cfg.gff(), nthreads=args.nthreads),
+            trace=True,
+        )
+    elif args.stage == "rtt":
+        from repro.parallel.mpi_graph_from_fasta import (
+            GffInputs,
+            GffStageConfig,
+            mpi_graph_from_fasta,
+        )
+        from repro.parallel.mpi_reads_to_transcripts import (
+            RttInputs,
+            RttStageConfig,
+            mpi_reads_to_transcripts,
+        )
 
         gff_run = mpirun(
-            mpi_graph_from_fasta, args.nprocs, contigs, reads, cfg.gff(),
-            nthreads=args.nthreads,
+            mpi_graph_from_fasta, args.nprocs,
+            GffInputs(contigs=contigs, reads=reads),
+            GffStageConfig(gff=cfg.gff(), nthreads=args.nthreads),
         )
         run = mpirun(
-            mpi_reads_to_transcripts, args.nprocs, reads, contigs,
-            gff_run.outputs[0].components, cfg.rtt(),
-            nthreads=args.nthreads, trace=True,
+            mpi_reads_to_transcripts, args.nprocs,
+            RttInputs(reads=reads, contigs=contigs, components=gff_run.outputs[0].components),
+            RttStageConfig(rtt=cfg.rtt(), nthreads=args.nthreads),
+            trace=True,
+        )
+    else:  # butterfly
+        from repro.parallel.mpi_butterfly import (
+            ButterflyInputs,
+            ButterflyStageConfig,
+            mpi_butterfly,
+        )
+        from repro.parallel.mpi_graph_from_fasta import (
+            GffInputs,
+            GffStageConfig,
+            mpi_graph_from_fasta,
+        )
+        from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+        from repro.trinity.chrysalis.orient import orient_component
+
+        gff_run = mpirun(
+            mpi_graph_from_fasta, args.nprocs,
+            GffInputs(contigs=contigs, reads=reads),
+            GffStageConfig(gff=cfg.gff(), nthreads=args.nthreads),
+        )
+        graphs = {
+            comp.id: fasta_to_debruijn(
+                orient_component([contigs[m].seq for m in comp.members], cfg.weld_k),
+                cfg.k,
+            )
+            for comp in gff_run.outputs[0].components
+        }
+        run = mpirun(
+            mpi_butterfly, args.nprocs,
+            ButterflyInputs(graphs=graphs),
+            ButterflyStageConfig(
+                butterfly=cfg.butterfly(), nthreads=args.nthreads,
+                strategy=args.strategy,
+            ),
+            trace=True,
         )
 
     verify_attribution(run)  # the breakdown below provably sums to the makespan
@@ -265,9 +320,13 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="trace one MPI stage: critical path, Gantt, Chrome export",
     )
-    p.add_argument("--stage", default="gff", choices=["bowtie", "gff", "rtt"])
+    p.add_argument("--stage", default="gff", choices=["bowtie", "gff", "rtt", "butterfly"])
     p.add_argument("--nprocs", type=int, default=4)
     p.add_argument("--nthreads", type=int, default=4, help="OpenMP threads per rank")
+    p.add_argument(
+        "--strategy", default="round_robin", choices=["round_robin", "dynamic"],
+        help="butterfly component deal (ignored by other stages)",
+    )
     p.add_argument("--recipe", default="sugarbeet-mini", choices=list_recipes())
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=5, help="top-k longest spans to list")

@@ -55,6 +55,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("robustness", "Seed robustness of the scaling conclusions", "repro.experiments.robustness", "run_robustness"),
         Experiment("faults", "Makespan degradation under injected faults", "repro.experiments.faults", "run_fault_sweep"),
         Experiment("fw-striped-io", "Future work: MPI-I/O striped reads", "repro.experiments.futurework", "run_striped_io"),
+        Experiment("fig-butterfly", "Distributed Butterfly deal strategies", "repro.experiments.fig_butterfly"),
     ]
 }
 
@@ -102,6 +103,7 @@ BENCHES: Dict[str, Bench] = {
         Bench("gff", "Fig-7 GraphFromFasta wall-clock under mpirun", "benchmarks.fig07_bench_runner"),
         Bench("rtt", "Fig-9 ReadsToTranscripts wall-clock under mpirun", "benchmarks.fig09_bench_runner"),
         Bench("inchworm", "Inchworm batched-extension kernel wall-clock", "benchmarks.inchworm_bench_runner"),
+        Bench("butterfly", "Distributed Butterfly deal strategies wall-clock", "benchmarks.butterfly_bench_runner"),
     ]
 }
 

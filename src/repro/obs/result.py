@@ -18,11 +18,17 @@ A :class:`StageResult` separates the concerns those classes mixed:
 ``comm`` / ``metrics``
     communication accounting and scalar counters/gauges.
 
-Backwards compatibility: the pre-existing per-stage field names
-(``welds``, ``loop1_time``, ``transcripts``, …) keep working by
-delegation to ``outputs`` and ``metrics``.  The ``returns``/``stats``
-aliases from the ``MpiRunResult`` era served their one deprecation
-release and are gone — read ``outputs``/``comm`` directly.
+Every distributed stage now conforms to the
+:class:`~repro.parallel.stage.ParallelStage` protocol and sets
+``outputs`` to a typed per-stage dataclass (``GffOutputs``,
+``RttOutputs``, ``BowtieOutputs``, ``ButterflyOutputs``, …), so the
+preferred reads are explicit: ``run.outputs[0].welds`` on an ``mpirun``
+result, ``result.outputs.welds`` on a per-rank one.  Attribute
+delegation to ``outputs`` and ``metrics`` (``result.welds``,
+``result.loop1_time``) remains for the untyped callers.  The
+``returns``/``stats`` aliases from the ``MpiRunResult`` era served
+their one deprecation release and are gone — read ``outputs``/``comm``
+directly.
 """
 
 from __future__ import annotations

@@ -6,6 +6,13 @@ code paths compute real results whose equivalence to the serial pipeline
 is tested — while per-rank virtual clocks provide the cluster-scale
 timing the paper's Figures 7-11 report.
 
+All distributed stages share one calling convention — the
+:class:`repro.parallel.stage.ParallelStage` protocol:
+``stage(comm, inputs, config) -> StageResult`` with typed ``*Inputs`` /
+``*StageConfig`` / ``*Outputs`` dataclasses — and register themselves in
+:data:`repro.parallel.stage.STAGES`.
+
+* :mod:`repro.parallel.stage` — the ParallelStage protocol + registry.
 * :mod:`repro.parallel.chunks` — the chunked round-robin distribution
   (paper Fig 3).
 * :mod:`repro.parallel.mpi_bowtie` — PyFasta-split Bowtie (SS:III.A).
@@ -13,6 +20,11 @@ timing the paper's Figures 7-11 report.
   Allgatherv pooling (SS:III.B).
 * :mod:`repro.parallel.mpi_reads_to_transcripts` — redundant-read
   streaming assignment (SS:III.C).
+* :mod:`repro.parallel.mpi_butterfly` — distributed per-component
+  Butterfly (round-robin or dynamic LPT deal; the paper's "focus on the
+  non-parallelized regions" future work).
+* :mod:`repro.parallel.futurework` — the other named future-work
+  variants (striped I/O, sharded GFF setup).
 * :mod:`repro.parallel.merge` — per-rank output merging strategies.
 * :mod:`repro.parallel.recovery` — transient-fault retry and crash
   recovery over the fault-injected runtime (:mod:`repro.mpi.faults`).
@@ -21,14 +33,33 @@ timing the paper's Figures 7-11 report.
   regenerate the scaling figures.
 """
 
+from repro.parallel.stage import STAGES, ParallelStage, StageSpec, parallel_stage
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, rank_items
-from repro.parallel.mpi_bowtie import BowtieOutputs, MpiBowtieResult, mpi_bowtie
-from repro.parallel.mpi_graph_from_fasta import GffOutputs, MpiGffResult, mpi_graph_from_fasta
+from repro.parallel.mpi_bowtie import (
+    BowtieInputs,
+    BowtieOutputs,
+    BowtieStageConfig,
+    mpi_bowtie,
+)
+from repro.parallel.mpi_butterfly import (
+    ButterflyInputs,
+    ButterflyOutputs,
+    ButterflyStageConfig,
+    mpi_butterfly,
+)
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffOutputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
 from repro.parallel.mpi_reads_to_transcripts import (
-    MpiRttResult,
+    RttInputs,
     RttOutputs,
+    RttStageConfig,
     mpi_reads_to_transcripts,
 )
+from repro.parallel import futurework as _futurework  # register variant stages
 from repro.parallel.recovery import (
     RecoveryPolicy,
     RetryPolicy,
@@ -37,7 +68,13 @@ from repro.parallel.recovery import (
 )
 from repro.parallel.driver import ParallelTrinityConfig, ParallelTrinityDriver
 
+del _futurework
+
 __all__ = [
+    "STAGES",
+    "ParallelStage",
+    "StageSpec",
+    "parallel_stage",
     "RecoveryPolicy",
     "RetryPolicy",
     "mpirun_with_recovery",
@@ -45,14 +82,21 @@ __all__ = [
     "chunk_ranges",
     "chunks_for_rank",
     "rank_items",
+    "BowtieInputs",
     "BowtieOutputs",
-    "MpiBowtieResult",
+    "BowtieStageConfig",
     "mpi_bowtie",
+    "ButterflyInputs",
+    "ButterflyOutputs",
+    "ButterflyStageConfig",
+    "mpi_butterfly",
+    "GffInputs",
     "GffOutputs",
-    "MpiGffResult",
+    "GffStageConfig",
     "mpi_graph_from_fasta",
+    "RttInputs",
     "RttOutputs",
-    "MpiRttResult",
+    "RttStageConfig",
     "mpi_reads_to_transcripts",
     "ParallelTrinityConfig",
     "ParallelTrinityDriver",

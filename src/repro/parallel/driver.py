@@ -3,9 +3,16 @@
 The paper's software methodology (SS:III.C): ``Trinity.pl`` gains an
 ``nprocs`` argument; Chrysalis prepends ``mpirun -np nprocs`` to the
 GraphFromFasta and ReadsToTranscripts command lines (and Bowtie runs over
-PyFasta-split pieces).  Mirroring that, this driver runs Jellyfish,
-Inchworm and Butterfly serially — the paper leaves them untouched — and
-launches one simulated ``mpirun`` per Chrysalis substep.
+PyFasta-split pieces).  Mirroring that, this driver runs Jellyfish and
+Inchworm serially, launches one simulated ``mpirun`` per Chrysalis
+substep, and — going past the paper into its named future work on "the
+non-parallelized regions" — distributes Butterfly too
+(:mod:`repro.parallel.mpi_butterfly`; byte-identical to the serial stage
+at any rank count).
+
+Every MPI stage conforms to the :class:`repro.parallel.stage.ParallelStage`
+protocol, so all four launches flow through the one ``_launch`` path
+(checkpoint restore -> (recovering) mpirun -> checkpoint write).
 
 The result object is a :class:`repro.trinity.pipeline.TrinityResult`, so
 serial and parallel outputs feed the same validation harness.
@@ -25,23 +32,36 @@ from repro.errors import PipelineError
 from repro.monitor import ResourceMonitor
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.obs.result import StageResult
-from repro.mpi import MpiRunResult, mpirun
+from repro.mpi import mpirun
 from repro.mpi.faults import FaultPlan
 from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
 from repro.parallel.recovery import DEFAULT_RECOVERY, RecoveryPolicy, mpirun_with_recovery
 from repro.seq.fasta import write_fasta
 from repro.seq.records import SeqRecord
-from repro.trinity.bowtie import BowtieConfig, scaffold_pairs_from_sam
-from repro.trinity.butterfly import butterfly_assemble
+from repro.trinity.bowtie import scaffold_pairs_from_sam
 from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
 from repro.trinity.chrysalis.orient import orient_component
 from repro.trinity.chrysalis.quantify import quantify_graph
 from repro.trinity.inchworm import inchworm_assemble, inchworm_assemble_threaded
 from repro.trinity.jellyfish import jellyfish_count
 from repro.trinity.pipeline import TrinityConfig, TrinityResult
-from repro.parallel.mpi_bowtie import mpi_bowtie
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
-from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
+from repro.parallel.mpi_butterfly import (
+    STRATEGIES,
+    ButterflyInputs,
+    ButterflyStageConfig,
+    mpi_butterfly,
+)
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
+from repro.parallel.mpi_reads_to_transcripts import (
+    RttInputs,
+    RttStageConfig,
+    mpi_reads_to_transcripts,
+)
 
 PathLike = Union[str, Path]
 
@@ -50,7 +70,13 @@ logger = logging.getLogger(__name__)
 
 @dataclass(frozen=True)
 class ParallelTrinityConfig:
-    """Hybrid-run parameters on top of the serial :class:`TrinityConfig`."""
+    """Hybrid-run parameters on top of the serial :class:`TrinityConfig`.
+
+    Only *distribution* knobs live here (rank/thread counts, network,
+    faults, dealing strategy); every stage-algorithm parameter is derived
+    from ``trinity`` through the ``*_stage()`` accessors, so the serial
+    and hybrid runs cannot silently diverge on shared settings.
+    """
 
     trinity: TrinityConfig = TrinityConfig()
     nprocs: int = 4
@@ -61,20 +87,56 @@ class ParallelTrinityConfig:
     #: Crash-recovery policy; set (or leave default with ``faults``) to
     #: launch stages through :func:`mpirun_with_recovery`.
     recovery: Optional[RecoveryPolicy] = None
-    #: Simulated OpenMP thread count for the Inchworm front end; 1 keeps
-    #: the serial reference path (the paper leaves Inchworm untouched).
-    #: Straggler faults from ``faults`` slow the matching thread's clock.
-    inchworm_threads: int = 1
+    #: Component-dealing strategy for the distributed Butterfly:
+    #: ``"round_robin"`` (cost-blind chunked deal) or ``"dynamic"``
+    #: (master-dealt LPT over the per-component cost model).
+    butterfly_strategy: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.nprocs <= 0:
             raise PipelineError(f"nprocs must be positive, got {self.nprocs}")
         if self.nthreads <= 0:
             raise PipelineError(f"nthreads must be positive, got {self.nthreads}")
-        if self.inchworm_threads <= 0:
+        if self.butterfly_strategy not in STRATEGIES:
             raise PipelineError(
-                f"inchworm_threads must be positive, got {self.inchworm_threads}"
+                f"unknown Butterfly strategy {self.butterfly_strategy!r}; "
+                f"known: {STRATEGIES}"
             )
+
+    @property
+    def inchworm_threads(self) -> int:
+        """Simulated OpenMP thread count for the Inchworm front end.
+
+        Delegates to ``trinity.inchworm_threads`` — the single source of
+        truth shared with the serial pipeline (this used to be a
+        duplicated field that could silently diverge).  Straggler faults
+        from ``faults`` slow the matching thread's clock.
+        """
+        return self.trinity.inchworm_threads
+
+    # -- stage-config accessors (the parallel analogue of TrinityConfig's
+    # .inchworm()/.gff()/.rtt()/.butterfly() serial accessors) -------------
+
+    def bowtie_stage(self, workdir: Optional[PathLike] = None) -> BowtieStageConfig:
+        return BowtieStageConfig(bowtie=self.trinity.bowtie(), workdir=workdir)
+
+    def gff_stage(self) -> GffStageConfig:
+        return GffStageConfig(gff=self.trinity.gff(), nthreads=self.nthreads)
+
+    def rtt_stage(self, workdir: Optional[PathLike] = None) -> RttStageConfig:
+        return RttStageConfig(
+            rtt=self.trinity.rtt(), nthreads=self.nthreads, workdir=workdir
+        )
+
+    def butterfly_stage(
+        self, workdir: Optional[PathLike] = None
+    ) -> ButterflyStageConfig:
+        return ButterflyStageConfig(
+            butterfly=self.trinity.butterfly(),
+            nthreads=self.nthreads,
+            strategy=self.butterfly_strategy,
+            workdir=workdir,
+        )
 
 
 def _inchworm_thread_slowdowns(
@@ -149,11 +211,12 @@ def _write_checkpoint(
 
 @dataclass
 class ParallelStageTimings:
-    """Virtual makespans of the three MPI stages (what Figs 7-10 measure)."""
+    """Virtual makespans of the four MPI stages (Figs 7-10 + Butterfly)."""
 
-    bowtie: MpiRunResult
-    gff: MpiRunResult
-    rtt: MpiRunResult
+    bowtie: StageResult
+    gff: StageResult
+    rtt: StageResult
+    butterfly: StageResult
 
 
 class ParallelTrinityDriver:
@@ -203,9 +266,10 @@ class ParallelTrinityDriver:
         timings land in :attr:`last_timings`.
 
         Returns a :class:`~repro.obs.result.StageResult` whose ``outputs``
-        is the :class:`TrinityResult` and whose ``children`` are the three
-        ``mpirun`` StageResults (bowtie, gff, rtt) — the full span tree a
-        single :func:`repro.obs.chrome.write_chrome_trace` can export.
+        is the :class:`TrinityResult` and whose ``children`` are the four
+        ``mpirun`` StageResults (bowtie, gff, rtt, butterfly) — the full
+        span tree a single :func:`repro.obs.chrome.write_chrome_trace`
+        can export.
 
         With ``checkpoint_dir``, each MPI stage's result is pickled there
         after it completes and restored (skipping the launch) on a rerun
@@ -269,10 +333,8 @@ class ParallelTrinityDriver:
         with monitor.stage("chrysalis.bowtie[mpi]"):
             bowtie_run = self._launch(
                 mpi_bowtie,
-                reads,
-                contigs,
-                BowtieConfig(),
-                workdir=wd,
+                BowtieInputs(reads=reads, contigs=contigs),
+                cfg.bowtie_stage(workdir=wd),
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_key=ckpt_key,
             )
@@ -289,11 +351,8 @@ class ParallelTrinityDriver:
         with monitor.stage("chrysalis.graph_from_fasta[mpi]"):
             gff_run = self._launch(
                 mpi_graph_from_fasta,
-                contigs,
-                reads,
-                tcfg.gff(),
-                extra_pairs=scaffolds,
-                nthreads=cfg.nthreads,
+                GffInputs(contigs=contigs, reads=reads, extra_pairs=tuple(scaffolds)),
+                cfg.gff_stage(),
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_key=ckpt_key,
             )
@@ -318,12 +377,10 @@ class ParallelTrinityDriver:
         with monitor.stage("chrysalis.reads_to_transcripts[mpi]"):
             rtt_run = self._launch(
                 mpi_reads_to_transcripts,
-                reads,
-                contigs,
-                gff_result.components,
-                tcfg.rtt(),
-                nthreads=cfg.nthreads,
-                workdir=wd,
+                RttInputs(
+                    reads=reads, contigs=contigs, components=gff_result.components
+                ),
+                cfg.rtt_stage(workdir=wd),
                 checkpoint_dir=checkpoint_dir,
                 checkpoint_key=ckpt_key,
             )
@@ -331,15 +388,27 @@ class ParallelTrinityDriver:
         if rtt_run.outputs[0].out_path is not None:
             files["reads_to_transcripts"] = rtt_run.outputs[0].out_path
 
-        # -- serial back end: QuantifyGraph + Butterfly ---------------------------
+        # -- serial QuantifyGraph (weights the graphs Butterfly walks) ----------
         with monitor.stage("chrysalis.quantify_graph"):
             quants = quantify_graph(
                 graphs, list(reads), assignments,
                 kmer_counts=counts, min_kmer_count=tcfg.min_kmer_count,
             )
-        with monitor.stage("butterfly"):
-            transcripts = butterfly_assemble(graphs, tcfg.butterfly())
-            if tcfg.use_pair_reconciliation:
+
+        # -- mpirun Butterfly ---------------------------------------------------
+        with monitor.stage("butterfly[mpi]"):
+            butterfly_run = self._launch(
+                mpi_butterfly,
+                ButterflyInputs(graphs=graphs),
+                cfg.butterfly_stage(workdir=wd),
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_key=ckpt_key,
+            )
+        transcripts = butterfly_run.outputs[0].transcripts
+        if butterfly_run.outputs[0].out_path is not None:
+            files["butterfly_fasta"] = butterfly_run.outputs[0].out_path
+        if tcfg.use_pair_reconciliation:
+            with monitor.stage("butterfly.pair_reconciliation"):
                 from repro.trinity.pairs import reconcile_with_pairs
 
                 transcripts, _pair_stats = reconcile_with_pairs(
@@ -350,10 +419,14 @@ class ParallelTrinityDriver:
             write_fasta(files["transcripts"], [t.to_record() for t in transcripts])
 
         logger.info(
-            "mpi stage makespans: bowtie=%.3fs gff=%.3fs (imb %.2fx) rtt=%.3fs",
-            bowtie_run.makespan, gff_run.makespan, gff_run.imbalance, rtt_run.makespan,
+            "mpi stage makespans: bowtie=%.3fs gff=%.3fs (imb %.2fx) rtt=%.3fs "
+            "butterfly=%.3fs",
+            bowtie_run.makespan, gff_run.makespan, gff_run.imbalance,
+            rtt_run.makespan, butterfly_run.makespan,
         )
-        self.last_timings = ParallelStageTimings(bowtie=bowtie_run, gff=gff_run, rtt=rtt_run)
+        self.last_timings = ParallelStageTimings(
+            bowtie=bowtie_run, gff=gff_run, rtt=rtt_run, butterfly=butterfly_run
+        )
         result = TrinityResult(
             transcripts=transcripts,
             contigs=contigs,
@@ -380,7 +453,8 @@ class ParallelTrinityDriver:
                 "mpi.bowtie_makespan_s": bowtie_run.makespan,
                 "mpi.gff_makespan_s": gff_run.makespan,
                 "mpi.rtt_makespan_s": rtt_run.makespan,
+                "mpi.butterfly_makespan_s": butterfly_run.makespan,
                 "peak_ram_gb": timeline.peak_ram_gb,
             },
-            children=[bowtie_run, gff_run, rtt_run],
+            children=[bowtie_run, gff_run, rtt_run, butterfly_run],
         )

@@ -18,18 +18,22 @@ compared head-to-head (experiments ``fw-*``):
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.mpi.comm import SimComm
 from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
-from repro.parallel.mpi_graph_from_fasta import GffOutputs
-from repro.parallel.mpi_reads_to_transcripts import RttOutputs, _chunk_read_cost
-from repro.seq.records import Contig, SeqRecord
+from repro.parallel.mpi_graph_from_fasta import GffInputs, GffOutputs, GffStageConfig
+from repro.parallel.mpi_reads_to_transcripts import (
+    RttInputs,
+    RttOutputs,
+    RttStageConfig,
+    _chunk_read_cost,
+)
+from repro.parallel.stage import parallel_stage
 from repro.trinity.chrysalis.components import build_components
 from repro.trinity.chrysalis.graph_from_fasta import (
-    GraphFromFastaConfig,
     WeldCandidate,
     build_kmer_to_contigs,
     build_weld_index,
@@ -41,20 +45,19 @@ from repro.trinity.chrysalis.graph_from_fasta import (
 )
 from repro.trinity.chrysalis.reads_to_transcripts import (
     ReadAssignment,
-    ReadsToTranscriptsConfig,
     assign_read,
     build_kmer_map,
     stream_chunks,
 )
 
 
+@parallel_stage(
+    "rtt-striped", inputs=RttInputs, config=RttStageConfig, outputs=RttOutputs
+)
 def mpi_reads_to_transcripts_striped(
     comm: SimComm,
-    reads: Sequence[SeqRecord],
-    contigs: Sequence[Contig],
-    components,
-    cfg: Optional[ReadsToTranscriptsConfig] = None,
-    nthreads: int = 16,
+    inputs: RttInputs,
+    config: Optional[RttStageConfig] = None,
 ) -> StageResult:
     """MPI-I/O variant of ReadsToTranscripts.
 
@@ -62,9 +65,13 @@ def mpi_reads_to_transcripts_striped(
     identical assignments to the shipped redundant-read version — a
     tested invariant — but each rank's virtual clock is charged only for
     the chunks it actually owns, modelling a collective file view.
+    ``config.workdir``/``kernel``/``pool`` are ignored (always pools,
+    per-read kernel).
     """
-    cfg = cfg or ReadsToTranscriptsConfig()
-    team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    config = config or RttStageConfig()
+    reads, contigs, components = inputs.reads, inputs.contigs, inputs.components
+    cfg = config.rtt
+    team = ThreadTeam(config.nthreads, Schedule.DYNAMIC)
 
     with comm.region("fw:rtt:setup", serial=True) as setup_region:
         kmer_map = comm.shared(
@@ -107,14 +114,13 @@ def mpi_reads_to_transcripts_striped(
     )
 
 
+@parallel_stage(
+    "gff-sharded-setup", inputs=GffInputs, config=GffStageConfig, outputs=GffOutputs
+)
 def mpi_graph_from_fasta_sharded_setup(
     comm: SimComm,
-    contigs: Sequence[Contig],
-    reads: Sequence[SeqRecord],
-    cfg: Optional[GraphFromFastaConfig] = None,
-    extra_pairs: Sequence[Tuple[int, int]] = (),
-    nthreads: int = 16,
-    chunk_size: Optional[int] = None,
+    inputs: GffInputs,
+    config: Optional[GffStageConfig] = None,
 ) -> StageResult:
     """GraphFromFasta with the weldmer build parallelized.
 
@@ -125,8 +131,12 @@ def mpi_graph_from_fasta_sharded_setup(
     :func:`repro.parallel.mpi_graph_from_fasta.mpi_graph_from_fasta` —
     a tested invariant.
     """
-    cfg = cfg or GraphFromFastaConfig()
+    config = config or GffStageConfig()
+    contigs, reads, extra_pairs = inputs.contigs, inputs.reads, inputs.extra_pairs
+    cfg = config.gff
+    nthreads = config.nthreads
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    chunk_size = config.chunk_size
     if chunk_size is None:
         chunk_size = default_chunk_size(len(contigs), comm.size, nthreads)
     ranges = chunk_ranges(len(contigs), chunk_size)

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.mpi.comm import SimComm
 from repro.obs.result import StageResult
 from repro.parallel.recovery import with_retry
+from repro.parallel.stage import parallel_stage
 from repro.seq.pyfasta import plan_split
 from repro.seq.records import Contig, SeqRecord
 from repro.seq.sam import SamRecord, write_sam
@@ -43,6 +44,22 @@ PathLike = Union[str, Path]
 _Best = Optional[Tuple[int, int, int]]  # (contig idx, pos, mismatches)
 
 
+@dataclass(frozen=True)
+class BowtieInputs:
+    """Workload data for the parallel Bowtie (identical on every rank)."""
+
+    reads: Sequence[SeqRecord]
+    contigs: Sequence[Contig]
+
+
+@dataclass(frozen=True)
+class BowtieStageConfig:
+    """Distribution knobs on top of the serial :class:`BowtieConfig`."""
+
+    bowtie: BowtieConfig = BowtieConfig()
+    workdir: Optional[PathLike] = None  # per-rank SAM pieces + merged SAM
+
+
 @dataclass
 class BowtieOutputs:
     """What the parallel Bowtie computes."""
@@ -51,22 +68,19 @@ class BowtieOutputs:
     part_path: Optional[Path] = None  # this rank's SAM piece, if written
 
 
-#: Deprecated alias, kept for one release: the per-rank outcome is now a
-#: :class:`~repro.obs.result.StageResult` whose ``outputs`` is a
-#: :class:`BowtieOutputs` and whose ``metrics`` carry ``split_time`` /
-#: ``align_time`` / ``merge_time`` (the old field names still resolve).
-MpiBowtieResult = StageResult
-
-
+@parallel_stage(
+    "bowtie", inputs=BowtieInputs, config=BowtieStageConfig, outputs=BowtieOutputs
+)
 def mpi_bowtie(
     comm: SimComm,
-    reads: Sequence[SeqRecord],
-    contigs: Sequence[Contig],
-    cfg: Optional[BowtieConfig] = None,
-    workdir: Optional[PathLike] = None,
+    inputs: BowtieInputs,
+    config: Optional[BowtieStageConfig] = None,
 ) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`."""
-    cfg = cfg or BowtieConfig()
+    config = config or BowtieStageConfig()
+    reads, contigs = inputs.reads, inputs.contigs
+    cfg = config.bowtie
+    workdir = config.workdir
 
     # -- PyFasta split on the master (serial overhead) ----------------------
     split_time = 0.0

@@ -1,0 +1,251 @@
+"""Distributed Butterfly: per-component transcript reconstruction on MPI.
+
+Butterfly is the last compute stage the paper leaves serial, and its
+conclusion calls for "focusing on the non-parallelized regions" of the
+pipeline.  Components are mutually independent but wildly size-skewed
+(the same abundance skew that motivated the chunked round-robin of
+Figure 3), so two dealing strategies are provided:
+
+* ``"round_robin"`` — the shipped chunked round-robin over the sorted
+  component ids (:mod:`repro.parallel.chunks`), cost-blind;
+* ``"dynamic"`` — a master–worker deal (mirroring
+  :func:`~repro.parallel.mpi_reads_to_transcripts.mpi_reads_to_transcripts_master_slave`):
+  rank 0 predicts each component's cost with :func:`component_cost`
+  (graph nodes x max enumerated paths), assigns components to the
+  least-loaded rank in descending predicted-cost order (LPT), and ships
+  each worker its component-id list.
+
+Either way the outputs are **byte-identical to serial**
+:func:`~repro.trinity.butterfly.butterfly_assemble` at every rank count:
+each component's enumeration is salted by ``(cfg.seed, component_id)``
+only — never by rank — and the merge concatenates per-component results
+in ascending component-id order, exactly the serial loop's order.  That
+rank-independence is also what makes crash recovery free: a relaunch on
+``p - 1`` survivors re-deals deterministically and reproduces the same
+merged transcript list (a tested invariant, like the other stages).
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import PipelineError
+from repro.mpi.comm import SimComm
+from repro.obs.result import StageResult
+from repro.openmp import Schedule, ThreadTeam
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
+from repro.parallel.recovery import with_retry
+from repro.parallel.stage import parallel_stage
+from repro.seq.fasta import write_fasta
+from repro.seq.records import Transcript
+from repro.trinity.butterfly import ButterflyConfig, butterfly_component
+from repro.trinity.chrysalis.debruijn import DeBruijnGraph
+
+PathLike = Union[str, Path]
+
+#: Component-dealing strategies.
+STRATEGIES = ("round_robin", "dynamic")
+
+
+def component_cost(graph: DeBruijnGraph, cfg: ButterflyConfig) -> float:
+    """Predicted enumeration cost of one component.
+
+    The DFS visits at most ``max_paths_per_component`` paths, each
+    bounded by the node count, so ``n_nodes x max_paths`` tracks the
+    work well enough to rank components for the LPT deal (only the
+    *relative* order matters, not the absolute scale).
+    """
+    return float(max(graph.n_nodes, 1) * cfg.max_paths_per_component)
+
+
+@dataclass(frozen=True)
+class ButterflyInputs:
+    """Workload data for distributed Butterfly (identical on every rank).
+
+    The component de Bruijn graphs, post-``quantify_graph`` (edge weights
+    carry read support), keyed by component id.
+    """
+
+    graphs: Mapping[int, DeBruijnGraph]
+
+
+@dataclass(frozen=True)
+class ButterflyStageConfig:
+    """Distribution knobs on top of the serial :class:`ButterflyConfig`."""
+
+    butterfly: ButterflyConfig = ButterflyConfig()
+    nthreads: int = 16
+    strategy: str = "round_robin"  # or "dynamic" (master-dealt LPT)
+    chunk_size: Optional[int] = None  # round_robin only; None -> default
+    workdir: Optional[PathLike] = None  # per-rank FASTA parts + merged FASTA
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise PipelineError(
+                f"unknown Butterfly strategy {self.strategy!r}; known: {STRATEGIES}"
+            )
+
+
+@dataclass
+class ButterflyOutputs:
+    """What the distributed Butterfly computes."""
+
+    transcripts: List[Transcript]  # full, component-id-ordered (on all ranks)
+    out_path: Optional[Path] = None  # merged FASTA (master, if written)
+    part_path: Optional[Path] = None  # this rank's FASTA piece, if written
+
+
+def _dynamic_deal(
+    comm: SimComm,
+    cids: List[int],
+    graphs: Mapping[int, DeBruijnGraph],
+    cfg: ButterflyConfig,
+) -> List[int]:
+    """Master-dealt LPT assignment; returns this rank's component ids.
+
+    Rank 0 walks the components in descending predicted cost (ties by
+    component id) and hands each to the currently least-loaded rank
+    (ties by rank), then ships every worker its list over point-to-point
+    sends — the master/worker wire pattern of the rejected RTT strategy,
+    but shipping O(components) ids instead of O(reads) sequence data.
+    Deterministic in (workload, comm.size), which is what recovery's
+    re-deal on the survivors relies on.
+    """
+    if comm.rank == 0:
+        order = sorted(
+            ((component_cost(graphs[cid], cfg), cid) for cid in cids),
+            key=lambda t: (-t[0], t[1]),
+        )
+        loads = [(0.0, r) for r in range(comm.size)]
+        heapq.heapify(loads)
+        deal: List[List[int]] = [[] for _ in range(comm.size)]
+        for cost, cid in order:
+            load, r = heapq.heappop(loads)
+            deal[r].append(cid)
+            heapq.heappush(loads, (load + cost, r))
+        for r in range(1, comm.size):
+            comm.send(deal[r], dest=r, tag=r)
+        return deal[0]
+    return comm.recv(source=0, tag=comm.rank)
+
+
+@parallel_stage(
+    "butterfly",
+    inputs=ButterflyInputs,
+    config=ButterflyStageConfig,
+    outputs=ButterflyOutputs,
+)
+def mpi_butterfly(
+    comm: SimComm,
+    inputs: ButterflyInputs,
+    config: Optional[ButterflyStageConfig] = None,
+) -> StageResult:
+    """SPMD body; run under :func:`repro.mpi.mpirun`.
+
+    Every rank returns the full transcript list in ascending
+    component-id order — byte-identical to serial
+    :func:`~repro.trinity.butterfly.butterfly_assemble` (a tested
+    invariant at nprocs 1/3/8, including under crash recovery).
+    """
+    config = config or ButterflyStageConfig()
+    cfg = config.butterfly
+    graphs = inputs.graphs
+    team = ThreadTeam(config.nthreads, Schedule.DYNAMIC)
+
+    # Simulated graph-bundle read: the retryable I/O point for flaky-I/O
+    # fault plans (a no-op in fault-free runs).
+    with_retry(comm, "butterfly:read_graphs", lambda: None)
+
+    # The serial assembly order — and the deterministic merge order.
+    cids: List[int] = comm.shared("butterfly:order", lambda: sorted(graphs), cost=0.0)
+
+    # -- deal components across ranks ---------------------------------------
+    with comm.region("butterfly:deal", strategy=config.strategy) as deal_region:
+        if config.strategy == "dynamic":
+            mine = _dynamic_deal(comm, cids, graphs, cfg)
+        else:
+            chunk_size = config.chunk_size
+            if chunk_size is None:
+                chunk_size = default_chunk_size(len(cids), comm.size, config.nthreads)
+            ranges = chunk_ranges(len(cids), chunk_size)
+            mine = [
+                cids[i]
+                for c in chunks_for_rank(len(ranges), comm.rank, comm.size)
+                for i in range(*ranges[c])
+            ]
+    deal_time = deal_region.elapsed
+
+    # -- enumerate my components on the OpenMP team --------------------------
+    local: List[Tuple[int, List[Transcript]]] = []
+    with comm.region(
+        "butterfly:loop", strategy=config.strategy, components=len(mine)
+    ) as loop_region:
+        if mine:
+            result = team.map(
+                lambda cid: butterfly_component(cid, graphs[cid], cfg), mine
+            )
+            local = list(zip(mine, result.values))
+            comm.clock.advance(
+                result.makespan,
+                label="butterfly:components",
+                attrs=result.as_span_attrs(),
+            )
+    loop_time = loop_region.elapsed
+
+    # -- per-rank output file ------------------------------------------------
+    part_path: Optional[Path] = None
+    if config.workdir is not None:
+        wd = Path(config.workdir)
+        wd.mkdir(parents=True, exist_ok=True)
+        part_path = wd / f"butterfly.part{comm.rank}.fasta"
+        part_records = [t.to_record() for _cid, ts in local for t in ts]
+        with_retry(
+            comm, "butterfly:write_part", lambda: write_fasta(part_path, part_records)
+        )
+
+    # -- merge: pool per-component results, ascending component id ----------
+    with comm.region("butterfly:merge") as merge_region:
+        pooled = comm.allgather(local)
+    by_cid: Dict[int, List[Transcript]] = {
+        cid: ts for part in pooled for cid, ts in part
+    }
+    transcripts: List[Transcript] = [t for cid in cids for t in by_cid[cid]]
+    merge_time = merge_region.elapsed
+
+    out_path: Optional[Path] = None
+    if config.workdir is not None:
+        if comm.rank == 0:
+            out_path = Path(config.workdir) / "butterfly.fasta"
+            # Written from the merged, component-ordered list — not a cat
+            # of the parts, whose order depends on the deal — so the file
+            # is byte-identical to a serial write at any nprocs.  Wall
+            # time: the peers are parked at the barrier below.
+            t0 = time.perf_counter()
+            with_retry(
+                comm,
+                "butterfly:write_merged",
+                lambda: write_fasta(out_path, [t.to_record() for t in transcripts]),
+            )
+            comm.clock.advance(time.perf_counter() - t0, label="butterfly:write_merged")
+        comm.barrier()
+
+    return StageResult(
+        stage="butterfly",
+        outputs=ButterflyOutputs(
+            transcripts=transcripts, out_path=out_path, part_path=part_path
+        ),
+        makespan=comm.clock.now,
+        metrics={
+            "deal_time": deal_time,
+            "loop_time": loop_time,
+            "merge_time": merge_time,
+            "n_components": float(len(cids)),
+            "n_local_components": float(len(mine)),
+            "n_transcripts": float(len(transcripts)),
+        },
+        rank=comm.rank,
+    )

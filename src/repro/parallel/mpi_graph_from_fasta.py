@@ -31,6 +31,7 @@ from repro.obs.result import StageResult
 from repro.openmp import Schedule, ThreadTeam
 from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
 from repro.parallel.recovery import with_retry
+from repro.parallel.stage import parallel_stage
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component, build_components
 from repro.trinity.chrysalis.graph_from_fasta import (
@@ -46,6 +47,28 @@ from repro.trinity.chrysalis.graph_from_fasta import (
 )
 
 
+@dataclass(frozen=True)
+class GffInputs:
+    """Workload data for the hybrid GraphFromFasta (identical on every rank).
+
+    ``extra_pairs`` carries the Bowtie scaffold pairs the driver folds
+    into component construction — input data, not a knob.
+    """
+
+    contigs: Sequence[Contig]
+    reads: Sequence[SeqRecord]
+    extra_pairs: Sequence[Tuple[int, int]] = ()
+
+
+@dataclass(frozen=True)
+class GffStageConfig:
+    """Distribution knobs on top of the serial :class:`GraphFromFastaConfig`."""
+
+    gff: GraphFromFastaConfig = GraphFromFastaConfig()
+    nthreads: int = 16
+    chunk_size: Optional[int] = None  # None -> default_chunk_size
+
+
 @dataclass
 class GffOutputs:
     """What the hybrid GraphFromFasta computes.
@@ -59,25 +82,21 @@ class GffOutputs:
     components: List[Component]
 
 
-#: Deprecated alias, kept for one release: the per-rank outcome is now a
-#: :class:`~repro.obs.result.StageResult` whose ``outputs`` is a
-#: :class:`GffOutputs` and whose ``metrics`` carry ``loop1_time`` /
-#: ``loop2_time`` / ``serial_time`` (the old field names still resolve).
-MpiGffResult = StageResult
-
-
+@parallel_stage(
+    "gff", inputs=GffInputs, config=GffStageConfig, outputs=GffOutputs
+)
 def mpi_graph_from_fasta(
     comm: SimComm,
-    contigs: Sequence[Contig],
-    reads: Sequence[SeqRecord],
-    cfg: Optional[GraphFromFastaConfig] = None,
-    extra_pairs: Sequence[Tuple[int, int]] = (),
-    nthreads: int = 16,
-    chunk_size: Optional[int] = None,
+    inputs: GffInputs,
+    config: Optional[GffStageConfig] = None,
 ) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`."""
-    cfg = cfg or GraphFromFastaConfig()
+    config = config or GffStageConfig()
+    contigs, reads, extra_pairs = inputs.contigs, inputs.reads, inputs.extra_pairs
+    cfg = config.gff
+    nthreads = config.nthreads
     team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    chunk_size = config.chunk_size
     if chunk_size is None:
         chunk_size = default_chunk_size(len(contigs), comm.size, nthreads)
     ranges = chunk_ranges(len(contigs), chunk_size)

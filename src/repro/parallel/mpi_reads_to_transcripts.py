@@ -34,6 +34,7 @@ from repro.mpi.comm import SimComm
 from repro.obs.result import StageResult
 from repro.openmp import Schedule, TeamResult, ThreadTeam
 from repro.parallel.recovery import with_retry
+from repro.parallel.stage import parallel_stage
 from repro.seq.kmer_index import KmerMap
 from repro.seq.records import Contig, SeqRecord
 from repro.trinity.chrysalis.components import Component
@@ -98,6 +99,35 @@ def _assign_chunk(
     return team.map(lambda item: assign_read(item[0], item[1], kmer_map, cfg), chunk)
 
 
+@dataclass(frozen=True)
+class RttInputs:
+    """Workload data for ReadsToTranscripts (identical on every rank)."""
+
+    reads: Sequence[SeqRecord]
+    contigs: Sequence[Contig]
+    components: Sequence[Component]
+
+
+@dataclass(frozen=True)
+class RttStageConfig:
+    """Distribution knobs on top of the serial
+    :class:`ReadsToTranscriptsConfig`.
+
+    ``kernel`` selects the main-loop implementation (``"batched"``
+    sorted-array kernel, or the ``"per_read"`` reference loop); both
+    produce byte-identical output.  ``pool=False`` skips the final
+    allgather and each rank returns only its own assignments (in chunk
+    order) — the paper-faithful output is the concatenated ``workdir``
+    file, which the Figure-9 bench measures.
+    """
+
+    rtt: ReadsToTranscriptsConfig = ReadsToTranscriptsConfig()
+    nthreads: int = 16
+    workdir: Optional[PathLike] = None
+    kernel: str = "batched"
+    pool: bool = True
+
+
 @dataclass
 class RttOutputs:
     """What the hybrid ReadsToTranscripts computes."""
@@ -106,40 +136,26 @@ class RttOutputs:
     out_path: Optional[Path] = None  # concatenated output (master, if written)
 
 
-#: Deprecated alias, kept for one release: the per-rank outcome is now a
-#: :class:`~repro.obs.result.StageResult` whose ``outputs`` is an
-#: :class:`RttOutputs` and whose ``metrics`` carry ``setup_time`` /
-#: ``loop_time`` / ``concat_time`` (the old field names still resolve).
-MpiRttResult = StageResult
-
-
+@parallel_stage(
+    "rtt", inputs=RttInputs, config=RttStageConfig, outputs=RttOutputs
+)
 def mpi_reads_to_transcripts(
     comm: SimComm,
-    reads: Sequence[SeqRecord],
-    contigs: Sequence[Contig],
-    components: Sequence[Component],
-    cfg: Optional[ReadsToTranscriptsConfig] = None,
-    nthreads: int = 16,
-    workdir: Optional[PathLike] = None,
-    kernel: str = "batched",
-    pool: bool = True,
+    inputs: RttInputs,
+    config: Optional[RttStageConfig] = None,
 ) -> StageResult:
     """SPMD body; run under :func:`repro.mpi.mpirun`.
 
     Returns identical, serially-equal assignments on every rank (pooled
     with a gather+bcast that stands in for the final file concatenation
-    when no ``workdir`` is given).  ``kernel`` selects the main-loop
-    implementation (``"batched"`` sorted-array kernel, or the
-    ``"per_read"`` reference loop); both produce byte-identical output.
-
-    ``pool=False`` skips the final allgather and returns only this rank's
-    own assignments (in chunk order).  The real pipeline's product is the
-    concatenated ``workdir`` file — pooling Python objects on every rank
-    is a simulation convenience — so the Figure-9 bench measures the
-    paper-faithful ``pool=False`` + ``workdir`` path.
+    when no ``workdir`` is given); see :class:`RttStageConfig` for the
+    ``kernel``/``pool`` knobs.
     """
-    cfg = cfg or ReadsToTranscriptsConfig()
-    team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    config = config or RttStageConfig()
+    reads, contigs, components = inputs.reads, inputs.contigs, inputs.components
+    cfg = config.rtt
+    workdir, kernel, pool = config.workdir, config.kernel, config.pool
+    team = ThreadTeam(config.nthreads, Schedule.DYNAMIC)
 
     # -- OpenMP-only setup: assign k-mers to Inchworm bundles --------------
     # (redundant on every real rank, so every rank is charged the build
@@ -251,14 +267,13 @@ def _chunk_plan(
     return plan
 
 
+@parallel_stage(
+    "rtt-master-slave", inputs=RttInputs, config=RttStageConfig, outputs=RttOutputs
+)
 def mpi_reads_to_transcripts_master_slave(
     comm: SimComm,
-    reads: Sequence[SeqRecord],
-    contigs: Sequence[Contig],
-    components: Sequence[Component],
-    cfg: Optional[ReadsToTranscriptsConfig] = None,
-    nthreads: int = 16,
-    kernel: str = "batched",
+    inputs: RttInputs,
+    config: Optional[RttStageConfig] = None,
 ) -> StageResult:
     """The paper's *first* (rejected) strategy, for the ablation bench:
 
@@ -266,9 +281,15 @@ def mpi_reads_to_transcripts_master_slave(
     the other 'slave' nodes.  However, this strategy involves relatively
     heavy communications between master and slave nodes which leads to a
     bottleneck particularly as the number of slave nodes increases."
+
+    ``config.workdir`` and ``config.pool`` are ignored: this variant
+    always pools and never writes part files.
     """
-    cfg = cfg or ReadsToTranscriptsConfig()
-    team = ThreadTeam(nthreads, Schedule.DYNAMIC)
+    config = config or RttStageConfig()
+    reads, contigs, components = inputs.reads, inputs.contigs, inputs.components
+    cfg = config.rtt
+    kernel = config.kernel
+    team = ThreadTeam(config.nthreads, Schedule.DYNAMIC)
 
     with comm.region("rtt:setup", serial=True) as setup_region:
         kmer_map = _shared_setup(comm, contigs, components, cfg, kernel)

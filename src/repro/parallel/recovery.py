@@ -13,9 +13,11 @@ that in:
   every chunk — including the dead rank's — over the new ``p``.  No
   per-rank state needs migrating: GraphFromFasta pools results on every
   rank, ReadsToTranscripts re-reads the whole file anyway (redundant
-  I/O), and MPI Bowtie simply re-splits the contig FASTA into ``p - 1``
-  PyFasta pieces.  Stage outputs are therefore identical to a fault-free
-  run — a tested invariant.
+  I/O), MPI Bowtie simply re-splits the contig FASTA into ``p - 1``
+  PyFasta pieces, and the distributed Butterfly re-deals its components
+  (both the round-robin and the master-dealt LPT assignments are pure
+  functions of the workload and the new ``p``).  Stage outputs are
+  therefore identical to a fault-free run — a tested invariant.
 
 Faults and recoveries emit dedicated ``fault`` spans (on the failing
 rank's track and on a ``recovery`` track) and ``faults.*`` metrics

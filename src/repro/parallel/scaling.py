@@ -25,7 +25,12 @@ from repro.errors import ScheduleError
 from repro.monitor.collectl import Timeline
 from repro.mpi.network import IDATAPLEX_FDR10, NetworkModel
 from repro.openmp.schedule import dynamic_makespan
-from repro.parallel.chunks import chunk_ranges, chunks_for_rank, static_block_ranges
+from repro.parallel.chunks import (
+    chunk_ranges,
+    chunks_for_rank,
+    default_chunk_size,
+    static_block_ranges,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +270,100 @@ def rtt_serial_baseline_s(calibration: PaperCalibration = CALIBRATION) -> float:
         + calibration.rtt_assign_s
         + calibration.rtt_serial_residual_s
     )
+
+
+# ---------------------------------------------------------------------------
+# Butterfly (distributed per-component enumeration)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ButterflyScalingPoint:
+    """One (node count, strategy)'s simulated distributed-Butterfly timings."""
+
+    nodes: int
+    strategy: str
+    loop_max: float
+    loop_min: float
+
+    @property
+    def total_s(self) -> float:
+        return self.loop_max
+
+    @property
+    def imbalance(self) -> float:
+        return self.loop_max / self.loop_min if self.loop_min > 0 else float("inf")
+
+
+def simulate_butterfly_point(
+    nodes: int,
+    component_costs: Sequence[float],
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+    chunk_size: Optional[int] = None,
+) -> ButterflyScalingPoint:
+    """Simulate the distributed Butterfly deal at one node count.
+
+    Mirrors :func:`repro.parallel.mpi_butterfly.mpi_butterfly` exactly:
+    components are assigned to ranks either by the cost-blind chunked
+    round-robin or by the master's LPT deal over predicted costs
+    (descending cost to the least-loaded rank), and each rank then runs
+    *all* its components through one dynamically-scheduled OpenMP team —
+    so a rank's time is ``dynamic_makespan(its costs, nthreads)``.  The
+    dynamic strategy's win over round-robin on an abundance-skewed
+    component mix is the whole point of the ``fig-butterfly`` sweep.
+    """
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    costs = np.asarray(component_costs, dtype=float)
+    mine: List[List[int]]
+    if strategy == "dynamic":
+        import heapq
+
+        order = sorted(range(costs.size), key=lambda i: (-costs[i], i))
+        heap = [(0.0, r) for r in range(nodes)]
+        heapq.heapify(heap)
+        mine = [[] for _ in range(nodes)]
+        for i in order:
+            load, r = heapq.heappop(heap)
+            mine[r].append(i)
+            heapq.heappush(heap, (load + costs[i], r))
+    elif strategy == "round_robin":
+        if chunk_size is None:
+            chunk_size = default_chunk_size(costs.size, nodes, nthreads)
+        ranges = chunk_ranges(costs.size, chunk_size)
+        mine = [
+            [
+                i
+                for c in chunks_for_rank(len(ranges), rank, nodes)
+                for i in range(*ranges[c])
+            ]
+            for rank in range(nodes)
+        ]
+    else:
+        raise ScheduleError(f"unknown strategy {strategy!r}")
+    times = np.array(
+        [dynamic_makespan(costs[idx], nthreads) if idx else 0.0 for idx in mine]
+    )
+    return ButterflyScalingPoint(
+        nodes=nodes,
+        strategy=strategy,
+        loop_max=float(times.max()),
+        loop_min=float(times.min()),
+    )
+
+
+def simulate_butterfly_scaling(
+    nodes_list: Sequence[int],
+    component_costs: Sequence[float],
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+) -> List[ButterflyScalingPoint]:
+    """The fig-butterfly sweep over node counts for one strategy."""
+    return [
+        simulate_butterfly_point(n, component_costs, nthreads, strategy)
+        for n in nodes_list
+    ]
 
 
 # ---------------------------------------------------------------------------

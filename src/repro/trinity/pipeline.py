@@ -112,6 +112,9 @@ class TrinityConfig:
     def inchworm(self) -> InchwormConfig:
         return InchwormConfig(min_kmer_count=self.min_kmer_count, seed=self.seed)
 
+    def bowtie(self) -> BowtieConfig:
+        return BowtieConfig()
+
     def gff(self) -> GraphFromFastaConfig:
         return GraphFromFastaConfig(
             k=self.weld_k, min_weld_read_support=self.min_weld_read_support
@@ -216,7 +219,7 @@ class TrinityPipeline:
         scaffolds: List[Tuple[int, int]] = []
         if cfg.use_bowtie_scaffolds:
             with monitor.stage("chrysalis.bowtie") as st:
-                index = BowtieIndex(contigs, BowtieConfig())
+                index = BowtieIndex(contigs, cfg.bowtie())
                 sams = [align_read(r, index) for r in reads]
                 st.ram_bytes = index.n_seeds * 60
             if wd is not None:

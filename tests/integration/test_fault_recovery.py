@@ -14,9 +14,17 @@ from repro.mpi.datatypes import pack_strings
 from repro.obs.metrics import GLOBAL_METRICS
 from repro.parallel import ParallelTrinityDriver, mpirun_with_recovery
 from repro.parallel.driver import ParallelTrinityConfig
-from repro.parallel.mpi_bowtie import mpi_bowtie
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
-from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
+from repro.parallel.mpi_reads_to_transcripts import (
+    RttInputs,
+    RttStageConfig,
+    mpi_reads_to_transcripts,
+)
 from repro.parallel.recovery import RecoveryPolicy
 from repro.trinity import TrinityConfig
 from repro.trinity.bowtie import BowtieConfig
@@ -39,7 +47,9 @@ def contigs(smoke_reads, tcfg):
 @pytest.fixture(scope="module")
 def gff_fault_free(smoke_reads, contigs, tcfg):
     return mpirun(
-        mpi_graph_from_fasta, NPROCS, contigs, smoke_reads, tcfg.gff(), nthreads=2
+        mpi_graph_from_fasta, NPROCS,
+        GffInputs(contigs=contigs, reads=smoke_reads),
+        GffStageConfig(gff=tcfg.gff(), nthreads=2),
     )
 
 
@@ -62,8 +72,10 @@ class TestGffRecovery:
     ):
         plan = FaultPlan(crashes=(CrashFault(rank=3, phase="gff:loop1"),))
         rec = mpirun_with_recovery(
-            mpi_graph_from_fasta, NPROCS, contigs, smoke_reads, tcfg.gff(),
-            nthreads=2, faults=plan,
+            mpi_graph_from_fasta, NPROCS,
+            GffInputs(contigs=contigs, reads=smoke_reads),
+            GffStageConfig(gff=tcfg.gff(), nthreads=2),
+            faults=plan,
         )
         base = gff_fault_free.outputs[0]
         out = rec.outputs[0]
@@ -79,8 +91,10 @@ class TestGffRecovery:
         plan = FaultPlan(crashes=(CrashFault(rank=3, phase="gff:loop1"),))
         policy = RecoveryPolicy(restart_overhead_s=5.0)
         rec = mpirun_with_recovery(
-            mpi_graph_from_fasta, NPROCS, contigs, smoke_reads, tcfg.gff(),
-            nthreads=2, faults=plan, policy=policy,
+            mpi_graph_from_fasta, NPROCS,
+            GffInputs(contigs=contigs, reads=smoke_reads),
+            GffStageConfig(gff=tcfg.gff(), nthreads=2),
+            faults=plan, policy=policy,
         )
         # Final-attempt time rides on top of the failed attempt + overhead.
         assert rec.makespan > 5.0
@@ -97,8 +111,10 @@ class TestGffRecovery:
         plan = FaultPlan(crashes=(CrashFault(rank=1, phase="gff:loop1"),))
         with pytest.raises(MpiAbortError) as ei:
             mpirun_with_recovery(
-                mpi_graph_from_fasta, 2, contigs, smoke_reads, tcfg.gff(),
-                nthreads=2, faults=plan,
+                mpi_graph_from_fasta, 2,
+                GffInputs(contigs=contigs, reads=smoke_reads),
+                GffStageConfig(gff=tcfg.gff(), nthreads=2),
+                faults=plan,
                 policy=RecoveryPolicy(max_rank_losses=0),
             )
         assert isinstance(ei.value.__cause__, RankCrash)
@@ -109,8 +125,10 @@ class TestGffRecovery:
 
         def run():
             res = mpirun_with_recovery(
-                mpi_graph_from_fasta, 4, contigs, smoke_reads, tcfg.gff(),
-                nthreads=2, faults=plan,
+                mpi_graph_from_fasta, 4,
+                GffInputs(contigs=contigs, reads=smoke_reads),
+                GffStageConfig(gff=tcfg.gff(), nthreads=2),
+                faults=plan,
                 policy=RecoveryPolicy(restart_overhead_s=1.0),
             )
             fault_labels = sorted(s.label for s in res.spans if s.kind == "fault")
@@ -125,13 +143,16 @@ class TestRttAndBowtieRecovery:
     def test_rtt_recovery_equivalence(self, smoke_reads, contigs, tcfg, gff_fault_free):
         components = gff_fault_free.outputs[0].components
         base = mpirun(
-            mpi_reads_to_transcripts, NPROCS, smoke_reads, contigs, components,
-            tcfg.rtt(), nthreads=2,
+            mpi_reads_to_transcripts, NPROCS,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=components),
+            RttStageConfig(rtt=tcfg.rtt(), nthreads=2),
         )
         plan = FaultPlan(crashes=(CrashFault(rank=5, phase="rtt:loop"),))
         rec = mpirun_with_recovery(
-            mpi_reads_to_transcripts, NPROCS, smoke_reads, contigs, components,
-            tcfg.rtt(), nthreads=2, faults=plan,
+            mpi_reads_to_transcripts, NPROCS,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=components),
+            RttStageConfig(rtt=tcfg.rtt(), nthreads=2),
+            faults=plan,
         )
         key = lambda a: (a.read_index, a.component, a.shared_kmers)
         assert list(map(key, rec.outputs[0].assignments)) == list(
@@ -141,11 +162,11 @@ class TestRttAndBowtieRecovery:
 
     @pytest.mark.timeout(120)
     def test_bowtie_resplit_recovery_equivalence(self, smoke_reads, contigs):
-        base = mpirun(mpi_bowtie, NPROCS, smoke_reads, contigs, BowtieConfig())
+        inputs = BowtieInputs(reads=smoke_reads, contigs=contigs)
+        config = BowtieStageConfig(bowtie=BowtieConfig())
+        base = mpirun(mpi_bowtie, NPROCS, inputs, config)
         plan = FaultPlan(crashes=(CrashFault(rank=4, phase="bowtie:align"),))
-        rec = mpirun_with_recovery(
-            mpi_bowtie, NPROCS, smoke_reads, contigs, BowtieConfig(), faults=plan
-        )
+        rec = mpirun_with_recovery(mpi_bowtie, NPROCS, inputs, config, faults=plan)
         # Re-split over the survivors must yield the identical merged SAM.
         assert rec.outputs[0].records == base.outputs[0].records
 
@@ -174,12 +195,13 @@ class TestDriverFaultsAndCheckpoints:
         written = sorted(p.name for p in ckpt.glob("*.ckpt.pkl"))
         assert written == [
             "mpi_bowtie.ckpt.pkl",
+            "mpi_butterfly.ckpt.pkl",
             "mpi_graph_from_fasta.ckpt.pkl",
             "mpi_reads_to_transcripts.ckpt.pkl",
         ]
         restores_before = GLOBAL_METRICS.get("checkpoint.restores")
         second = ParallelTrinityDriver(cfg).run(smoke_reads, checkpoint_dir=ckpt)
-        assert GLOBAL_METRICS.get("checkpoint.restores") == restores_before + 3
+        assert GLOBAL_METRICS.get("checkpoint.restores") == restores_before + 4
         assert sorted(t.seq for t in second.outputs.transcripts) == sorted(
             t.seq for t in first.outputs.transcripts
         )

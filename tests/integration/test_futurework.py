@@ -8,8 +8,16 @@ from repro.parallel.futurework import (
     mpi_graph_from_fasta_sharded_setup,
     mpi_reads_to_transcripts_striped,
 )
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
-from repro.parallel.mpi_reads_to_transcripts import mpi_reads_to_transcripts
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
+from repro.parallel.mpi_reads_to_transcripts import (
+    RttInputs,
+    RttStageConfig,
+    mpi_reads_to_transcripts,
+)
 from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig, graph_from_fasta
 from repro.trinity.chrysalis.reads_to_transcripts import ReadsToTranscriptsConfig
 from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
@@ -28,18 +36,10 @@ class TestStripedRtt:
     def test_identical_assignments_to_shipped(self, smoke_reads, artefacts):
         contigs, gff = artefacts
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
-        shipped = mpirun(
-            mpi_reads_to_transcripts, 3, smoke_reads, contigs, gff.components, cfg, nthreads=2
-        )
-        striped = mpirun(
-            mpi_reads_to_transcripts_striped,
-            3,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
-        )
+        inputs = RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components)
+        config = RttStageConfig(rtt=cfg, nthreads=2)
+        shipped = mpirun(mpi_reads_to_transcripts, 3, inputs, config)
+        striped = mpirun(mpi_reads_to_transcripts_striped, 3, inputs, config)
         assert striped.outputs[0].assignments == shipped.outputs[0].assignments
 
     def test_striped_skips_redundant_read_cost(self, smoke_reads, artefacts, monkeypatch):
@@ -60,18 +60,10 @@ class TestStripedRtt:
         contigs, gff = artefacts
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
         nprocs = 4
-        shipped = mpirun(
-            mpi_reads_to_transcripts, nprocs, smoke_reads, contigs, gff.components, cfg, nthreads=2
-        )
-        striped = mpirun(
-            mpi_reads_to_transcripts_striped,
-            nprocs,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
-        )
+        inputs = RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components)
+        config = RttStageConfig(rtt=cfg, nthreads=2)
+        shipped = mpirun(mpi_reads_to_transcripts, nprocs, inputs, config)
+        striped = mpirun(mpi_reads_to_transcripts_striped, nprocs, inputs, config)
         n_chunks = -(-len(smoke_reads) // cfg.max_mem_reads)
         # Shipped: every rank reads every chunk; striped: only its own.
         assert shipped.makespan > 10.0 * n_chunks
@@ -82,10 +74,10 @@ class TestShardedGffSetup:
     def test_identical_results_to_shipped(self, smoke_reads, artefacts):
         contigs, _gff = artefacts
         cfg = GraphFromFastaConfig(k=24)
-        shipped = mpirun(mpi_graph_from_fasta, 3, contigs, smoke_reads, cfg, nthreads=2)
-        sharded = mpirun(
-            mpi_graph_from_fasta_sharded_setup, 3, contigs, smoke_reads, cfg, nthreads=2
-        )
+        inputs = GffInputs(contigs=contigs, reads=smoke_reads)
+        config = GffStageConfig(gff=cfg, nthreads=2)
+        shipped = mpirun(mpi_graph_from_fasta, 3, inputs, config)
+        sharded = mpirun(mpi_graph_from_fasta_sharded_setup, 3, inputs, config)
         assert sharded.outputs[0].pairs == shipped.outputs[0].pairs
         assert sharded.outputs[0].components == shipped.outputs[0].components
 
@@ -93,7 +85,9 @@ class TestShardedGffSetup:
         contigs, gff = artefacts
         cfg = GraphFromFastaConfig(k=24)
         sharded = mpirun(
-            mpi_graph_from_fasta_sharded_setup, 4, contigs, smoke_reads, cfg, nthreads=2
+            mpi_graph_from_fasta_sharded_setup, 4,
+            GffInputs(contigs=contigs, reads=smoke_reads),
+            GffStageConfig(gff=cfg, nthreads=2),
         )
         assert sharded.outputs[0].pairs == gff.pairs
 

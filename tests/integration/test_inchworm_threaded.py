@@ -98,7 +98,7 @@ class TestSeedDistributionEquivalence:
 def fault_free_driver_run(smoke_reads):
     driver = ParallelTrinityDriver(
         ParallelTrinityConfig(
-            trinity=TrinityConfig(seed=1), nprocs=4, nthreads=4, inchworm_threads=4
+            trinity=TrinityConfig(seed=1, inchworm_threads=4), nprocs=4, nthreads=4
         )
     )
     return driver.run(smoke_reads)
@@ -112,8 +112,8 @@ class TestFaultPlansReachInchworm:
         plan = FaultPlan(stragglers=(StragglerFault(rank=0, slowdown=4.0),))
         driver = ParallelTrinityDriver(
             ParallelTrinityConfig(
-                trinity=TrinityConfig(seed=1), nprocs=4, nthreads=4,
-                inchworm_threads=4, faults=plan,
+                trinity=TrinityConfig(seed=1, inchworm_threads=4), nprocs=4,
+                nthreads=4, faults=plan,
             )
         )
         slowed = driver.run(smoke_reads)
@@ -136,8 +136,8 @@ class TestFaultPlansReachInchworm:
         )
         driver = ParallelTrinityDriver(
             ParallelTrinityConfig(
-                trinity=TrinityConfig(seed=1), nprocs=4, nthreads=4,
-                inchworm_threads=4, faults=plan,
+                trinity=TrinityConfig(seed=1, inchworm_threads=4), nprocs=4,
+                nthreads=4, faults=plan,
             )
         )
         recovered = driver.run(smoke_reads)

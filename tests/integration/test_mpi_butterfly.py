@@ -1,0 +1,189 @@
+"""Integration tests for the distributed Butterfly stage.
+
+The invariant everything else hangs off: at every rank count, with either
+deal strategy, with or without an injected rank crash, ``mpi_butterfly``
+reproduces the serial ``butterfly_assemble`` output *exactly* — the
+per-component enumeration is salted by ``(seed, component_id)`` only and
+the merge follows ascending component id.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.mpi import CrashFault, FaultPlan, mpirun
+from repro.parallel.mpi_butterfly import (
+    ButterflyInputs,
+    ButterflyStageConfig,
+    component_cost,
+    mpi_butterfly,
+)
+from repro.parallel.recovery import mpirun_with_recovery
+from repro.seq.fasta import write_fasta
+from repro.trinity import TrinityConfig
+from repro.trinity.butterfly import ButterflyConfig, butterfly_assemble
+from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+from repro.trinity.chrysalis.graph_from_fasta import graph_from_fasta
+from repro.trinity.chrysalis.orient import orient_component
+from repro.trinity.inchworm import inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+from repro.util.rng import derive_seed
+
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def pipeline_graphs(smoke_reads):
+    """Real post-Chrysalis component graphs from the smoke dataset."""
+    tcfg = TrinityConfig(seed=1)
+    contigs = inchworm_assemble(jellyfish_count(smoke_reads, tcfg.k), tcfg.inchworm())
+    gff = graph_from_fasta(contigs, smoke_reads, tcfg.gff())
+    return {
+        comp.id: fasta_to_debruijn(
+            orient_component([contigs[m].seq for m in comp.members], tcfg.weld_k),
+            tcfg.k,
+        )
+        for comp in gff.components
+    }
+
+
+@pytest.fixture(scope="module")
+def skewed_graphs():
+    """Adversarial skew: heavy components at stride NPROCS land on one
+    rank under the cost-blind round-robin (one component per chunk)."""
+    rng = np.random.default_rng(derive_seed(0, "butterfly-test"))
+    alphabet = np.array(list("ACGT"))
+    graphs = {}
+    for cid in range(3 * NPROCS):
+        length = 300 * (12 if cid % NPROCS == 0 else 1)
+        graphs[cid] = fasta_to_debruijn(
+            ["".join(rng.choice(alphabet, size=length).tolist())], 25
+        )
+    return graphs
+
+
+class TestSerialEquality:
+    @pytest.mark.parametrize("nprocs", [1, 3, NPROCS])
+    @pytest.mark.parametrize("strategy", ["round_robin", "dynamic"])
+    def test_matches_serial_exactly(self, pipeline_graphs, nprocs, strategy):
+        cfg = ButterflyConfig(seed=1)
+        serial = butterfly_assemble(pipeline_graphs, cfg)
+        run = mpirun(
+            mpi_butterfly, nprocs,
+            ButterflyInputs(graphs=pipeline_graphs),
+            ButterflyStageConfig(butterfly=cfg, nthreads=2, strategy=strategy),
+        )
+        for r in run.outputs:
+            # Every rank returns the identical merged, component-ordered list.
+            assert r.transcripts == serial
+
+    def test_merged_fasta_byte_identical_to_serial_write(
+        self, pipeline_graphs, tmp_path
+    ):
+        cfg = ButterflyConfig(seed=1)
+        serial_path = tmp_path / "serial.fasta"
+        write_fasta(
+            serial_path,
+            [t.to_record() for t in butterfly_assemble(pipeline_graphs, cfg)],
+        )
+        for strategy in ("round_robin", "dynamic"):
+            wd = tmp_path / strategy
+            run = mpirun(
+                mpi_butterfly, 3,
+                ButterflyInputs(graphs=pipeline_graphs),
+                ButterflyStageConfig(
+                    butterfly=cfg, nthreads=2, strategy=strategy, workdir=wd
+                ),
+            )
+            out = run.outputs[0].out_path
+            assert out is not None
+            assert out.read_bytes() == serial_path.read_bytes()
+            # Each rank also left its part file behind.
+            for rank in range(3):
+                assert (wd / f"butterfly.part{rank}.fasta").exists()
+
+    def test_explicit_chunk_size(self, pipeline_graphs):
+        cfg = ButterflyConfig(seed=1)
+        serial = butterfly_assemble(pipeline_graphs, cfg)
+        run = mpirun(
+            mpi_butterfly, 4,
+            ButterflyInputs(graphs=pipeline_graphs),
+            ButterflyStageConfig(butterfly=cfg, nthreads=2, chunk_size=1),
+        )
+        assert run.outputs[0].transcripts == serial
+
+
+class TestRecovery:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("strategy", ["round_robin", "dynamic"])
+    def test_crash_recovery_byte_identical(self, skewed_graphs, strategy):
+        cfg = ButterflyConfig(seed=0)
+        serial = butterfly_assemble(skewed_graphs, cfg)
+        plan = FaultPlan(crashes=(CrashFault(rank=2, phase="butterfly:loop"),))
+        rec = mpirun_with_recovery(
+            mpi_butterfly, NPROCS,
+            ButterflyInputs(graphs=skewed_graphs),
+            ButterflyStageConfig(butterfly=cfg, nthreads=1, strategy=strategy),
+            faults=plan,
+        )
+        assert len(rec.outputs) == NPROCS - 1  # reran on the survivors
+        assert rec.outputs[0].transcripts == serial
+        assert rec.metrics["faults.rank_losses"] == 1.0
+
+
+class TestDynamicDeal:
+    def test_dynamic_beats_round_robin_on_skew(self, skewed_graphs):
+        cfg = ButterflyConfig(seed=0)
+        inputs = ButterflyInputs(graphs=skewed_graphs)
+        runs = {
+            strategy: mpirun(
+                mpi_butterfly, NPROCS, inputs,
+                ButterflyStageConfig(butterfly=cfg, nthreads=1, strategy=strategy),
+            )
+            for strategy in ("round_robin", "dynamic")
+        }
+        # Round-robin stacks every heavy component on rank 0; the LPT deal
+        # spreads them one per rank.  Demand a decisive margin, not noise.
+        assert runs["dynamic"].makespan < 0.6 * runs["round_robin"].makespan
+        assert runs["dynamic"].outputs[0].transcripts == runs["round_robin"].outputs[0].transcripts
+
+    def test_lpt_deal_spreads_heavies(self, skewed_graphs):
+        cfg = ButterflyConfig(seed=0)
+        heavy = {cid for cid in skewed_graphs if cid % NPROCS == 0}
+        run = mpirun(
+            mpi_butterfly, NPROCS,
+            ButterflyInputs(graphs=skewed_graphs),
+            ButterflyStageConfig(butterfly=cfg, nthreads=1, strategy="dynamic"),
+        )
+        # Each rank's local-component count includes at most one heavy:
+        # with 8 ranks and 3 heavies no rank should dominate, so the
+        # per-rank metrics stay near the mean.
+        locals_ = [r.metrics["n_local_components"] for r in run.outputs]
+        assert sum(locals_) == len(skewed_graphs)
+        assert len(heavy) < NPROCS  # precondition for the spread claim
+        assert max(locals_) <= len(skewed_graphs) - len(heavy)
+
+    def test_component_cost_orders_by_size(self, skewed_graphs):
+        cfg = ButterflyConfig(seed=0)
+        heavy = component_cost(skewed_graphs[0], cfg)
+        light = component_cost(skewed_graphs[1], cfg)
+        assert heavy > light
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PipelineError, match="strategy"):
+            ButterflyStageConfig(strategy="static_block")
+
+
+class TestMetrics:
+    def test_stage_metrics_present(self, pipeline_graphs):
+        run = mpirun(
+            mpi_butterfly, 3,
+            ButterflyInputs(graphs=pipeline_graphs),
+            ButterflyStageConfig(butterfly=ButterflyConfig(seed=1), nthreads=2),
+        )
+        r = run.outputs[0]
+        assert r.metrics["n_components"] == len(pipeline_graphs)
+        assert r.metrics["deal_time"] >= 0
+        assert r.metrics["loop_time"] > 0
+        assert r.metrics["merge_time"] >= 0
+        assert run.makespan > 0

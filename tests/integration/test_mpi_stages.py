@@ -3,9 +3,15 @@
 import pytest
 
 from repro.mpi import mpirun
-from repro.parallel.mpi_bowtie import mpi_bowtie
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
 from repro.parallel.mpi_reads_to_transcripts import (
+    RttInputs,
+    RttStageConfig,
     mpi_reads_to_transcripts,
     mpi_reads_to_transcripts_master_slave,
 )
@@ -32,13 +38,21 @@ class TestMpiBowtie:
     def test_matches_single_index_alignment(self, smoke_reads, artefacts):
         _counts, contigs, _gff = artefacts
         serial = bowtie_align(smoke_reads, contigs, BowtieConfig())
-        run = mpirun(mpi_bowtie, 3, smoke_reads, contigs, BowtieConfig())
+        run = mpirun(
+            mpi_bowtie, 3,
+            BowtieInputs(reads=smoke_reads, contigs=contigs),
+            BowtieStageConfig(bowtie=BowtieConfig()),
+        )
         merged = run.outputs[0].records
         assert [r.to_line() for r in merged] == [r.to_line() for r in serial]
 
     def test_writes_parts_and_merged_sam(self, smoke_reads, artefacts, tmp_path):
         _counts, contigs, _gff = artefacts
-        run = mpirun(mpi_bowtie, 2, smoke_reads, contigs, BowtieConfig(), workdir=tmp_path)
+        run = mpirun(
+            mpi_bowtie, 2,
+            BowtieInputs(reads=smoke_reads, contigs=contigs),
+            BowtieStageConfig(bowtie=BowtieConfig(), workdir=tmp_path),
+        )
         assert (tmp_path / "bowtie.part0.sam").exists()
         assert (tmp_path / "bowtie.part1.sam").exists()
         merged = list(read_sam(tmp_path / "bowtie.sam"))
@@ -46,7 +60,11 @@ class TestMpiBowtie:
 
     def test_split_time_charged_once(self, smoke_reads, artefacts):
         _counts, contigs, _gff = artefacts
-        run = mpirun(mpi_bowtie, 3, smoke_reads, contigs, BowtieConfig())
+        run = mpirun(
+            mpi_bowtie, 3,
+            BowtieInputs(reads=smoke_reads, contigs=contigs),
+            BowtieStageConfig(bowtie=BowtieConfig()),
+        )
         split_times = [r.split_time for r in run.outputs]
         assert split_times[0] > 0
         assert all(t == 0.0 for t in split_times[1:])
@@ -57,12 +75,9 @@ class TestMpiGff:
     def test_matches_serial(self, smoke_reads, artefacts, nprocs):
         _counts, contigs, gff = artefacts
         run = mpirun(
-            mpi_graph_from_fasta,
-            nprocs,
-            contigs,
-            smoke_reads,
-            GraphFromFastaConfig(k=24),
-            nthreads=2,
+            mpi_graph_from_fasta, nprocs,
+            GffInputs(contigs=contigs, reads=smoke_reads),
+            GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2),
         )
         key = lambda w: (w.owner, w.seed_code, w.left_flank, w.seed, w.right_flank)
         for r in run.outputs:
@@ -79,9 +94,10 @@ class TestMpiGff:
         ~50x at 64 ranks).  Generous bound: the two runs measure real CPU
         work, so allow scheduler noise."""
         _counts, contigs, _gff = artefacts
-        cfg = GraphFromFastaConfig(k=24)
-        one = mpirun(mpi_graph_from_fasta, 1, contigs, smoke_reads, cfg, nthreads=2)
-        eight = mpirun(mpi_graph_from_fasta, 8, contigs, smoke_reads, cfg, nthreads=2)
+        inputs = GffInputs(contigs=contigs, reads=smoke_reads)
+        config = GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2)
+        one = mpirun(mpi_graph_from_fasta, 1, inputs, config)
+        eight = mpirun(mpi_graph_from_fasta, 8, inputs, config)
         t1 = one.outputs[0].serial_time
         t8 = max(r.serial_time for r in eight.outputs)
         assert t1 > 0 and t8 > 0
@@ -94,7 +110,9 @@ class TestMpiGff:
     def test_loop_times_positive(self, smoke_reads, artefacts):
         _counts, contigs, _gff = artefacts
         run = mpirun(
-            mpi_graph_from_fasta, 2, contigs, smoke_reads, GraphFromFastaConfig(k=24), nthreads=2
+            mpi_graph_from_fasta, 2,
+            GffInputs(contigs=contigs, reads=smoke_reads),
+            GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2),
         )
         r = run.outputs[0]
         assert r.loop1_time >= 0
@@ -103,13 +121,9 @@ class TestMpiGff:
     def test_explicit_chunk_size(self, smoke_reads, artefacts):
         _counts, contigs, gff = artefacts
         run = mpirun(
-            mpi_graph_from_fasta,
-            2,
-            contigs,
-            smoke_reads,
-            GraphFromFastaConfig(k=24),
-            nthreads=2,
-            chunk_size=1,
+            mpi_graph_from_fasta, 2,
+            GffInputs(contigs=contigs, reads=smoke_reads),
+            GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2, chunk_size=1),
         )
         assert run.outputs[0].pairs == gff.pairs
 
@@ -121,13 +135,9 @@ class TestMpiRtt:
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
         serial = reads_to_transcripts(smoke_reads, contigs, gff.components, cfg)
         run = mpirun(
-            mpi_reads_to_transcripts,
-            nprocs,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
+            mpi_reads_to_transcripts, nprocs,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components),
+            RttStageConfig(rtt=cfg, nthreads=2),
         )
         for r in run.outputs:
             assert r.assignments == serial
@@ -137,13 +147,9 @@ class TestMpiRtt:
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
         serial = reads_to_transcripts(smoke_reads, contigs, gff.components, cfg)
         run = mpirun(
-            mpi_reads_to_transcripts_master_slave,
-            3,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
+            mpi_reads_to_transcripts_master_slave, 3,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components),
+            RttStageConfig(rtt=cfg, nthreads=2),
         )
         assert run.outputs[0].assignments == serial
 
@@ -151,14 +157,9 @@ class TestMpiRtt:
         _counts, contigs, gff = artefacts
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
         run = mpirun(
-            mpi_reads_to_transcripts,
-            2,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
-            workdir=tmp_path,
+            mpi_reads_to_transcripts, 2,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components),
+            RttStageConfig(rtt=cfg, nthreads=2, workdir=tmp_path),
         )
         out = run.outputs[0].out_path
         assert out is not None and out.exists()
@@ -169,7 +170,9 @@ class TestMpiRtt:
         _counts, contigs, gff = artefacts
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
         run = mpirun(
-            mpi_reads_to_transcripts, 4, smoke_reads, contigs, gff.components, cfg, nthreads=2
+            mpi_reads_to_transcripts, 4,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components),
+            RttStageConfig(rtt=cfg, nthreads=2),
         )
         for r in run.outputs:
             assert len(r.assignments) == len(smoke_reads)
@@ -198,14 +201,9 @@ class TestMpiRttSerialEquality:
         _counts, contigs, gff = artefacts
         cfg = ReadsToTranscriptsConfig(k=25, max_mem_reads=50)
         run = mpirun(
-            mpi_reads_to_transcripts,
-            nprocs,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
-            kernel=kernel,
+            mpi_reads_to_transcripts, nprocs,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components),
+            RttStageConfig(rtt=cfg, nthreads=2, kernel=kernel),
         )
         for rank, r in enumerate(run.outputs):
             path = tmp_path / f"rank{rank}_{kernel}.tsv"
@@ -225,11 +223,8 @@ class TestMpiRttSerialEquality:
         rec = mpirun_with_recovery(
             mpi_reads_to_transcripts,
             8,
-            smoke_reads,
-            contigs,
-            gff.components,
-            cfg,
-            nthreads=2,
+            RttInputs(reads=smoke_reads, contigs=contigs, components=gff.components),
+            RttStageConfig(rtt=cfg, nthreads=2),
             faults=plan,
         )
         path = tmp_path / "recovered.tsv"

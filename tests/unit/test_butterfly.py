@@ -1,7 +1,5 @@
 """Unit tests for Butterfly transcript reconstruction."""
 
-import pytest
-
 from repro.trinity.butterfly import (
     ButterflyConfig,
     _dedup_contained,
@@ -85,6 +83,49 @@ class TestDedup:
     def test_duplicates_collapsed(self):
         assert _dedup_contained(["ACGT", "ACGT"]) == ["ACGT"]
 
+    def test_many_identical_collapse_to_one(self):
+        assert _dedup_contained(["TTAGC"] * 5) == ["TTAGC"]
+
+    def test_containment_chain_keeps_only_longest(self):
+        # A ⊃ B ⊃ C presented in reverse (shortest first): the length-sort
+        # must still resolve the whole chain to the longest member.
+        chain = ["GT", "CGTA", "ACGTAC", "AACGTACC"]
+        assert _dedup_contained(chain) == ["AACGTACC"]
+
+    def test_two_chains_interleaved(self):
+        out = _dedup_contained(["AC", "TTTTGG", "ACACAC", "TTGG"])
+        assert sorted(out) == ["ACACAC", "TTTTGG"]
+
+    def test_equal_length_non_contained_both_kept(self):
+        out = _dedup_contained(["AAAA", "TTTT"])
+        assert out == sorted(out, key=lambda s: (-len(s), s))
+        assert set(out) == {"AAAA", "TTTT"}
+
+    def test_empty_input(self):
+        assert _dedup_contained([]) == []
+
+
+class TestResolvedMinLength:
+    def test_zero_resolves_to_twice_node_length(self):
+        # The default filters out single-node outputs: a de Bruijn node is
+        # a (k-1)-mer, so the boundary is 2*(k-1).
+        assert ButterflyConfig().resolved_min_length(25) == 48
+        assert ButterflyConfig().resolved_min_length(2) == 2
+
+    def test_explicit_value_wins_at_any_k(self):
+        cfg = ButterflyConfig(min_transcript_length=7)
+        assert cfg.resolved_min_length(2) == 7
+        assert cfg.resolved_min_length(1000) == 7
+
+    def test_boundary_filtering_at_small_k(self):
+        # A k=4 graph of one 6-mer spells exactly 2*(k-1) = 6 bases: the
+        # default threshold keeps it, one more filters it.
+        g = fasta_to_debruijn(["ACGTAC"], k=4)
+        kept = butterfly_component(0, g, ButterflyConfig())
+        assert [t.seq for t in kept] == ["ACGTAC"]
+        dropped = butterfly_component(0, g, ButterflyConfig(min_transcript_length=7))
+        assert dropped == []
+
 
 class TestAssemble:
     def test_component_order_deterministic(self):
@@ -93,6 +134,22 @@ class TestAssemble:
         out = butterfly_assemble({5: g1, 2: g2}, ButterflyConfig())
         comps = [t.component for t in out]
         assert comps == sorted(comps)
+
+    def test_insertion_order_never_leaks_into_output(self):
+        # The merge order of the distributed Butterfly relies on assemble
+        # iterating sorted component ids, not dict insertion order.
+        import random
+
+        graphs = {
+            cid: fasta_to_debruijn([SRC[cid % 7 :]], k=9) for cid in range(11)
+        }
+        reference = butterfly_assemble(graphs, ButterflyConfig())
+        rng = random.Random(3)
+        for _ in range(3):
+            cids = list(graphs)
+            rng.shuffle(cids)
+            shuffled = {cid: graphs[cid] for cid in cids}
+            assert butterfly_assemble(shuffled, ButterflyConfig()) == reference
 
     def test_seed_perturbs_branch_order_not_validity(self):
         prefix, mid, suffix = "ATCGGATTACAG", "TCCGGTTAACGA", "GCTTGGCATGCA"

@@ -216,8 +216,10 @@ class TestPipelineKnob:
     def test_parallel_config_validation(self):
         from repro.parallel.driver import ParallelTrinityConfig
 
+        from repro.trinity.pipeline import TrinityConfig
+
         with pytest.raises(PipelineError):
-            ParallelTrinityConfig(inchworm_threads=0)
+            ParallelTrinityConfig(trinity=TrinityConfig(inchworm_threads=0))
 
     def test_straggler_mapping(self):
         from repro.mpi.faults import FaultPlan, StragglerFault

@@ -7,7 +7,11 @@ import pytest
 
 from repro.mpi import mpirun
 from repro.obs import Span, StageResult, chrome_trace
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
 from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig
 from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
 from repro.trinity.jellyfish import jellyfish_count
@@ -21,10 +25,8 @@ def gff_run_8(smoke_reads):
     return mpirun(
         mpi_graph_from_fasta,
         8,
-        contigs,
-        smoke_reads,
-        GraphFromFastaConfig(k=24),
-        nthreads=2,
+        GffInputs(contigs=contigs, reads=smoke_reads),
+        GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2),
         trace=True,
     )
 

@@ -5,7 +5,11 @@ import pytest
 from repro.errors import ObsError
 from repro.mpi import mpirun
 from repro.obs import critical_path, verify_attribution
-from repro.parallel.mpi_graph_from_fasta import mpi_graph_from_fasta
+from repro.parallel.mpi_graph_from_fasta import (
+    GffInputs,
+    GffStageConfig,
+    mpi_graph_from_fasta,
+)
 from repro.trinity.chrysalis.graph_from_fasta import GraphFromFastaConfig
 from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
 from repro.trinity.jellyfish import jellyfish_count
@@ -23,10 +27,8 @@ def _traced_run(stage_inputs, nprocs):
     return mpirun(
         mpi_graph_from_fasta,
         nprocs,
-        contigs,
-        reads,
-        GraphFromFastaConfig(k=24),
-        nthreads=2,
+        GffInputs(contigs=contigs, reads=reads),
+        GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2),
         trace=True,
     )
 
@@ -45,7 +47,9 @@ class TestAttribution:
     def test_untraced_run_rejected(self, stage_inputs):
         contigs, reads = stage_inputs
         run = mpirun(
-            mpi_graph_from_fasta, 2, contigs, reads, GraphFromFastaConfig(k=24), nthreads=2
+            mpi_graph_from_fasta, 2,
+            GffInputs(contigs=contigs, reads=reads),
+            GffStageConfig(gff=GraphFromFastaConfig(k=24), nthreads=2),
         )
         with pytest.raises(ObsError):
             critical_path(run)

@@ -1,0 +1,134 @@
+"""Host wall-clock runner for the distributed Jellyfish k-mer counter.
+
+The distributed stage of :func:`repro.parallel.mpi_jellyfish.mpi_jellyfish`
+deals reads round-robin, reduces each rank's batches to (code, count)
+pairs, ships them alltoall to DSK-hash owners, and merges one sorted
+slice per rank — so the counting scan, the stage's dominant cost, scales
+with the rank count on the virtual clocks.  This runner times the stage
+on the whitefly miniature at a sweep of rank counts.  Per point:
+
+* ``wall_s`` — host wall-clock of the simulated mpirun;
+* ``virtual_makespan_s`` — the modelled cluster runtime (slowest rank's
+  virtual clock), where the decomposition actually shows.
+
+plus one ``speedup`` row: 1-rank over 8-rank virtual makespan.  Every
+run checks the merged index arrays against serial ``jellyfish_count``
+— byte-identity is the stage's acceptance invariant — so the history is
+a pure like-for-like scaling record.
+
+Usage (append a labeled entry to the checked-in history)::
+
+    PYTHONPATH=src python -m benchmarks.jellyfish_bench_runner \
+        --label my-change --out BENCH_jellyfish.json
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from benchmarks.common import bench_parser
+from repro.mpi import mpirun
+from repro.parallel.mpi_jellyfish import (
+    JellyfishInputs,
+    JellyfishStageConfig,
+    mpi_jellyfish,
+)
+from repro.simdata import get_recipe
+from repro.simdata.reads import flatten_reads
+from repro.trinity.jellyfish import JellyfishConfig, jellyfish_count
+
+ASSEMBLY_K = 25
+NPROCS_SWEEP = (1, 3, 8)
+SPEEDUP_NPROCS = 8
+
+
+def build_reads(seed: int = 0):
+    """The whitefly miniature's read set (the kernel benches' workload)."""
+    _txome, pairs = get_recipe("whitefly-mini").materialize(seed=seed)
+    return flatten_reads(pairs)
+
+
+def run_points(seed: int = 0, repeat: int = 3) -> List[Dict[str, float]]:
+    """Time one mpirun per rank count (best wall of ``repeat`` runs)."""
+    reads = build_reads(seed=seed)
+    jcfg = JellyfishConfig(k=ASSEMBLY_K)
+    serial = jellyfish_count(
+        reads, jcfg.k, canonical=jcfg.canonical, batch_bases=jcfg.batch_bases
+    )
+    inputs = JellyfishInputs(reads=reads)
+    config = JellyfishStageConfig(jellyfish=jcfg)
+    points: List[Dict[str, float]] = []
+    virtual: Dict[int, float] = {}
+    for nprocs in NPROCS_SWEEP:
+        wall = None
+        for _rep in range(max(repeat, 1)):
+            t0 = time.perf_counter()
+            run = mpirun(mpi_jellyfish, nprocs, inputs, config)
+            rep_wall = time.perf_counter() - t0
+            wall = rep_wall if wall is None else min(wall, rep_wall)
+        index = run.outputs[0].counts.index
+        if not (
+            np.array_equal(index.codes, serial.index.codes)
+            and np.array_equal(index.values, serial.index.values)
+        ):
+            raise RuntimeError(
+                f"nprocs={nprocs} diverged from serial jellyfish_count"
+            )
+        virtual[nprocs] = run.makespan
+        points.append(
+            {
+                "mode": "scaling",
+                "nprocs": nprocs,
+                "wall_s": round(wall, 3),
+                "virtual_makespan_s": round(run.makespan, 6),
+                "n_kmers": int(run.outputs[0].metrics["n_kmers"]),
+            }
+        )
+        print(
+            f"nprocs={nprocs}  wall={wall:8.3f}s  "
+            f"virtual_makespan={run.makespan:.4f}s  n_kmers={len(index)}"
+        )
+    speedup = virtual[1] / virtual[SPEEDUP_NPROCS]
+    points.append(
+        {
+            "mode": "speedup",
+            "nprocs": SPEEDUP_NPROCS,
+            "serial_over_mpi": round(speedup, 3),
+        }
+    )
+    print(f"speedup  1-rank/{SPEEDUP_NPROCS}-rank virtual = {speedup:.2f}x")
+    return points
+
+
+def append_entry(out: Path, label: str, points: List[Dict[str, float]]) -> None:
+    from benchmarks.conftest import append_bench_entry
+
+    append_bench_entry(
+        out,
+        bench="jellyfish_scaling_wallclock",
+        workload=f"whitefly-mini reads, k={ASSEMBLY_K}, canonical",
+        fields={
+            "wall_s": "host wall-clock of the simulated mpirun",
+            "virtual_makespan_s": "modelled cluster runtime (slowest rank)",
+            "n_kmers": "distinct canonical k-mers in the merged table",
+            "serial_over_mpi": "1-rank / 8-rank virtual makespan",
+        },
+        label=label,
+        points=points,
+    )
+
+
+def run_cli(argv: Optional[List[str]] = None) -> int:
+    """Entry point shared by ``python -m`` and ``repro bench jellyfish``."""
+    ap = bench_parser(__doc__.splitlines()[0], Path("BENCH_jellyfish.json"))
+    args = ap.parse_args(argv)
+    append_entry(args.history, args.label, run_points(seed=args.seed, repeat=args.repeat))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_cli())

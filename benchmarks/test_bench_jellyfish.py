@@ -1,0 +1,53 @@
+"""CI guard for the distributed Jellyfish k-mer counter.
+
+``BENCH_jellyfish.json`` tracks the labeled wall-clock history; this
+bench re-checks the acceptance properties on the runner's own workload:
+the 8-rank virtual makespan must beat the 1-rank one by the acceptance
+floor, and the merged table must reproduce serial ``jellyfish_count``
+exactly at every rank count.
+"""
+
+import numpy as np
+
+from benchmarks.jellyfish_bench_runner import ASSEMBLY_K, SPEEDUP_NPROCS, build_reads
+from repro.mpi import mpirun
+from repro.parallel.mpi_jellyfish import (
+    JellyfishInputs,
+    JellyfishStageConfig,
+    mpi_jellyfish,
+)
+from repro.trinity.jellyfish import JellyfishConfig, jellyfish_count
+
+
+def test_bench_mpi_scaling_beats_serial(benchmark):
+    reads = build_reads(seed=0)
+    jcfg = JellyfishConfig(k=ASSEMBLY_K)
+    serial = jellyfish_count(
+        reads, jcfg.k, canonical=jcfg.canonical, batch_bases=jcfg.batch_bases
+    )
+    inputs = JellyfishInputs(reads=reads)
+    config = JellyfishStageConfig(jellyfish=jcfg)
+
+    def run(nprocs):
+        return mpirun(mpi_jellyfish, nprocs, inputs, config)
+
+    one = run(1)
+    eight = benchmark(run, SPEEDUP_NPROCS)
+
+    for rec in (one, eight):
+        index = rec.outputs[0].counts.index
+        assert np.array_equal(index.codes, serial.index.codes)
+        assert np.array_equal(index.values, serial.index.values)
+
+    speedup = one.makespan / eight.makespan
+    benchmark.extra_info.update(
+        {
+            "serial_makespan_s": one.makespan,
+            "mpi_makespan_s": eight.makespan,
+            "speedup": speedup,
+            "n_kmers": len(serial.index),
+        }
+    )
+    # Acceptance floor is 1.5x virtual-clock speedup at 8 ranks on the
+    # whitefly miniature; the recorded history shows ~3.3x.
+    assert speedup > 1.5

@@ -14,7 +14,7 @@ stats        assembly statistics (N50 etc.) of a FASTA
 profile      trace one MPI stage: critical path, Gantt, Chrome export
 faults       sweep injected crash/straggler/flaky-IO rates vs makespan
 experiments  regenerate paper figures (same as python -m repro.experiments)
-bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, butterfly)
+bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, butterfly, jellyfish)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """

@@ -56,6 +56,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("faults", "Makespan degradation under injected faults", "repro.experiments.faults", "run_fault_sweep"),
         Experiment("fw-striped-io", "Future work: MPI-I/O striped reads", "repro.experiments.futurework", "run_striped_io"),
         Experiment("fig-butterfly", "Distributed Butterfly deal strategies", "repro.experiments.fig_butterfly"),
+        Experiment("fig-jellyfish", "Distributed Jellyfish k-mer counting scaling", "repro.experiments.fig_jellyfish"),
     ]
 }
 
@@ -104,6 +105,7 @@ BENCHES: Dict[str, Bench] = {
         Bench("rtt", "Fig-9 ReadsToTranscripts wall-clock under mpirun", "benchmarks.fig09_bench_runner"),
         Bench("inchworm", "Inchworm batched-extension kernel wall-clock", "benchmarks.inchworm_bench_runner"),
         Bench("butterfly", "Distributed Butterfly deal strategies wall-clock", "benchmarks.butterfly_bench_runner"),
+        Bench("jellyfish", "Distributed Jellyfish k-mer counting wall-clock", "benchmarks.jellyfish_bench_runner"),
     ]
 }
 

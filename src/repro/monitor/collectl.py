@@ -170,6 +170,21 @@ class ResourceMonitor:
 
 
 class _StageCtx:
+    """One monitored stage interval.
+
+    Clock choice (audited against the PR 1 clock-fidelity rule —
+    ``thread_time`` in concurrent regions, wall clock for serial
+    sections): ``perf_counter`` is correct here *by design*, not an
+    oversight.  The monitor runs on the pipeline's driver thread and
+    brackets whole stages whose work executes in *other* threads — the
+    simulated MPI ranks and OpenMP teams.  ``thread_time`` on the driver
+    thread would read ~0 for every mpirun stage (the driver mostly
+    waits), while the Collectl traces this mimics (Figs 2/11) are
+    host-side elapsed-time recordings.  The thread_time rule applies
+    *inside* the rank/thread bodies, which charge their own virtual
+    clocks; the monitor's job is the orthogonal host-wall axis.
+    """
+
     def __init__(self, monitor: ResourceMonitor, name: str, ram_bytes: int) -> None:
         self._monitor = monitor
         self._name = name

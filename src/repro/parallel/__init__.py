@@ -15,6 +15,9 @@ All distributed stages share one calling convention — the
 * :mod:`repro.parallel.stage` — the ParallelStage protocol + registry.
 * :mod:`repro.parallel.chunks` — the chunked round-robin distribution
   (paper Fig 3).
+* :mod:`repro.parallel.mpi_jellyfish` — distributed Jellyfish k-mer
+  counting (deal -> alltoall exchange -> owner merge; HipMer-style
+  distributed k-mer analysis over the DSK partition hash).
 * :mod:`repro.parallel.mpi_bowtie` — PyFasta-split Bowtie (SS:III.A).
 * :mod:`repro.parallel.mpi_graph_from_fasta` — hybrid loops 1+2 with
   Allgatherv pooling (SS:III.B).
@@ -52,6 +55,12 @@ from repro.parallel.mpi_graph_from_fasta import (
     GffOutputs,
     GffStageConfig,
     mpi_graph_from_fasta,
+)
+from repro.parallel.mpi_jellyfish import (
+    JellyfishInputs,
+    JellyfishOutputs,
+    JellyfishStageConfig,
+    mpi_jellyfish,
 )
 from repro.parallel.mpi_reads_to_transcripts import (
     RttInputs,
@@ -94,6 +103,10 @@ __all__ = [
     "GffOutputs",
     "GffStageConfig",
     "mpi_graph_from_fasta",
+    "JellyfishInputs",
+    "JellyfishOutputs",
+    "JellyfishStageConfig",
+    "mpi_jellyfish",
     "RttInputs",
     "RttOutputs",
     "RttStageConfig",

@@ -3,15 +3,16 @@
 The paper's software methodology (SS:III.C): ``Trinity.pl`` gains an
 ``nprocs`` argument; Chrysalis prepends ``mpirun -np nprocs`` to the
 GraphFromFasta and ReadsToTranscripts command lines (and Bowtie runs over
-PyFasta-split pieces).  Mirroring that, this driver runs Jellyfish and
-Inchworm serially, launches one simulated ``mpirun`` per Chrysalis
-substep, and — going past the paper into its named future work on "the
-non-parallelized regions" — distributes Butterfly too
-(:mod:`repro.parallel.mpi_butterfly`; byte-identical to the serial stage
-at any rank count).
+PyFasta-split pieces).  Mirroring that, this driver launches one
+simulated ``mpirun`` per Chrysalis substep, and — going past the paper
+into its named future work on "the non-parallelized regions" —
+distributes Butterfly (:mod:`repro.parallel.mpi_butterfly`) and the
+Jellyfish front end (:mod:`repro.parallel.mpi_jellyfish`) too, both
+byte-identical to their serial stages at any rank count.  Only Inchworm
+remains on the front-end node (threaded via the simulated OpenMP team).
 
 Every MPI stage conforms to the :class:`repro.parallel.stage.ParallelStage`
-protocol, so all four launches flow through the one ``_launch`` path
+protocol, so all five launches flow through the one ``_launch`` path
 (checkpoint restore -> (recovering) mpirun -> checkpoint write).
 
 The result object is a :class:`repro.trinity.pipeline.TrinityResult`, so
@@ -43,7 +44,6 @@ from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
 from repro.trinity.chrysalis.orient import orient_component
 from repro.trinity.chrysalis.quantify import quantify_graph
 from repro.trinity.inchworm import inchworm_assemble, inchworm_assemble_threaded
-from repro.trinity.jellyfish import jellyfish_count
 from repro.trinity.pipeline import TrinityConfig, TrinityResult
 from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
 from repro.parallel.mpi_butterfly import (
@@ -51,6 +51,11 @@ from repro.parallel.mpi_butterfly import (
     ButterflyInputs,
     ButterflyStageConfig,
     mpi_butterfly,
+)
+from repro.parallel.mpi_jellyfish import (
+    JellyfishInputs,
+    JellyfishStageConfig,
+    mpi_jellyfish,
 )
 from repro.parallel.mpi_graph_from_fasta import (
     GffInputs,
@@ -116,6 +121,11 @@ class ParallelTrinityConfig:
 
     # -- stage-config accessors (the parallel analogue of TrinityConfig's
     # .inchworm()/.gff()/.rtt()/.butterfly() serial accessors) -------------
+
+    def jellyfish_stage(
+        self, workdir: Optional[PathLike] = None
+    ) -> JellyfishStageConfig:
+        return JellyfishStageConfig(jellyfish=self.trinity.jellyfish(), workdir=workdir)
 
     def bowtie_stage(self, workdir: Optional[PathLike] = None) -> BowtieStageConfig:
         return BowtieStageConfig(bowtie=self.trinity.bowtie(), workdir=workdir)
@@ -211,12 +221,14 @@ def _write_checkpoint(
 
 @dataclass
 class ParallelStageTimings:
-    """Virtual makespans of the four MPI stages (Figs 7-10 + Butterfly)."""
+    """Virtual makespans of the five MPI stages (Figs 7-10 + Butterfly +
+    the distributed Jellyfish front end)."""
 
     bowtie: StageResult
     gff: StageResult
     rtt: StageResult
     butterfly: StageResult
+    jellyfish: StageResult
 
 
 class ParallelTrinityDriver:
@@ -266,10 +278,10 @@ class ParallelTrinityDriver:
         timings land in :attr:`last_timings`.
 
         Returns a :class:`~repro.obs.result.StageResult` whose ``outputs``
-        is the :class:`TrinityResult` and whose ``children`` are the four
-        ``mpirun`` StageResults (bowtie, gff, rtt, butterfly) — the full
-        span tree a single :func:`repro.obs.chrome.write_chrome_trace`
-        can export.
+        is the :class:`TrinityResult` and whose ``children`` are the five
+        ``mpirun`` StageResults (jellyfish, bowtie, gff, rtt, butterfly)
+        — the full span tree a single
+        :func:`repro.obs.chrome.write_chrome_trace` can export.
 
         With ``checkpoint_dir``, each MPI stage's result is pickled there
         after it completes and restored (skipping the launch) on a rerun
@@ -291,10 +303,32 @@ class ParallelTrinityDriver:
             len(reads), cfg.nprocs, cfg.nthreads,
         )
 
-        # -- serial front end: Jellyfish + Inchworm --------------------------
-        with monitor.stage("jellyfish") as st:
-            counts = jellyfish_count(reads, tcfg.k)
+        # Jellyfish launches before Inchworm produces contigs, so its
+        # checkpoint key pins the front-end dependencies only.
+        front_key = {
+            "nprocs": cfg.nprocs,
+            "nthreads": cfg.nthreads,
+            "n_reads": len(reads),
+            "faults": repr(cfg.faults),
+            "workdir": str(wd),
+            "jellyfish": repr(tcfg.jellyfish()),
+        }
+
+        # -- mpirun Jellyfish (distributed front end) -------------------------
+        with monitor.stage("jellyfish[mpi]") as st:
+            jellyfish_run = self._launch(
+                mpi_jellyfish,
+                JellyfishInputs(reads=reads),
+                cfg.jellyfish_stage(workdir=wd),
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_key=front_key,
+            )
+            counts = jellyfish_run.outputs[0].counts
             st.ram_bytes = counts.memory_bytes()
+        if jellyfish_run.outputs[0].out_path is not None:
+            files["jellyfish_dump"] = jellyfish_run.outputs[0].out_path
+
+        # -- serial front end: Inchworm ---------------------------------------
         inchworm_attrs: Dict[str, float] = {}
         with monitor.stage("inchworm") as st:
             if cfg.inchworm_threads > 1:
@@ -419,13 +453,14 @@ class ParallelTrinityDriver:
             write_fasta(files["transcripts"], [t.to_record() for t in transcripts])
 
         logger.info(
-            "mpi stage makespans: bowtie=%.3fs gff=%.3fs (imb %.2fx) rtt=%.3fs "
-            "butterfly=%.3fs",
-            bowtie_run.makespan, gff_run.makespan, gff_run.imbalance,
-            rtt_run.makespan, butterfly_run.makespan,
+            "mpi stage makespans: jellyfish=%.3fs bowtie=%.3fs gff=%.3fs "
+            "(imb %.2fx) rtt=%.3fs butterfly=%.3fs",
+            jellyfish_run.makespan, bowtie_run.makespan, gff_run.makespan,
+            gff_run.imbalance, rtt_run.makespan, butterfly_run.makespan,
         )
         self.last_timings = ParallelStageTimings(
-            bowtie=bowtie_run, gff=gff_run, rtt=rtt_run, butterfly=butterfly_run
+            bowtie=bowtie_run, gff=gff_run, rtt=rtt_run, butterfly=butterfly_run,
+            jellyfish=jellyfish_run,
         )
         result = TrinityResult(
             transcripts=transcripts,
@@ -450,11 +485,12 @@ class ParallelTrinityDriver:
                 "nthreads": float(cfg.nthreads),
                 "inchworm_threads": float(cfg.inchworm_threads),
                 "n_transcripts": float(len(transcripts)),
+                "mpi.jellyfish_makespan_s": jellyfish_run.makespan,
                 "mpi.bowtie_makespan_s": bowtie_run.makespan,
                 "mpi.gff_makespan_s": gff_run.makespan,
                 "mpi.rtt_makespan_s": rtt_run.makespan,
                 "mpi.butterfly_makespan_s": butterfly_run.makespan,
                 "peak_ram_gb": timeline.peak_ram_gb,
             },
-            children=[bowtie_run, gff_run, rtt_run, butterfly_run],
+            children=[jellyfish_run, bowtie_run, gff_run, rtt_run, butterfly_run],
         )

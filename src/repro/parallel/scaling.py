@@ -367,6 +367,117 @@ def simulate_butterfly_scaling(
 
 
 # ---------------------------------------------------------------------------
+# Jellyfish (distributed k-mer counting)
+# ---------------------------------------------------------------------------
+
+
+#: Assumed split of the serial Jellyfish time between the encoding scan
+#: and the table merge (the scan — windowing, canonicalisation, hashing —
+#: dominates a counting pass).
+_JF_COUNT_SHARE = 0.8
+_JF_MERGE_SHARE = 1.0 - _JF_COUNT_SHARE
+#: Re-sorting the gathered owner slices touches already-sorted disjoint
+#: runs, so it costs a fraction of a cold merge over the same pairs.
+_JF_RESORT_DISCOUNT = 0.25
+#: One exchanged (code, count) pair: uint64 + int64.
+_JF_PAIR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class JellyfishScalingPoint:
+    """One node count's simulated distributed-Jellyfish timings."""
+
+    nodes: int
+    count_s: float  # slowest rank's encode + per-batch reduce
+    exchange_s: float  # alltoall of the (code, count) buckets
+    merge_s: float  # owner-slice sort + segmented sum
+    gather_s: float  # allgather of the owner slices
+    resort_s: float  # every rank's final sort of the pooled slices
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.count_s + self.exchange_s + self.merge_s + self.gather_s + self.resort_s
+        )
+
+    @property
+    def comm_s(self) -> float:
+        return self.exchange_s + self.gather_s
+
+    @property
+    def comm_share(self) -> float:
+        return self.comm_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def simulate_jellyfish_point(
+    nodes: int,
+    workload: Optional["PaperScaleWorkload"] = None,
+    calibration: PaperCalibration = CALIBRATION,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    k: int = 25,
+) -> JellyfishScalingPoint:
+    """Simulate distributed Jellyfish at one node count.
+
+    Mirrors :func:`repro.parallel.mpi_jellyfish.mpi_jellyfish`: the read
+    stream deals ``1/nodes`` per rank (count scales), each rank's batch
+    reduction emits at most ``min(local stream, distinct)`` pairs into
+    the alltoall, owners merge ``1/nodes`` of the pooled pairs, and the
+    allgather + final re-sort replicate the full table on every rank —
+    the stage's Amdahl floor, visible as the speedup saturating in the
+    ``fig-jellyfish`` sweep.  Absolute time is anchored by the paper's
+    Fig 2 serial Jellyfish reading (``jellyfish_serial_s``); distinct
+    k-mers come from the same per-base yield as the memory model.
+    """
+    from repro.cluster.memory import DISTINCT_KMERS_PER_BASE
+    from repro.simdata.datasets import SUGARBEET_PAPER
+
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    workload = workload if workload is not None else SUGARBEET_PAPER
+    total_kmers = float(workload.n_reads) * max(workload.read_len - k + 1, 0)
+    distinct = float(workload.n_reads) * workload.read_len * DISTINCT_KMERS_PER_BASE
+    serial = calibration.jellyfish_serial_s
+    c_encode = _JF_COUNT_SHARE * serial / total_kmers
+    c_merge = _JF_MERGE_SHARE * serial / distinct
+
+    stream_per_rank = total_kmers / nodes
+    pairs_per_rank = min(stream_per_rank, distinct)
+    total_pairs = pairs_per_rank * nodes
+
+    count = c_encode * stream_per_rank
+    exchange = network.alltoall(nodes, total_pairs * _JF_PAIR_BYTES)
+    merge = c_merge * total_pairs / nodes
+    gather = network.allgatherv(nodes, distinct * _JF_PAIR_BYTES)
+    resort = _JF_RESORT_DISCOUNT * c_merge * distinct
+    return JellyfishScalingPoint(
+        nodes=nodes,
+        count_s=count,
+        exchange_s=exchange,
+        merge_s=merge,
+        gather_s=gather,
+        resort_s=resort,
+    )
+
+
+def simulate_jellyfish_scaling(
+    nodes_list: Sequence[int],
+    workload: Optional["PaperScaleWorkload"] = None,
+    calibration: PaperCalibration = CALIBRATION,
+    network: NetworkModel = IDATAPLEX_FDR10,
+) -> List[JellyfishScalingPoint]:
+    """The fig-jellyfish sweep over node counts."""
+    return [
+        simulate_jellyfish_point(n, workload, calibration, network)
+        for n in nodes_list
+    ]
+
+
+def jellyfish_serial_baseline_s(calibration: PaperCalibration = CALIBRATION) -> float:
+    """The big-memory-node serial Jellyfish time (paper Fig 2: ~2.5 h)."""
+    return calibration.jellyfish_serial_s
+
+
+# ---------------------------------------------------------------------------
 # Bowtie (Fig 10)
 # ---------------------------------------------------------------------------
 

@@ -265,6 +265,33 @@ class KmerCounterBuilder:
         self._codes.append(uniq)
         self._counts.append(counts.astype(np.int64))
 
+    def add_pairs(self, codes: np.ndarray, counts: np.ndarray) -> None:
+        """Append an already-reduced (code, count) partial.
+
+        For producers that hold per-partition / per-shard ``np.unique``
+        output (DSK partitions, remote-rank partials): the arrays go
+        straight into the pending list — no dict detour — and the final
+        ``build`` merge sums any codes shared across partials.  Each
+        partial must itself be sorted-unique (``np.unique`` output), the
+        same contract as constructing a :class:`KmerIndex` directly.
+        """
+        codes = np.asarray(codes, dtype=np.uint64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if codes.shape != counts.shape or codes.ndim != 1:
+            raise SequenceError(
+                f"codes/counts must be parallel 1-d arrays, got {codes.shape} vs {counts.shape}"
+            )
+        if codes.size == 0:
+            return
+        self._codes.append(codes)
+        self._counts.append(counts)
+
+    def memory_bytes(self) -> int:
+        """Current size of the pending partial arrays (peak-RAM stats)."""
+        return int(
+            sum(a.nbytes for a in self._codes) + sum(a.nbytes for a in self._counts)
+        )
+
     def build(self) -> KmerCounter:
         if not self._codes:
             return KmerCounter.empty(self.k)

@@ -17,13 +17,20 @@ kernels defined here, so serial and parallel code paths cannot drift
 apart.
 """
 
-from repro.trinity.jellyfish import JellyfishCounts, jellyfish_count, jellyfish_dump, jellyfish_load
+from repro.trinity.jellyfish import (
+    JellyfishConfig,
+    JellyfishCounts,
+    jellyfish_count,
+    jellyfish_dump,
+    jellyfish_load,
+)
 from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
 from repro.trinity.bowtie import BowtieIndex, bowtie_align, scaffold_pairs_from_sam
 from repro.trinity.butterfly import butterfly_assemble
 from repro.trinity.pipeline import TrinityConfig, TrinityPipeline, TrinityResult
 
 __all__ = [
+    "JellyfishConfig",
     "JellyfishCounts",
     "jellyfish_count",
     "jellyfish_dump",

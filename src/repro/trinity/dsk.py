@@ -9,7 +9,11 @@ time trade-off can be studied (see ``exp-dsk`` in the ablation benches).
 DSK's idea: hash every k-mer to one of P disk partitions, then count one
 partition at a time, so peak memory is ~1/P of the k-mer table.  Our
 implementation is a faithful miniature: partitions are written as binary
-uint64 files and counted with one in-memory dict each.
+uint64 files, counted one at a time with ``np.unique``, and streamed
+into a :class:`~repro.seq.kmer_index.KmerCounterBuilder` — the merge
+never materialises more than one partition's raw codes at once (the old
+all-partitions ``Dict[int, int]`` merge defeated exactly the memory
+bound DSK exists to provide).
 
 The result is bit-identical to :func:`repro.trinity.jellyfish.jellyfish_count`
 — a tested invariant.
@@ -20,17 +24,20 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.errors import PipelineError
-from repro.seq.kmer_index import KmerCounter
+from repro.seq.kmer_index import KmerCounterBuilder
 from repro.seq.kmers import kmer_array, revcomp_codes
 from repro.seq.records import SeqRecord
 from repro.trinity.jellyfish import JellyfishCounts
 
 PathLike = Union[str, Path]
+
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -54,10 +61,25 @@ class DskStats:
     n_kmers_streamed: int = 0
     bytes_spilled: int = 0
     peak_partition_kmers: int = 0
+    #: Largest single-partition working set during the merge: the raw
+    #: spilled codes plus their ``np.unique`` (code, count) output.
+    peak_partition_bytes: int = 0
+    #: Builder backing arrays at their largest (all partials just before
+    #: the final sort), measured with real ``nbytes``.
+    peak_builder_bytes: int = 0
 
     def peak_memory_bytes(self) -> int:
-        """Peak resident size: one partition's dict at a time."""
-        return 100 * self.peak_partition_kmers
+        """Peak resident size of the counting pass, in real bytes.
+
+        The dominant resident set is either one partition's working set
+        (raw spilled codes + its ``np.unique`` output) or the builder's
+        accumulated partials, whichever is larger — measured with real
+        ``nbytes``, not the ``100 B x peak_partition_kmers`` CPython-dict
+        extrapolation of the removed dict-merge era (which under-reported
+        the true peak: the old merged dict held *all* partitions at
+        once, not one).
+        """
+        return max(self.peak_partition_bytes, self.peak_builder_bytes)
 
 
 def _partition_of(codes: np.ndarray, n_partitions: int) -> np.ndarray:
@@ -99,12 +121,25 @@ def dsk_count_with_stats(
     part_paths = [tmp / f"partition{p}.u64" for p in range(cfg.n_partitions)]
     try:
         _spill(reads, k, cfg, part_paths, stats, canonical)
-        merged: Dict[int, int] = {}
+        # Pass 2: partitions stream one at a time straight into the
+        # builder as (code, count) arrays — at no point is more than one
+        # partition's raw code stream resident, and the merged table is
+        # never re-materialised as a Python dict.
+        builder = KmerCounterBuilder(k)
         for path in part_paths:
-            part_counts = _count_partition(path)
-            stats.peak_partition_kmers = max(stats.peak_partition_kmers, len(part_counts))
-            merged.update(part_counts)
-        index = KmerCounter.from_dict(merged, k)
+            vals, cnts = _count_partition(path)
+            if vals.size == 0:
+                continue
+            raw_bytes = int(cnts.sum()) * 8  # spilled codes read back
+            stats.peak_partition_kmers = max(stats.peak_partition_kmers, int(vals.size))
+            stats.peak_partition_bytes = max(
+                stats.peak_partition_bytes, raw_bytes + vals.nbytes + cnts.nbytes
+            )
+            builder.add_pairs(vals, cnts)
+            stats.peak_builder_bytes = max(
+                stats.peak_builder_bytes, builder.memory_bytes()
+            )
+        index = builder.build()
         return JellyfishCounts(k=k, canonical=canonical, index=index), stats
     finally:
         for path in part_paths:
@@ -159,11 +194,15 @@ def _flush(handle, chunks: List[np.ndarray], stats: DskStats) -> None:
     stats.bytes_spilled += data.nbytes
 
 
-def _count_partition(path: Path) -> Dict[int, int]:
-    """Pass 2: count one partition's spilled codes."""
+def _count_partition(path: Path) -> Tuple[np.ndarray, np.ndarray]:
+    """Pass 2: count one partition's spilled codes.
+
+    Returns the sorted-unique codes and their counts (``np.unique``
+    output) — array partials for :meth:`KmerCounterBuilder.add_pairs`.
+    """
     raw = path.read_bytes()
     if not raw:
-        return {}
+        return _EMPTY_U64, _EMPTY_I64
     codes = np.frombuffer(raw, dtype=np.uint64)
     vals, cnts = np.unique(codes, return_counts=True)
-    return dict(zip(vals.tolist(), cnts.tolist()))
+    return vals, cnts.astype(np.int64)

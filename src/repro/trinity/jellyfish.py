@@ -16,12 +16,13 @@ the index arrays, scalar consumers use ``get`` / ``get_kmer``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
 import numpy as np
 
-from repro.errors import SequenceError
+from repro.errors import PipelineError, SequenceError
 from repro.seq.kmer_index import (
     KmerCounter,
     KmerCounterBuilder,
@@ -32,6 +33,27 @@ from repro.seq.kmers import canonical_code, encode_kmer, kmer_array, revcomp_cod
 from repro.seq.records import SeqRecord
 
 PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class JellyfishConfig:
+    """Counting parameters (``jellyfish count`` flags).
+
+    ``canonical`` is Jellyfish's ``-C`` (both-strand) mode;
+    ``batch_bases`` bounds how many read bases one vectorised encoding
+    pass joins — purely a working-set knob, output-invariant (a tested
+    property of :func:`jellyfish_count`).
+    """
+
+    k: int = 25
+    canonical: bool = True
+    batch_bases: int = 4_000_000
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise PipelineError(f"k must be positive, got {self.k}")
+        if self.batch_bases <= 0:
+            raise PipelineError(f"batch_bases must be positive, got {self.batch_bases}")
 
 
 class JellyfishCounts:

@@ -45,7 +45,12 @@ from repro.trinity.inchworm import (
     inchworm_assemble,
     inchworm_assemble_threaded,
 )
-from repro.trinity.jellyfish import JellyfishCounts, jellyfish_count, jellyfish_dump
+from repro.trinity.jellyfish import (
+    JellyfishConfig,
+    JellyfishCounts,
+    jellyfish_count,
+    jellyfish_dump,
+)
 
 PathLike = Union[str, Path]
 
@@ -108,6 +113,9 @@ class TrinityConfig:
     def weld_k(self) -> int:
         """Weld / de Bruijn-node k-mer size (k - 1, even)."""
         return self.k - 1
+
+    def jellyfish(self) -> JellyfishConfig:
+        return JellyfishConfig(k=self.k, canonical=not self.strand_specific)
 
     def inchworm(self) -> InchwormConfig:
         return InchwormConfig(min_kmer_count=self.min_kmer_count, seed=self.seed)
@@ -180,7 +188,10 @@ class TrinityPipeline:
 
         # -- Jellyfish ------------------------------------------------------
         with monitor.stage("jellyfish") as st:
-            counts = jellyfish_count(reads, cfg.k, canonical=not cfg.strand_specific)
+            jcfg = cfg.jellyfish()
+            counts = jellyfish_count(
+                reads, jcfg.k, canonical=jcfg.canonical, batch_bases=jcfg.batch_bases
+            )
             st.ram_bytes = counts.memory_bytes()
         logger.info("jellyfish: %d distinct %d-mers", len(counts), cfg.k)
         if wd is not None:

@@ -39,6 +39,30 @@ def test_all_exports_resolve(package):
         assert hasattr(mod, name), f"{package}.__all__ lists missing {name}"
 
 
+class TestStageSpecs:
+    def test_mpi_jellyfish_spec_well_formed(self):
+        """The newest front-end stage carries a complete StageSpec."""
+        from dataclasses import is_dataclass
+
+        from repro.parallel import (
+            JellyfishInputs,
+            JellyfishOutputs,
+            JellyfishStageConfig,
+            mpi_jellyfish,
+        )
+        from repro.parallel.stage import STAGES
+
+        spec = STAGES["jellyfish"]
+        assert spec.fn is mpi_jellyfish
+        assert mpi_jellyfish.stage_spec is spec
+        assert spec.inputs_type is JellyfishInputs
+        assert spec.config_type is JellyfishStageConfig
+        assert spec.outputs_type is JellyfishOutputs
+        for bundle in (JellyfishInputs, JellyfishStageConfig, JellyfishOutputs):
+            assert is_dataclass(bundle)
+            assert bundle.__doc__
+
+
 class TestErrorHierarchy:
     def test_all_derive_from_repro_error(self):
         for name in dir(errors):

@@ -59,6 +59,29 @@ class TestMemoryClaim:
         assert stats.n_kmers_streamed == expected
         assert stats.bytes_spilled == expected * 8
 
+    def test_peak_is_real_nbytes(self, tmp_path):
+        """Peak accounting uses the arrays' actual nbytes, not the
+        retired 100 B/key dict extrapolation."""
+        counts, stats = dsk_count_with_stats(
+            reads(*SEQS), k=9, config=DskConfig(n_partitions=4), workdir=tmp_path
+        )
+        # Partitions are disjoint slices of the final table, so the
+        # accumulated builder partials are exactly the final arrays.
+        assert stats.peak_builder_bytes == counts.memory_bytes()
+        # One partition's working set: raw codes + unique/count arrays —
+        # bounded by the whole stream + whole table, and strictly positive.
+        assert 0 < stats.peak_partition_bytes
+        assert stats.peak_partition_bytes <= stats.bytes_spilled + counts.memory_bytes()
+        assert stats.peak_memory_bytes() == max(
+            stats.peak_partition_bytes, stats.peak_builder_bytes
+        )
+
+    def test_more_partitions_shrink_partition_working_set(self, tmp_path):
+        big = reads(*(SEQS * 30))
+        _c1, s1 = dsk_count_with_stats(big, k=9, config=DskConfig(n_partitions=1), workdir=tmp_path / "q1")
+        _c8, s8 = dsk_count_with_stats(big, k=9, config=DskConfig(n_partitions=8), workdir=tmp_path / "q8")
+        assert s8.peak_partition_bytes < s1.peak_partition_bytes
+
 
 class TestConfig:
     def test_invalid_partitions(self):

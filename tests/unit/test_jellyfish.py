@@ -70,6 +70,70 @@ class TestCount:
         assert big.memory_bytes() >= small.memory_bytes()
 
 
+class TestEdgeCases:
+    """Degenerate inputs and batch-boundary behaviour.
+
+    The invariant throughout: the batched path's dump bytes equal the
+    unbatched path's, whatever the flush points — the batching is a
+    working-set knob, never an output knob.
+    """
+
+    def _dump_bytes(self, tmp_path, name, counts):
+        path = tmp_path / name
+        jellyfish_dump(counts, path)
+        return path.read_bytes()
+
+    def test_empty_read_set(self, tmp_path):
+        counts = jellyfish_count([], k=5)
+        assert len(counts) == 0
+        assert counts.total == 0
+        baseline = jellyfish_count([], k=5, batch_bases=1)
+        assert self._dump_bytes(tmp_path, "a.fa", counts) == self._dump_bytes(
+            tmp_path, "b.fa", baseline
+        ) == b""
+
+    def test_all_reads_shorter_than_k(self, tmp_path):
+        short = reads("ACG", "T", "GGAA")
+        counts = jellyfish_count(short, k=5)
+        assert len(counts) == 0
+        baseline = jellyfish_count(short, k=5, batch_bases=1)
+        assert self._dump_bytes(tmp_path, "a.fa", counts) == self._dump_bytes(
+            tmp_path, "b.fa", baseline
+        ) == b""
+
+    def test_embedded_n_runs_at_batch_boundaries(self, tmp_path):
+        # N runs touching the read ends merge with the batch-join
+        # separator; a window over the junction must die either way.
+        rs = reads("ACGTNNN", "NNNACGT", "ACNNGTACGT", "NNNNN")
+        batched = jellyfish_count(rs, k=4, batch_bases=1)  # flush per read
+        unbatched = jellyfish_count(rs, k=4, batch_bases=10**9)
+        assert batched == unbatched
+        assert self._dump_bytes(tmp_path, "a.fa", batched) == self._dump_bytes(
+            tmp_path, "b.fa", unbatched
+        )
+        # Sanity: the N-free windows are still counted.
+        assert batched.get_kmer("ACGT") > 0
+
+    def test_flush_mid_read_list(self, tmp_path):
+        # batch_bases lands the flush between reads 2 and 3.
+        rs = reads("ACGTACGTA", "GGGCCCAAA", "TTTACGTAC", "CCCGGGTTT")
+        mid = jellyfish_count(rs, k=5, batch_bases=18)  # 2 reads per flush
+        unbatched = jellyfish_count(rs, k=5, batch_bases=10**9)
+        assert mid == unbatched
+        assert self._dump_bytes(tmp_path, "a.fa", mid) == self._dump_bytes(
+            tmp_path, "b.fa", unbatched
+        )
+
+    @pytest.mark.parametrize("batch_bases", [1, 7, 19, 10**9])
+    def test_dump_bytes_invariant_across_batch_sizes(self, tmp_path, batch_bases):
+        rs = reads("ACGTACGTAACCGGTT", "NNGGGTTTACGAN", "ACGT", "A")
+        got = jellyfish_count(rs, k=5, batch_bases=batch_bases)
+        baseline = jellyfish_count(rs, k=5, batch_bases=10**9)
+        assert self._dump_bytes(tmp_path, f"g{batch_bases}.fa", got) == self._dump_bytes(
+            tmp_path, f"b{batch_bases}.fa", baseline
+        )
+
+
 class TestDump:
     def test_roundtrip(self, tmp_path):
         counts = jellyfish_count(reads("ACGTACGTAA", "GGGTTTACGA"), k=5)

@@ -120,6 +120,36 @@ class TestKmerCounter:
         assert c.codes.tolist() == [1, 2, 3]
         assert c.values.tolist() == [2, 2, 1]
 
+    def test_builder_add_pairs_merges_partials(self):
+        # Pre-reduced (code, count) partials — per-partition np.unique
+        # output — merge identically to feeding the raw streams.
+        b = KmerCounterBuilder(4)
+        b.add_pairs(
+            np.array([1, 2], dtype=np.uint64), np.array([2, 1], dtype=np.int64)
+        )
+        b.add_pairs(
+            np.array([2, 3], dtype=np.uint64), np.array([1, 1], dtype=np.int64)
+        )
+        b.add_pairs(np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))
+        c = b.build()
+        assert c.codes.tolist() == [1, 2, 3]
+        assert c.values.tolist() == [2, 2, 1]
+
+    def test_builder_add_pairs_rejects_mismatched_shapes(self):
+        b = KmerCounterBuilder(4)
+        with pytest.raises(SequenceError):
+            b.add_pairs(
+                np.array([1, 2], dtype=np.uint64), np.array([1], dtype=np.int64)
+            )
+
+    def test_builder_memory_bytes_tracks_partials(self):
+        b = KmerCounterBuilder(4)
+        assert b.memory_bytes() == 0
+        b.add_pairs(
+            np.array([1, 2], dtype=np.uint64), np.array([2, 1], dtype=np.int64)
+        )
+        assert b.memory_bytes() == 2 * 8 + 2 * 8  # codes + counts nbytes
+
     def test_matches_dict_jellyfish_count(self):
         # KmerCounter built straight from canonical code streams must agree
         # with the production jellyfish_count on random read sets.

@@ -61,6 +61,38 @@ class TestTimeline:
         assert Timeline().sample(10) == []
 
 
+class TestClockChoice:
+    """Pin which clock each monitor region uses (clock-fidelity audit).
+
+    Stage intervals are *host wall* measurements of work running in
+    other threads (mpirun ranks, OpenMP teams), so ``_StageCtx`` must
+    read ``perf_counter`` — and must never consult the driver thread's
+    ``thread_time``, which would read ~0 across an mpirun stage.
+    """
+
+    def test_stage_duration_comes_from_perf_counter(self, monkeypatch):
+        import repro.monitor.collectl as collectl
+
+        ticks = iter([10.0, 15.0])
+        monkeypatch.setattr(collectl.time, "perf_counter", lambda: next(ticks))
+        mon = ResourceMonitor()
+        with mon.stage("work"):
+            pass
+        assert mon.timeline.spans[0].duration_s == pytest.approx(5.0)
+
+    def test_stage_never_reads_thread_time(self, monkeypatch):
+        import repro.monitor.collectl as collectl
+
+        def forbidden():
+            raise AssertionError("_StageCtx must not use thread_time")
+
+        monkeypatch.setattr(collectl.time, "thread_time", forbidden)
+        mon = ResourceMonitor()
+        with mon.stage("work"):
+            pass
+        assert mon.timeline.spans[0].duration_s >= 0
+
+
 class TestResourceMonitor:
     def test_stage_records_duration_and_ram(self):
         mon = ResourceMonitor()

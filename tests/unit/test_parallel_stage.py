@@ -41,6 +41,7 @@ class TestRegistry:
             "butterfly",
             "gff",
             "gff-sharded-setup",
+            "jellyfish",
             "rtt",
             "rtt-master-slave",
             "rtt-striped",

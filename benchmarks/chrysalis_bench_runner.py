@@ -1,0 +1,225 @@
+"""Host wall-clock runner for the fused Chrysalis back end.
+
+The pre-fusion driver ran two *serial* regions between RTT and Butterfly
+— FastaToDebruijn and QuantifyGraph on the front-end node — then handed
+the quantified graphs to the distributed Butterfly.  The fused stage
+(:mod:`repro.parallel.mpi_chrysalis_backend`) runs the whole
+orient → build → quantify → walk chain per component on its owner rank,
+so the serial middle disappears from the critical path.  This runner
+times both paths on the smoke workload (real pipeline front end:
+jellyfish → inchworm → bowtie-less GFF → RTT):
+
+* ``pre-fusion`` — host wall + virtual time of serial
+  ``fasta_to_debruijn`` + ``quantify_graph`` followed by the simulated
+  ``mpi_butterfly`` mpirun (the old driver path);
+* ``fused`` — host wall + virtual makespan of one
+  ``mpi_chrysalis_backend`` mpirun, per deal strategy;
+
+plus one ``gain`` row: pre-fusion over fused virtual time (matching
+round-robin deals, the driver default).  Transcripts and quant stats are
+checked identical to the serial chain on every run, so the history is a
+pure like-for-like record.
+
+Usage (append a labeled entry to the checked-in history)::
+
+    PYTHONPATH=src python -m benchmarks.chrysalis_bench_runner \
+        --label my-change --out BENCH_chrysalis.json
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from benchmarks.common import bench_parser
+from repro.mpi import mpirun
+from repro.parallel.mpi_butterfly import (
+    STRATEGIES,
+    ButterflyInputs,
+    ButterflyStageConfig,
+    mpi_butterfly,
+)
+from repro.parallel.mpi_chrysalis_backend import (
+    ChrysalisBackendInputs,
+    ChrysalisBackendStageConfig,
+    mpi_chrysalis_backend,
+)
+
+NPROCS = 8
+#: One enumeration thread per rank, like the Butterfly bench: spare
+#: threads would collapse each rank's time to its max component and hide
+#: the serial-middle elimination this bench exists to measure.
+NTHREADS = 1
+
+
+def build_workload(seed: int = 0):
+    """The smoke pipeline front end, run for real.
+
+    Returns ``(tcfg, reads, contigs, components, assignments, counts)`` —
+    everything both back-end paths consume, produced by the same serial
+    stages the driver would run before them.
+    """
+    from repro.simdata import get_recipe
+    from repro.simdata.reads import flatten_reads
+    from repro.trinity import TrinityConfig
+    from repro.trinity.chrysalis.graph_from_fasta import graph_from_fasta
+    from repro.trinity.chrysalis.reads_to_transcripts import reads_to_transcripts
+    from repro.trinity.inchworm import inchworm_assemble
+    from repro.trinity.jellyfish import jellyfish_count
+
+    tcfg = TrinityConfig(seed=1)
+    _txome, pairs = get_recipe("smoke").materialize(seed=1 + seed)
+    reads = flatten_reads(pairs)
+    counts = jellyfish_count(reads, tcfg.k)
+    contigs = inchworm_assemble(counts, tcfg.inchworm())
+    gff = graph_from_fasta(contigs, reads, tcfg.gff())
+    assignments = reads_to_transcripts(reads, contigs, gff.components, tcfg.rtt())
+    return tcfg, reads, contigs, gff.components, assignments, counts
+
+
+def _serial_middle(tcfg, reads, contigs, components, assignments, counts):
+    """The pre-fusion serial region: build every graph, thread every read."""
+    from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+    from repro.trinity.chrysalis.orient import orient_component
+    from repro.trinity.chrysalis.quantify import quantify_graph
+
+    graphs = {
+        comp.id: fasta_to_debruijn(
+            orient_component([contigs[m].seq for m in comp.members], tcfg.weld_k),
+            tcfg.k,
+        )
+        for comp in components
+    }
+    quants = quantify_graph(
+        graphs, list(reads), assignments,
+        kmer_counts=counts, min_kmer_count=tcfg.min_kmer_count,
+    )
+    return graphs, quants
+
+
+def run_points(
+    nprocs: int = NPROCS, seed: int = 0, repeat: int = 3
+) -> List[Dict[str, float]]:
+    """Time the pre-fusion path and the fused stage (best of ``repeat``)."""
+    tcfg, reads, contigs, components, assignments, counts = build_workload(seed)
+    points: List[Dict[str, float]] = []
+
+    # -- pre-fusion: serial middle + distributed Butterfly -------------------
+    middle_wall = None
+    for _rep in range(max(repeat, 1)):
+        t0 = time.perf_counter()
+        graphs, quants = _serial_middle(
+            tcfg, reads, contigs, components, assignments, counts
+        )
+        rep_wall = time.perf_counter() - t0
+        middle_wall = rep_wall if middle_wall is None else min(middle_wall, rep_wall)
+    bf_run = mpirun(
+        mpi_butterfly, nprocs,
+        ButterflyInputs(graphs=graphs),
+        ButterflyStageConfig(
+            butterfly=tcfg.butterfly(), nthreads=NTHREADS, strategy="round_robin"
+        ),
+    )
+    serial_transcripts = bf_run.outputs[0].transcripts
+    prefusion_virtual = middle_wall + bf_run.makespan
+    points.append(
+        {
+            "mode": "prefusion",
+            "nprocs": nprocs,
+            "serial_middle_wall_s": round(middle_wall, 6),
+            "butterfly_makespan_s": round(bf_run.makespan, 6),
+            "virtual_total_s": round(prefusion_virtual, 6),
+        }
+    )
+    print(
+        f"pre-fusion     nprocs={nprocs}  serial_middle={middle_wall:.4f}s + "
+        f"butterfly={bf_run.makespan:.4f}s = {prefusion_virtual:.4f}s virtual"
+    )
+
+    # -- fused stage, both deal strategies -----------------------------------
+    inputs = ChrysalisBackendInputs(
+        contigs=contigs, reads=reads, components=components,
+        assignments=assignments, counts=counts,
+    )
+    fused_virtual: Dict[str, float] = {}
+    for strategy in STRATEGIES:
+        config = ChrysalisBackendStageConfig(
+            k=tcfg.k, weld_k=tcfg.weld_k, min_kmer_count=tcfg.min_kmer_count,
+            butterfly=tcfg.butterfly(), nthreads=NTHREADS, strategy=strategy,
+        )
+        wall = None
+        for _rep in range(max(repeat, 1)):
+            t0 = time.perf_counter()
+            run = mpirun(mpi_chrysalis_backend, nprocs, inputs, config)
+            rep_wall = time.perf_counter() - t0
+            wall = rep_wall if wall is None else min(wall, rep_wall)
+        out = run.outputs[0]
+        if out.transcripts != serial_transcripts:
+            raise RuntimeError(
+                f"fused strategy {strategy!r} diverged from the serial chain"
+            )
+        if any(
+            out.quant_stats[cid] != (q.n_reads, q.read_edge_weight)
+            for cid, q in quants.items()
+        ):
+            raise RuntimeError(f"fused strategy {strategy!r} quant stats diverged")
+        fused_virtual[strategy] = run.makespan
+        points.append(
+            {
+                "mode": "fused",
+                "strategy": strategy,
+                "nprocs": nprocs,
+                "wall_s": round(wall, 6),
+                "virtual_makespan_s": round(run.makespan, 6),
+            }
+        )
+        print(
+            f"fused ({strategy:<11}) nprocs={nprocs}  wall={wall:.4f}s  "
+            f"virtual_makespan={run.makespan:.4f}s"
+        )
+    gain = prefusion_virtual / fused_virtual["round_robin"]
+    points.append(
+        {"mode": "gain", "nprocs": nprocs, "prefusion_over_fused": round(gain, 3)}
+    )
+    print(f"gain  pre-fusion/fused(round_robin) = {gain:.2f}x")
+    return points
+
+
+def append_entry(out: Path, label: str, points: List[Dict[str, float]]) -> None:
+    from benchmarks.conftest import append_bench_entry
+
+    append_bench_entry(
+        out,
+        bench="chrysalis_backend_wallclock",
+        workload=(
+            f"smoke recipe front end (jellyfish->inchworm->gff->rtt), "
+            f"nthreads={NTHREADS}"
+        ),
+        fields={
+            "serial_middle_wall_s": "host wall of serial build+quantify",
+            "butterfly_makespan_s": "pre-fusion distributed walk (virtual)",
+            "virtual_total_s": "pre-fusion path total (virtual)",
+            "wall_s": "host wall-clock of the fused simulated mpirun",
+            "virtual_makespan_s": "fused stage modelled cluster runtime",
+            "prefusion_over_fused": "pre-fusion / fused virtual time",
+        },
+        label=label,
+        points=points,
+    )
+
+
+def run_cli(argv: Optional[List[str]] = None) -> int:
+    """Entry point shared by ``python -m`` and ``repro bench chrysalis``."""
+    ap = bench_parser(__doc__.splitlines()[0], Path("BENCH_chrysalis.json"))
+    ap.add_argument("--nprocs", type=int, default=NPROCS)
+    args = ap.parse_args(argv)
+    append_entry(
+        args.history, args.label,
+        run_points(args.nprocs, seed=args.seed, repeat=args.repeat),
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_cli())

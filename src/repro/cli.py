@@ -14,7 +14,7 @@ stats        assembly statistics (N50 etc.) of a FASTA
 profile      trace one MPI stage: critical path, Gantt, Chrome export
 faults       sweep injected crash/straggler/flaky-IO rates vs makespan
 experiments  regenerate paper figures (same as python -m repro.experiments)
-bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, butterfly, jellyfish)
+bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, butterfly, jellyfish, chrysalis)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -187,7 +187,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             RttStageConfig(rtt=cfg.rtt(), nthreads=args.nthreads),
             trace=True,
         )
-    else:  # butterfly
+    elif args.stage == "butterfly":
         from repro.parallel.mpi_butterfly import (
             ButterflyInputs,
             ButterflyStageConfig,
@@ -217,6 +217,47 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             mpi_butterfly, args.nprocs,
             ButterflyInputs(graphs=graphs),
             ButterflyStageConfig(
+                butterfly=cfg.butterfly(), nthreads=args.nthreads,
+                strategy=args.strategy,
+            ),
+            trace=True,
+        )
+    else:  # chrysalis (the fused back end)
+        from repro.parallel.mpi_chrysalis_backend import (
+            ChrysalisBackendInputs,
+            ChrysalisBackendStageConfig,
+            mpi_chrysalis_backend,
+        )
+        from repro.parallel.mpi_graph_from_fasta import (
+            GffInputs,
+            GffStageConfig,
+            mpi_graph_from_fasta,
+        )
+        from repro.parallel.mpi_reads_to_transcripts import (
+            RttInputs,
+            RttStageConfig,
+            mpi_reads_to_transcripts,
+        )
+
+        gff_run = mpirun(
+            mpi_graph_from_fasta, args.nprocs,
+            GffInputs(contigs=contigs, reads=reads),
+            GffStageConfig(gff=cfg.gff(), nthreads=args.nthreads),
+        )
+        components = gff_run.outputs[0].components
+        rtt_run = mpirun(
+            mpi_reads_to_transcripts, args.nprocs,
+            RttInputs(reads=reads, contigs=contigs, components=components),
+            RttStageConfig(rtt=cfg.rtt(), nthreads=args.nthreads),
+        )
+        run = mpirun(
+            mpi_chrysalis_backend, args.nprocs,
+            ChrysalisBackendInputs(
+                contigs=contigs, reads=reads, components=components,
+                assignments=rtt_run.outputs[0].assignments, counts=counts,
+            ),
+            ChrysalisBackendStageConfig(
+                k=cfg.k, weld_k=cfg.weld_k, min_kmer_count=cfg.min_kmer_count,
                 butterfly=cfg.butterfly(), nthreads=args.nthreads,
                 strategy=args.strategy,
             ),
@@ -320,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="trace one MPI stage: critical path, Gantt, Chrome export",
     )
-    p.add_argument("--stage", default="gff", choices=["bowtie", "gff", "rtt", "butterfly"])
+    p.add_argument("--stage", default="gff", choices=["bowtie", "gff", "rtt", "butterfly", "chrysalis"])
     p.add_argument("--nprocs", type=int, default=4)
     p.add_argument("--nthreads", type=int, default=4, help="OpenMP threads per rank")
     p.add_argument(

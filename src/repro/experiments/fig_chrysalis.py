@@ -1,0 +1,190 @@
+"""Fused Chrysalis back end vs the pre-fusion serial-middle path.
+
+Not a reproduction of a paper figure — the paper's conclusion calls for
+"focusing our efforts on the non-parallelized regions of the pipeline",
+and after the distributed Butterfly two such regions remained in the
+hybrid driver: the serial FastaToDebruijn and QuantifyGraph that ran on
+the front-end node between RTT and Butterfly, followed by a full
+allgather of the quantified graphs.  This experiment quantifies what
+fusing the whole back-end chain into one component-parallel stage
+(:mod:`repro.parallel.mpi_chrysalis_backend`) buys:
+
+* **Analytic sweep** — heavy-tailed per-component build/quantify/walk
+  cost distributions (the same abundance skew as the Butterfly sweep)
+  replayed through
+  :func:`repro.parallel.scaling.simulate_chrysalis_backend_point` at
+  paper-scale node counts, against
+  :func:`repro.parallel.scaling.chrysalis_prefusion_total_s` — the
+  serial-middle + graph-allgather + distributed-walk baseline.
+* **Real execution check** — the actual simulated-MPI fused stage on the
+  smoke workload at 8 ranks, asserting transcripts and quant stats
+  reproduce the serial ``fasta_to_debruijn`` + ``quantify_graph`` +
+  ``butterfly_assemble`` chain exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.mpi.launcher import mpirun
+from repro.parallel.mpi_chrysalis_backend import (
+    ChrysalisBackendInputs,
+    ChrysalisBackendStageConfig,
+    mpi_chrysalis_backend,
+)
+from repro.parallel.scaling import (
+    ChrysalisBackendScalingPoint,
+    chrysalis_prefusion_total_s,
+    simulate_chrysalis_backend_point,
+)
+from repro.util.fmt import format_table
+from repro.util.rng import spawn_rng
+
+#: Paper-scale sweep: the node counts of the Figure 7/9 series.
+SWEEP_NODES = (8, 16, 32, 64, 128)
+N_COMPONENTS = 2_000
+REAL_NPROCS = 8
+#: Pooled-payload stand-ins for the analytic sweep (arbitrary but
+#: size-ordered: quantified graphs outweigh transcripts ~30x).
+GRAPH_BYTES = 6e9
+TRANSCRIPT_BYTES = 2e8
+
+
+def sample_phase_costs(
+    seed: int = 0, n_components: int = N_COMPONENTS
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Heavy-tailed (build, quantify, walk) per-component costs.
+
+    All three phases scale with the same node count, so they share one
+    lognormal skew; quantify dominates (read threading touches every
+    assigned read) with build and walk at smaller multiples — the rough
+    proportions of the serial smoke profile.
+    """
+    rng = spawn_rng(seed, "chrysalis-components")
+    base = rng.lognormal(0.0, 1.6, size=n_components)
+    return 0.6 * base, 2.4 * base, 1.0 * base
+
+
+@dataclass
+class FigChrysalisResult:
+    """Analytic fusion sweep plus the real-execution identity check."""
+
+    rows: List[Tuple[int, float, ChrysalisBackendScalingPoint]]
+    real_fused_makespan: float
+    real_serial_middle_s: float
+    outputs_identical: bool
+
+    def gain(self, nodes: int) -> float:
+        for n, prefusion, fused in self.rows:
+            if n == nodes:
+                return prefusion / fused.total_s
+        raise KeyError(f"no simulated point at {nodes} nodes")
+
+    def render(self) -> str:
+        rows = [
+            [
+                n,
+                f"{prefusion:.1f}",
+                f"{fused.total_s:.1f}",
+                f"{fused.quantify_s:.1f}",
+                f"{fused.gather_s:.3f}",
+                f"{prefusion / fused.total_s:.2f}",
+            ]
+            for n, prefusion, fused in self.rows
+        ]
+        table = format_table(
+            ["nodes", "pre-fusion (u)", "fused (u)", "quantify (u)",
+             "gather (u)", "gain"],
+            rows,
+        )
+        check = "identical" if self.outputs_identical else "DIVERGED"
+        real = (
+            f"real mpirun @{REAL_NPROCS} ranks: fused stage {self.real_fused_makespan:.4f}s "
+            f"vs serial middle {self.real_serial_middle_s:.4f}s alone, "
+            f"outputs vs serial: {check}"
+        )
+        return f"Fused Chrysalis back end — serial middle eliminated\n{table}\n\n{real}"
+
+
+def run(seed: int = 0, nodes: Sequence[int] = SWEEP_NODES) -> FigChrysalisResult:
+    import time
+
+    from repro.simdata import get_recipe
+    from repro.simdata.reads import flatten_reads
+    from repro.trinity import TrinityConfig
+    from repro.trinity.bowtie import scaffold_pairs_from_sam
+    from repro.trinity.butterfly import butterfly_assemble
+    from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+    from repro.trinity.chrysalis.graph_from_fasta import graph_from_fasta
+    from repro.trinity.chrysalis.orient import orient_component
+    from repro.trinity.chrysalis.quantify import quantify_graph
+    from repro.trinity.chrysalis.reads_to_transcripts import reads_to_transcripts
+    from repro.trinity.inchworm import inchworm_assemble
+    from repro.trinity.jellyfish import jellyfish_count
+
+    build, quantify, walk = sample_phase_costs(seed=seed)
+    rows = [
+        (
+            n,
+            chrysalis_prefusion_total_s(
+                n, build, quantify, walk, nthreads=1, strategy="dynamic",
+                graph_bytes=GRAPH_BYTES,
+            ),
+            simulate_chrysalis_backend_point(
+                n, build, quantify, walk, nthreads=1, strategy="dynamic",
+                transcript_bytes=TRANSCRIPT_BYTES,
+            ),
+        )
+        for n in nodes
+    ]
+
+    # -- real execution on the smoke workload --------------------------------
+    tcfg = TrinityConfig(seed=1)
+    _txome, pairs = get_recipe("smoke").materialize(seed=1)
+    reads = flatten_reads(pairs)
+    counts = jellyfish_count(reads, tcfg.k)
+    contigs = inchworm_assemble(counts, tcfg.inchworm())
+    gff = graph_from_fasta(contigs, reads, tcfg.gff())
+    assignments = reads_to_transcripts(reads, contigs, gff.components, tcfg.rtt())
+
+    # Serial reference chain (the pre-fusion middle) + host time spent in it.
+    t0 = time.perf_counter()
+    graphs = {
+        comp.id: fasta_to_debruijn(
+            orient_component([contigs[m].seq for m in comp.members], tcfg.weld_k),
+            tcfg.k,
+        )
+        for comp in gff.components
+    }
+    quants = quantify_graph(
+        graphs, list(reads), assignments,
+        kmer_counts=counts, min_kmer_count=tcfg.min_kmer_count,
+    )
+    serial_middle_s = time.perf_counter() - t0
+    serial_transcripts = butterfly_assemble(graphs, tcfg.butterfly())
+
+    fused_run = mpirun(
+        mpi_chrysalis_backend, REAL_NPROCS,
+        ChrysalisBackendInputs(
+            contigs=contigs, reads=reads, components=gff.components,
+            assignments=assignments, counts=counts,
+        ),
+        ChrysalisBackendStageConfig(
+            k=tcfg.k, weld_k=tcfg.weld_k, min_kmer_count=tcfg.min_kmer_count,
+            butterfly=tcfg.butterfly(), nthreads=1, strategy="dynamic",
+        ),
+    )
+    out = fused_run.outputs[0]
+    identical = out.transcripts == serial_transcripts and all(
+        out.quant_stats[cid] == (q.n_reads, q.read_edge_weight)
+        for cid, q in quants.items()
+    )
+    return FigChrysalisResult(
+        rows=rows,
+        real_fused_makespan=fused_run.makespan,
+        real_serial_middle_s=serial_middle_s,
+        outputs_identical=identical,
+    )

@@ -57,6 +57,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fw-striped-io", "Future work: MPI-I/O striped reads", "repro.experiments.futurework", "run_striped_io"),
         Experiment("fig-butterfly", "Distributed Butterfly deal strategies", "repro.experiments.fig_butterfly"),
         Experiment("fig-jellyfish", "Distributed Jellyfish k-mer counting scaling", "repro.experiments.fig_jellyfish"),
+        Experiment("fig-chrysalis", "Fused Chrysalis back end vs serial middle", "repro.experiments.fig_chrysalis"),
     ]
 }
 
@@ -106,6 +107,7 @@ BENCHES: Dict[str, Bench] = {
         Bench("inchworm", "Inchworm batched-extension kernel wall-clock", "benchmarks.inchworm_bench_runner"),
         Bench("butterfly", "Distributed Butterfly deal strategies wall-clock", "benchmarks.butterfly_bench_runner"),
         Bench("jellyfish", "Distributed Jellyfish k-mer counting wall-clock", "benchmarks.jellyfish_bench_runner"),
+        Bench("chrysalis", "Fused Chrysalis back end wall-clock", "benchmarks.chrysalis_bench_runner"),
     ]
 }
 

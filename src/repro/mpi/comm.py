@@ -415,9 +415,16 @@ class SimComm:
                     f"scatter at root needs exactly {self.size} values, got "
                     f"{None if values is None else len(values)}"
                 )
-        snapshot = self._exchange(values if self._rank == root else None)
-        sendlist = snapshot[root]
-        total = sum(nbytes_of(v) for v in sendlist)
+        # Only the root sizes its sendlist (sizing may pickle, the dominant
+        # host cost); the sizes ride the exchange so the other ranks never
+        # re-pickle the root's payloads just to charge the network model.
+        if self._rank == root:
+            packet = (values, [nbytes_of(v) for v in values])
+        else:
+            packet = None
+        snapshot = self._exchange(packet)
+        sendlist, sizes = snapshot[root]
+        total = sum(sizes)
         self._charge(
             self._state.network.scatter(self.size, total),
             total if self._rank == root else 0,
@@ -434,16 +441,21 @@ class SimComm:
             raise CommError(
                 f"alltoall needs exactly {self.size} values, got {len(values)}"
             )
-        snapshot = self._exchange(values)
-        total = sum(nbytes_of(v) for row in snapshot for v in row)
+        # Each rank sizes its own p payloads exactly once and ships the
+        # sizes with the values — like gather — so no rank re-pickles the
+        # other ranks' rows (which made the old sizing pass O(p^2) pickles
+        # per rank, O(p^3) across the job).
+        sizes = [nbytes_of(v) for v in values]
+        snapshot = self._exchange((values, sizes))
+        total = sum(s for _row, row_sizes in snapshot for s in row_sizes)
         self._charge(
             self._state.network.alltoall(self.size, total),
-            sum(nbytes_of(v) for v in values),
+            sum(sizes),
             op="alltoall",
             pooled_bytes=total,
             items=self.size,
         )
-        return [snapshot[src][self._rank] for src in range(self.size)]
+        return [snapshot[src][0][self._rank] for src in range(self.size)]
 
     def reduce_max(self, value: float, root: int = 0) -> Optional[float]:
         """Max-reduce a scalar to ``root`` (None elsewhere)."""

@@ -28,18 +28,24 @@ def pack_strings(strings: Sequence[str]) -> Tuple[bytes, np.ndarray]:
 
 
 def unpack_strings(payload: bytes, lengths: np.ndarray) -> List[str]:
-    """Inverse of :func:`pack_strings`."""
+    """Inverse of :func:`pack_strings`.
+
+    Slice offsets come from one vectorised cumsum over the length table
+    (the old running-``pos`` Python loop re-added every length scalar by
+    scalar); only the unavoidable per-string slice+decode stays in Python.
+    """
     lengths = np.asarray(lengths, dtype=np.int64)
-    if lengths.sum() != len(payload):
+    ends = np.cumsum(lengths)
+    total = int(ends[-1]) if ends.size else 0
+    if total != len(payload):
         raise ValueError(
-            f"length table sums to {int(lengths.sum())} but payload has {len(payload)} bytes"
+            f"length table sums to {total} but payload has {len(payload)} bytes"
         )
-    out: List[str] = []
-    pos = 0
-    for n in lengths.tolist():
-        out.append(payload[pos : pos + n].decode("ascii"))
-        pos += n
-    return out
+    starts = ends - lengths
+    return [
+        payload[s:e].decode("ascii")
+        for s, e in zip(starts.tolist(), ends.tolist())
+    ]
 
 
 def pack_int_pairs(pairs: Sequence[Tuple[int, int]]) -> np.ndarray:

@@ -26,6 +26,10 @@ All distributed stages share one calling convention — the
 * :mod:`repro.parallel.mpi_butterfly` — distributed per-component
   Butterfly (round-robin or dynamic LPT deal; the paper's "focus on the
   non-parallelized regions" future work).
+* :mod:`repro.parallel.mpi_chrysalis_backend` — the fused Chrysalis
+  back end: orient + FastaToDebruijn + QuantifyGraph + Butterfly per
+  component on its owner rank, so graphs never cross the wire and the
+  driver's two serial middle regions disappear.
 * :mod:`repro.parallel.futurework` — the other named future-work
   variants (striped I/O, sharded GFF setup).
 * :mod:`repro.parallel.merge` — per-rank output merging strategies.
@@ -49,6 +53,12 @@ from repro.parallel.mpi_butterfly import (
     ButterflyOutputs,
     ButterflyStageConfig,
     mpi_butterfly,
+)
+from repro.parallel.mpi_chrysalis_backend import (
+    ChrysalisBackendInputs,
+    ChrysalisBackendOutputs,
+    ChrysalisBackendStageConfig,
+    mpi_chrysalis_backend,
 )
 from repro.parallel.mpi_graph_from_fasta import (
     GffInputs,
@@ -99,6 +109,10 @@ __all__ = [
     "ButterflyOutputs",
     "ButterflyStageConfig",
     "mpi_butterfly",
+    "ChrysalisBackendInputs",
+    "ChrysalisBackendOutputs",
+    "ChrysalisBackendStageConfig",
+    "mpi_chrysalis_backend",
     "GffInputs",
     "GffOutputs",
     "GffStageConfig",

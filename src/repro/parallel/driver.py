@@ -6,10 +6,14 @@ GraphFromFasta and ReadsToTranscripts command lines (and Bowtie runs over
 PyFasta-split pieces).  Mirroring that, this driver launches one
 simulated ``mpirun`` per Chrysalis substep, and — going past the paper
 into its named future work on "the non-parallelized regions" —
-distributes Butterfly (:mod:`repro.parallel.mpi_butterfly`) and the
-Jellyfish front end (:mod:`repro.parallel.mpi_jellyfish`) too, both
-byte-identical to their serial stages at any rank count.  Only Inchworm
-remains on the front-end node (threaded via the simulated OpenMP team).
+distributes the Jellyfish front end (:mod:`repro.parallel.mpi_jellyfish`)
+and the whole Chrysalis *back end* — orient + FastaToDebruijn +
+QuantifyGraph + Butterfly fused into one component-parallel stage
+(:mod:`repro.parallel.mpi_chrysalis_backend`) — all byte-identical to
+their serial stages at any rank count.  Only Inchworm remains on the
+front-end node (threaded via the simulated OpenMP team); the two serial
+middle regions the pre-fusion driver ran between RTT and Butterfly are
+gone from the timeline.
 
 Every MPI stage conforms to the :class:`repro.parallel.stage.ParallelStage`
 protocol, so all five launches flow through the one ``_launch`` path
@@ -40,17 +44,15 @@ from repro.parallel.recovery import DEFAULT_RECOVERY, RecoveryPolicy, mpirun_wit
 from repro.seq.fasta import write_fasta
 from repro.seq.records import SeqRecord
 from repro.trinity.bowtie import scaffold_pairs_from_sam
-from repro.trinity.chrysalis.debruijn import DeBruijnGraph, fasta_to_debruijn
-from repro.trinity.chrysalis.orient import orient_component
-from repro.trinity.chrysalis.quantify import quantify_graph
+from repro.trinity.chrysalis.quantify import ComponentQuant
 from repro.trinity.inchworm import inchworm_assemble, inchworm_assemble_threaded
 from repro.trinity.pipeline import TrinityConfig, TrinityResult
 from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
-from repro.parallel.mpi_butterfly import (
-    STRATEGIES,
-    ButterflyInputs,
-    ButterflyStageConfig,
-    mpi_butterfly,
+from repro.parallel.mpi_butterfly import STRATEGIES, ButterflyStageConfig
+from repro.parallel.mpi_chrysalis_backend import (
+    ChrysalisBackendInputs,
+    ChrysalisBackendStageConfig,
+    mpi_chrysalis_backend,
 )
 from repro.parallel.mpi_jellyfish import (
     JellyfishInputs,
@@ -92,9 +94,10 @@ class ParallelTrinityConfig:
     #: Crash-recovery policy; set (or leave default with ``faults``) to
     #: launch stages through :func:`mpirun_with_recovery`.
     recovery: Optional[RecoveryPolicy] = None
-    #: Component-dealing strategy for the distributed Butterfly:
-    #: ``"round_robin"`` (cost-blind chunked deal) or ``"dynamic"``
-    #: (master-dealt LPT over the per-component cost model).
+    #: Component-dealing strategy for the fused Chrysalis back end (and
+    #: the standalone distributed Butterfly): ``"round_robin"``
+    #: (cost-blind chunked deal) or ``"dynamic"`` (master-dealt LPT over
+    #: the per-component cost model).
     butterfly_strategy: str = "round_robin"
 
     def __post_init__(self) -> None:
@@ -142,6 +145,19 @@ class ParallelTrinityConfig:
         self, workdir: Optional[PathLike] = None
     ) -> ButterflyStageConfig:
         return ButterflyStageConfig(
+            butterfly=self.trinity.butterfly(),
+            nthreads=self.nthreads,
+            strategy=self.butterfly_strategy,
+            workdir=workdir,
+        )
+
+    def chrysalis_stage(
+        self, workdir: Optional[PathLike] = None
+    ) -> ChrysalisBackendStageConfig:
+        return ChrysalisBackendStageConfig(
+            k=self.trinity.k,
+            weld_k=self.trinity.weld_k,
+            min_kmer_count=self.trinity.min_kmer_count,
             butterfly=self.trinity.butterfly(),
             nthreads=self.nthreads,
             strategy=self.butterfly_strategy,
@@ -221,13 +237,13 @@ def _write_checkpoint(
 
 @dataclass
 class ParallelStageTimings:
-    """Virtual makespans of the five MPI stages (Figs 7-10 + Butterfly +
-    the distributed Jellyfish front end)."""
+    """Virtual makespans of the five MPI stages (Figs 7-10 + the fused
+    Chrysalis back end + the distributed Jellyfish front end)."""
 
     bowtie: StageResult
     gff: StageResult
     rtt: StageResult
-    butterfly: StageResult
+    chrysalis: StageResult
     jellyfish: StageResult
 
 
@@ -279,8 +295,8 @@ class ParallelTrinityDriver:
 
         Returns a :class:`~repro.obs.result.StageResult` whose ``outputs``
         is the :class:`TrinityResult` and whose ``children`` are the five
-        ``mpirun`` StageResults (jellyfish, bowtie, gff, rtt, butterfly)
-        — the full span tree a single
+        ``mpirun`` StageResults (jellyfish, bowtie, gff, rtt, and the
+        fused chrysalis back end) — the full span tree a single
         :func:`repro.obs.chrome.write_chrome_trace` can export.
 
         With ``checkpoint_dir``, each MPI stage's result is pickled there
@@ -397,17 +413,9 @@ class ParallelTrinityDriver:
             welds=gff.welds, pairs=gff.pairs, components=gff.components
         )
 
-        # -- FastaToDebruijn (serial, as in the original) -----------------------
-        with monitor.stage("chrysalis.fasta_to_debruijn"):
-            graphs: Dict[int, DeBruijnGraph] = {
-                comp.id: fasta_to_debruijn(
-                    orient_component([contigs[m].seq for m in comp.members], tcfg.weld_k),
-                    tcfg.k,
-                )
-                for comp in gff_result.components
-            }
-
         # -- mpirun ReadsToTranscripts ------------------------------------------
+        # Runs straight after GFF: the fused back end consumes RTT's
+        # routing, so no graphs are built on the front-end node any more.
         with monitor.stage("chrysalis.reads_to_transcripts[mpi]"):
             rtt_run = self._launch(
                 mpi_reads_to_transcripts,
@@ -422,25 +430,48 @@ class ParallelTrinityDriver:
         if rtt_run.outputs[0].out_path is not None:
             files["reads_to_transcripts"] = rtt_run.outputs[0].out_path
 
-        # -- serial QuantifyGraph (weights the graphs Butterfly walks) ----------
-        with monitor.stage("chrysalis.quantify_graph"):
-            quants = quantify_graph(
-                graphs, list(reads), assignments,
-                kmer_counts=counts, min_kmer_count=tcfg.min_kmer_count,
-            )
-
-        # -- mpirun Butterfly ---------------------------------------------------
-        with monitor.stage("butterfly[mpi]"):
-            butterfly_run = self._launch(
-                mpi_butterfly,
-                ButterflyInputs(graphs=graphs),
-                cfg.butterfly_stage(workdir=wd),
+        # -- mpirun fused Chrysalis back end ------------------------------------
+        # One component-parallel stage runs orient + FastaToDebruijn +
+        # QuantifyGraph + Butterfly per component on its owner rank; the
+        # graphs never cross the wire and the old serial middle
+        # (fasta_to_debruijn / quantify_graph monitor stages) is gone.
+        # Its checkpoint additionally pins the component count and the
+        # dealing strategy — the two knobs the deal depends on that the
+        # generic key does not cover.
+        chrysalis_key = {
+            **ckpt_key,
+            "n_components": len(gff_result.components),
+            "butterfly_strategy": cfg.butterfly_strategy,
+        }
+        with monitor.stage("chrysalis.backend[mpi]") as st:
+            chrysalis_run = self._launch(
+                mpi_chrysalis_backend,
+                ChrysalisBackendInputs(
+                    contigs=contigs,
+                    reads=reads,
+                    components=gff_result.components,
+                    assignments=assignments,
+                    counts=counts,
+                ),
+                cfg.chrysalis_stage(workdir=wd),
                 checkpoint_dir=checkpoint_dir,
-                checkpoint_key=ckpt_key,
+                checkpoint_key=chrysalis_key,
             )
-        transcripts = butterfly_run.outputs[0].transcripts
-        if butterfly_run.outputs[0].out_path is not None:
-            files["butterfly_fasta"] = butterfly_run.outputs[0].out_path
+            st.ram_bytes = sum(
+                q.graph.n_edges
+                for out in chrysalis_run.outputs
+                for q in out.local_quants.values()
+            ) * 120
+        transcripts = chrysalis_run.outputs[0].transcripts
+        # Graphs stay rank-local in the stage; the serial-shaped quants
+        # dict (ascending component id, like the serial pipeline's
+        # component order) is unioned host-side from the per-rank locals.
+        local_quants: Dict[int, ComponentQuant] = {}
+        for out in chrysalis_run.outputs:
+            local_quants.update(out.local_quants)
+        quants = {cid: local_quants[cid] for cid in sorted(local_quants)}
+        if chrysalis_run.outputs[0].out_path is not None:
+            files["chrysalis_backend_fasta"] = chrysalis_run.outputs[0].out_path
         if tcfg.use_pair_reconciliation:
             with monitor.stage("butterfly.pair_reconciliation"):
                 from repro.trinity.pairs import reconcile_with_pairs
@@ -454,12 +485,12 @@ class ParallelTrinityDriver:
 
         logger.info(
             "mpi stage makespans: jellyfish=%.3fs bowtie=%.3fs gff=%.3fs "
-            "(imb %.2fx) rtt=%.3fs butterfly=%.3fs",
+            "(imb %.2fx) rtt=%.3fs chrysalis=%.3fs",
             jellyfish_run.makespan, bowtie_run.makespan, gff_run.makespan,
-            gff_run.imbalance, rtt_run.makespan, butterfly_run.makespan,
+            gff_run.imbalance, rtt_run.makespan, chrysalis_run.makespan,
         )
         self.last_timings = ParallelStageTimings(
-            bowtie=bowtie_run, gff=gff_run, rtt=rtt_run, butterfly=butterfly_run,
+            bowtie=bowtie_run, gff=gff_run, rtt=rtt_run, chrysalis=chrysalis_run,
             jellyfish=jellyfish_run,
         )
         result = TrinityResult(
@@ -489,8 +520,8 @@ class ParallelTrinityDriver:
                 "mpi.bowtie_makespan_s": bowtie_run.makespan,
                 "mpi.gff_makespan_s": gff_run.makespan,
                 "mpi.rtt_makespan_s": rtt_run.makespan,
-                "mpi.butterfly_makespan_s": butterfly_run.makespan,
+                "mpi.chrysalis_makespan_s": chrysalis_run.makespan,
                 "peak_ram_gb": timeline.peak_ram_gb,
             },
-            children=[jellyfish_run, bowtie_run, gff_run, rtt_run, butterfly_run],
+            children=[jellyfish_run, bowtie_run, gff_run, rtt_run, chrysalis_run],
         )

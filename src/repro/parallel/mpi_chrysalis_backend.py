@@ -1,0 +1,348 @@
+"""Fused component-parallel Chrysalis back end on MPI.
+
+After GraphFromFasta and ReadsToTranscripts, the driver used to run two
+*serial* regions — FastaToDebruijn (orient + graph build) and
+QuantifyGraph (read threading) — and then pay a full allgather + re-deal
+round trip to hand the quantified graphs to the distributed Butterfly.
+Every one of those steps factors per component: a component's graph is
+built from its own contigs, threaded with its own RTT-routed reads, and
+walked by Butterfly independently of every other component.
+
+This stage fuses the whole back-end chain — **orient → fasta_to_debruijn
+→ quantify_graph → butterfly walk** — into one component-parallel MPI
+stage: components are dealt across ranks once (the same cost-blind
+round-robin / master-dealt LPT ``dynamic`` strategies as
+:mod:`repro.parallel.mpi_butterfly`, with the nodes×max_paths cost model
+*estimated from contig lengths* since graphs don't exist before the
+deal), and each owner rank runs the fused chain for its components on
+its OpenMP team.  De Bruijn graphs and quantified edge weights therefore
+never cross the wire: only transcripts and light per-component quant
+stats are pooled, and the two serial regions plus the graph
+allgather/re-deal disappear from the makespan.
+
+Outputs are **byte-identical to the serial pipeline** at every rank
+count: the fused chain per component is exactly the serial code path
+(reads routed in serial assignment order, Butterfly enumeration salted
+by ``(seed, cid)`` only), and the merge concatenates per-component
+results in ascending component-id order.  Rank-independence again makes
+crash recovery free: a relaunch on ``p - 1`` survivors re-deals
+deterministically and reproduces the same merged outputs.
+
+Full :class:`~repro.trinity.chrysalis.quantify.ComponentQuant` objects
+(which embed the graphs) stay in each rank's *local* outputs
+(``local_quants``); the driver unions them host-side — the simulated
+ranks share one address space, so that union models the real design
+where per-component quants would be written per rank and concatenated,
+not allgathered.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import PipelineError
+from repro.mpi.comm import SimComm
+from repro.obs.result import StageResult
+from repro.openmp import Schedule, ThreadTeam
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
+from repro.parallel.mpi_butterfly import STRATEGIES
+from repro.parallel.recovery import with_retry
+from repro.parallel.stage import parallel_stage
+from repro.seq.fasta import write_fasta
+from repro.seq.records import Contig, SeqRecord, Transcript
+from repro.trinity.butterfly import ButterflyConfig, butterfly_component
+from repro.trinity.chrysalis.components import Component
+from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+from repro.trinity.chrysalis.orient import orient_component
+from repro.trinity.chrysalis.quantify import (
+    ComponentQuant,
+    quantify_component,
+    reads_by_component,
+    solid_index,
+)
+from repro.trinity.chrysalis.reads_to_transcripts import ReadAssignment
+
+PathLike = Union[str, Path]
+
+
+def estimated_component_cost(
+    component: Component, contigs: Sequence[Contig], k: int, max_paths: int
+) -> float:
+    """Predicted fused-chain cost of one component, *before* its graph exists.
+
+    The standalone Butterfly ranks components by ``n_nodes × max_paths``,
+    but the fused deal happens before FastaToDebruijn, so node counts are
+    estimated from the member contigs: a contig of length ``L`` yields at
+    most ``L - k + 2`` (k-1)-mer nodes.  Build + quantify + walk all
+    scale with the same node count, so one estimate ranks the whole
+    chain.  Only the *relative* order matters (LPT), and the deal never
+    affects outputs — merge order is component id — so a misestimate
+    costs balance, not correctness.
+    """
+    est_nodes = sum(
+        max(len(contigs[m].seq) - k + 2, 1) for m in component.members
+    )
+    return float(est_nodes * max(max_paths, 1))
+
+
+@dataclass(frozen=True)
+class ChrysalisBackendInputs:
+    """Workload data for the fused back end (identical on every rank).
+
+    Everything the serial middle consumed: Inchworm contigs, the reads,
+    GraphFromFasta's components, RTT's read assignments, and the
+    Jellyfish counts that gate solid-k-mer threading (None disables the
+    solidity filter, like the serial path).
+    """
+
+    contigs: Sequence[Contig]
+    reads: Sequence[SeqRecord]
+    components: Sequence[Component]
+    assignments: Sequence[ReadAssignment]
+    counts: object = None  # Optional[JellyfishCounts]
+
+
+@dataclass(frozen=True)
+class ChrysalisBackendStageConfig:
+    """Distribution + kernel knobs for the fused Chrysalis back end."""
+
+    k: int = 25  # de Bruijn k (graph nodes are (k-1)-mers)
+    weld_k: int = 24  # orientation k-mer size (assembly k - 1)
+    min_kmer_count: int = 2  # solid-k-mer threshold for read threading
+    butterfly: ButterflyConfig = field(default_factory=ButterflyConfig)
+    nthreads: int = 16
+    strategy: str = "round_robin"  # or "dynamic" (master-dealt LPT)
+    chunk_size: Optional[int] = None  # round_robin only; None -> default
+    workdir: Optional[PathLike] = None  # per-rank FASTA parts + merged FASTA
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise PipelineError(
+                f"unknown chrysalis-backend strategy {self.strategy!r}; "
+                f"known: {STRATEGIES}"
+            )
+
+
+@dataclass
+class ChrysalisBackendOutputs:
+    """What the fused back end computes."""
+
+    transcripts: List[Transcript]  # full, component-id-ordered (all ranks)
+    #: Merged light per-component stats {cid: (n_reads, read_edge_weight)}
+    #: — what actually crossed the (simulated) wire; full on all ranks.
+    quant_stats: Dict[int, Tuple[int, float]]
+    #: This rank's full ComponentQuants (graphs embedded) — rank-local by
+    #: design; the driver unions them host-side into the serial-shaped
+    #: quants dict.
+    local_quants: Dict[int, ComponentQuant]
+    out_path: Optional[Path] = None  # merged FASTA (master, if written)
+    part_path: Optional[Path] = None  # this rank's FASTA piece, if written
+
+
+def _dynamic_deal(
+    comm: SimComm,
+    cids: List[int],
+    costs: Mapping[int, float],
+) -> List[int]:
+    """Master-dealt LPT assignment over estimated costs.
+
+    Identical wire pattern to the standalone Butterfly's dynamic deal
+    (rank 0 walks descending predicted cost, hands to the least-loaded
+    rank, ships each worker its id list point-to-point) — but driven by
+    :func:`estimated_component_cost` since no graphs exist yet.
+    Deterministic in (workload, comm.size), which recovery's re-deal on
+    the survivors relies on.
+    """
+    if comm.rank == 0:
+        order = sorted(((costs[cid], cid) for cid in cids), key=lambda t: (-t[0], t[1]))
+        loads = [(0.0, r) for r in range(comm.size)]
+        heapq.heapify(loads)
+        deal: List[List[int]] = [[] for _ in range(comm.size)]
+        for cost, cid in order:
+            load, r = heapq.heappop(loads)
+            deal[r].append(cid)
+            heapq.heappush(loads, (load + cost, r))
+        for r in range(1, comm.size):
+            comm.send(deal[r], dest=r, tag=r)
+        return deal[0]
+    return comm.recv(source=0, tag=comm.rank)
+
+
+@parallel_stage(
+    "chrysalis-backend",
+    inputs=ChrysalisBackendInputs,
+    config=ChrysalisBackendStageConfig,
+    outputs=ChrysalisBackendOutputs,
+)
+def mpi_chrysalis_backend(
+    comm: SimComm,
+    inputs: ChrysalisBackendInputs,
+    config: Optional[ChrysalisBackendStageConfig] = None,
+) -> StageResult:
+    """SPMD body; run under :func:`repro.mpi.mpirun`.
+
+    Per component on its owner rank: orient the member contigs, build the
+    de Bruijn graph, thread the RTT-routed reads (solid-masked), walk the
+    quantified graph with Butterfly.  Every rank returns the full merged
+    transcript list and quant stats in ascending component-id order —
+    byte-identical to the serial ``fasta_to_debruijn`` + ``quantify_graph``
+    + ``butterfly_assemble`` chain (a tested invariant at nprocs 1/3/8,
+    including under crash recovery).
+    """
+    config = config or ChrysalisBackendStageConfig()
+    bf_cfg = config.butterfly
+    contigs = inputs.contigs
+    team = ThreadTeam(config.nthreads, Schedule.DYNAMIC)
+
+    # Simulated input-bundle read (contigs + assignments land on every
+    # node): the retryable I/O point for flaky-I/O fault plans.
+    with_retry(comm, "chrysalis:read_inputs", lambda: None)
+
+    # -- shared setup: built once per simulated mpirun, charged per rank --
+    # The serial assembly order — and the deterministic merge order.
+    comp_by_id: Dict[int, Component] = comm.shared(
+        "chrysalis:components", lambda: {c.id: c for c in inputs.components}
+    )
+    cids: List[int] = comm.shared(
+        "chrysalis:order", lambda: sorted(comp_by_id), cost=0.0
+    )
+    # RTT routing table: component id -> read indices in assignment order.
+    routed: Dict[int, List[int]] = comm.shared(
+        "chrysalis:route", lambda: reads_by_component(inputs.assignments)
+    )
+    # Solid canonical-k-mer index shared by every threading pass.
+    solid = (
+        comm.shared(
+            "chrysalis:solid",
+            lambda: solid_index(inputs.counts, config.min_kmer_count),
+        )
+        if inputs.counts is not None
+        else None
+    )
+
+    # -- deal components across ranks (graphs don't exist yet, so the LPT
+    # cost model estimates node counts from contig lengths) ----------------
+    with comm.region("chrysalis:deal", strategy=config.strategy) as deal_region:
+        if config.strategy == "dynamic":
+            costs = comm.shared(
+                "chrysalis:costs",
+                lambda: {
+                    cid: estimated_component_cost(
+                        comp_by_id[cid], contigs, config.k,
+                        bf_cfg.max_paths_per_component,
+                    )
+                    for cid in cids
+                },
+            )
+            mine = _dynamic_deal(comm, cids, costs)
+        else:
+            chunk_size = config.chunk_size
+            if chunk_size is None:
+                chunk_size = default_chunk_size(len(cids), comm.size, config.nthreads)
+            ranges = chunk_ranges(len(cids), chunk_size)
+            mine = [
+                cids[i]
+                for c in chunks_for_rank(len(ranges), comm.rank, comm.size)
+                for i in range(*ranges[c])
+            ]
+    deal_time = deal_region.elapsed
+
+    # -- fused per-component chain on the OpenMP team ------------------------
+    def backend_component(cid: int) -> Tuple[ComponentQuant, List[Transcript]]:
+        comp = comp_by_id[cid]
+        oriented = orient_component(
+            [contigs[m].seq for m in comp.members], config.weld_k
+        )
+        graph = fasta_to_debruijn(oriented, config.k)
+        quant = quantify_component(
+            cid, graph, inputs.reads, routed.get(cid, ()), solid=solid
+        )
+        return quant, butterfly_component(cid, graph, bf_cfg)
+
+    local: List[Tuple[int, ComponentQuant, List[Transcript]]] = []
+    with comm.region(
+        "chrysalis:loop", strategy=config.strategy, components=len(mine)
+    ) as loop_region:
+        if mine:
+            result = team.map(backend_component, mine)
+            local = [(cid, q, ts) for cid, (q, ts) in zip(mine, result.values)]
+            comm.clock.advance(
+                result.makespan,
+                label="chrysalis:components",
+                attrs=result.as_span_attrs(),
+            )
+    loop_time = loop_region.elapsed
+
+    # -- per-rank output file ------------------------------------------------
+    part_path: Optional[Path] = None
+    if config.workdir is not None:
+        wd = Path(config.workdir)
+        wd.mkdir(parents=True, exist_ok=True)
+        part_path = wd / f"chrysalis_backend.part{comm.rank}.fasta"
+        part_records = [t.to_record() for _cid, _q, ts in local for t in ts]
+        with_retry(
+            comm,
+            "chrysalis:write_part",
+            lambda: write_fasta(part_path, part_records),
+        )
+
+    # -- merge: pool transcripts + light quant stats, ascending component
+    # id.  Graphs and full quants stay rank-local — that is the point of
+    # the fusion: nothing heavier than (cid, n_reads, weight, transcripts)
+    # crosses the wire. ------------------------------------------------------
+    with comm.region("chrysalis:merge") as merge_region:
+        wire = [
+            (cid, q.n_reads, q.read_edge_weight, ts) for cid, q, ts in local
+        ]
+        pooled = comm.allgather(wire)
+    by_cid: Dict[int, Tuple[int, float, List[Transcript]]] = {
+        cid: (n, w, ts) for part in pooled for cid, n, w, ts in part
+    }
+    transcripts: List[Transcript] = [t for cid in cids for t in by_cid[cid][2]]
+    quant_stats: Dict[int, Tuple[int, float]] = {
+        cid: (by_cid[cid][0], by_cid[cid][1]) for cid in cids
+    }
+    merge_time = merge_region.elapsed
+
+    out_path: Optional[Path] = None
+    if config.workdir is not None:
+        if comm.rank == 0:
+            out_path = Path(config.workdir) / "chrysalis_backend.fasta"
+            # Written from the merged, component-ordered list — not a cat
+            # of the parts, whose order depends on the deal — so the file
+            # is byte-identical to a serial write at any nprocs.  Wall
+            # time: the peers are parked at the barrier below.
+            t0 = time.perf_counter()
+            with_retry(
+                comm,
+                "chrysalis:write_merged",
+                lambda: write_fasta(out_path, [t.to_record() for t in transcripts]),
+            )
+            comm.clock.advance(time.perf_counter() - t0, label="chrysalis:write_merged")
+        comm.barrier()
+
+    return StageResult(
+        stage="chrysalis-backend",
+        outputs=ChrysalisBackendOutputs(
+            transcripts=transcripts,
+            quant_stats=quant_stats,
+            local_quants={cid: q for cid, q, _ts in local},
+            out_path=out_path,
+            part_path=part_path,
+        ),
+        makespan=comm.clock.now,
+        metrics={
+            "deal_time": deal_time,
+            "loop_time": loop_time,
+            "merge_time": merge_time,
+            "n_components": float(len(cids)),
+            "n_local_components": float(len(mine)),
+            "n_transcripts": float(len(transcripts)),
+            "n_reads_threaded": float(sum(n for n, _w in quant_stats.values())),
+        },
+        rank=comm.rank,
+    )

@@ -367,6 +367,187 @@ def simulate_butterfly_scaling(
 
 
 # ---------------------------------------------------------------------------
+# Fused Chrysalis back end (orient+build+quantify+walk per component)
+# ---------------------------------------------------------------------------
+
+
+def _deal_indices(
+    nodes: int,
+    costs: np.ndarray,
+    nthreads: int,
+    strategy: str,
+    chunk_size: Optional[int],
+) -> List[List[int]]:
+    """Per-rank component-index lists under either deal strategy.
+
+    The same LPT / chunked-round-robin logic as
+    :func:`simulate_butterfly_point`, factored out so the fused back-end
+    model deals on *fused* per-component costs.
+    """
+    if strategy == "dynamic":
+        import heapq
+
+        order = sorted(range(costs.size), key=lambda i: (-costs[i], i))
+        heap = [(0.0, r) for r in range(nodes)]
+        heapq.heapify(heap)
+        mine: List[List[int]] = [[] for _ in range(nodes)]
+        for i in order:
+            load, r = heapq.heappop(heap)
+            mine[r].append(i)
+            heapq.heappush(heap, (load + costs[i], r))
+        return mine
+    if strategy == "round_robin":
+        if chunk_size is None:
+            chunk_size = default_chunk_size(costs.size, nodes, nthreads)
+        ranges = chunk_ranges(costs.size, chunk_size)
+        return [
+            [
+                i
+                for c in chunks_for_rank(len(ranges), rank, nodes)
+                for i in range(*ranges[c])
+            ]
+            for rank in range(nodes)
+        ]
+    raise ScheduleError(f"unknown strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class ChrysalisBackendScalingPoint:
+    """One node count's simulated fused-back-end timings.
+
+    ``build_s``/``quantify_s``/``walk_s`` split the slowest rank's fused
+    loop proportionally to the global phase shares; ``gather_s`` is the
+    transcripts-only allgather (the only pooled payload — graphs and
+    quantified weights stay rank-local by construction).
+    """
+
+    nodes: int
+    strategy: str
+    build_s: float  # FastaToDebruijn share of the slowest rank's loop
+    quantify_s: float  # QuantifyGraph (read-threading) share
+    walk_s: float  # Butterfly enumeration share
+    gather_s: float  # transcripts-only allgather
+    loop_min: float  # fastest rank's fused loop (imbalance witness)
+
+    @property
+    def loop_s(self) -> float:
+        return self.build_s + self.quantify_s + self.walk_s
+
+    @property
+    def total_s(self) -> float:
+        return self.loop_s + self.gather_s
+
+    @property
+    def imbalance(self) -> float:
+        return self.loop_s / self.loop_min if self.loop_min > 0 else float("inf")
+
+
+def simulate_chrysalis_backend_point(
+    nodes: int,
+    build_costs: Sequence[float],
+    quantify_costs: Sequence[float],
+    walk_costs: Sequence[float],
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+    chunk_size: Optional[int] = None,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    transcript_bytes: float = 0.0,
+) -> ChrysalisBackendScalingPoint:
+    """Simulate the fused Chrysalis back end at one node count.
+
+    Mirrors :func:`repro.parallel.mpi_chrysalis_backend.mpi_chrysalis_backend`:
+    each component's *fused* cost is its build + quantify + walk sum, the
+    deal assigns whole components (cost-blind chunked round-robin or LPT
+    over the fused costs), each rank runs its components through one
+    dynamically-scheduled OpenMP team, and the only collective is the
+    transcripts-only allgather — compare
+    :func:`chrysalis_prefusion_total_s`, where build + quantify run
+    serially on one node and the quantified graphs must be pooled before
+    the distributed walk.
+    """
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    build = np.asarray(build_costs, dtype=float)
+    quantify = np.asarray(quantify_costs, dtype=float)
+    walk = np.asarray(walk_costs, dtype=float)
+    if not (build.size == quantify.size == walk.size):
+        raise ScheduleError(
+            f"phase cost arrays disagree on component count: "
+            f"{build.size}/{quantify.size}/{walk.size}"
+        )
+    fused = build + quantify + walk
+    mine = _deal_indices(nodes, fused, nthreads, strategy, chunk_size)
+    times = np.array(
+        [dynamic_makespan(fused[idx], nthreads) if idx else 0.0 for idx in mine]
+    )
+    loop_max = float(times.max())
+    loop_min = float(times.min())
+    total = float(fused.sum())
+    shares = (
+        (build.sum() / total, quantify.sum() / total, walk.sum() / total)
+        if total > 0
+        else (0.0, 0.0, 0.0)
+    )
+    gather = network.allgatherv(nodes, transcript_bytes) if nodes > 1 else 0.0
+    return ChrysalisBackendScalingPoint(
+        nodes=nodes,
+        strategy=strategy,
+        build_s=loop_max * shares[0],
+        quantify_s=loop_max * shares[1],
+        walk_s=loop_max * shares[2],
+        gather_s=float(gather),
+        loop_min=loop_min,
+    )
+
+
+def chrysalis_prefusion_total_s(
+    nodes: int,
+    build_costs: Sequence[float],
+    quantify_costs: Sequence[float],
+    walk_costs: Sequence[float],
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+    network: NetworkModel = IDATAPLEX_FDR10,
+    graph_bytes: float = 0.0,
+) -> float:
+    """Total time of the pre-fusion driver path at one node count.
+
+    The baseline the fused stage replaces: FastaToDebruijn and
+    QuantifyGraph run *serially* on the front-end node (their costs sum,
+    no matter how many nodes the job has), the quantified graphs are
+    allgathered to every rank, and only the Butterfly walk distributes
+    (via :func:`simulate_butterfly_point` on the walk costs).
+    """
+    serial_middle = float(np.sum(build_costs) + np.sum(quantify_costs))
+    pool = network.allgatherv(nodes, graph_bytes) if nodes > 1 else 0.0
+    walk = simulate_butterfly_point(
+        nodes, walk_costs, nthreads=nthreads, strategy=strategy
+    ).loop_max
+    return serial_middle + float(pool) + walk
+
+
+def simulate_chrysalis_backend_scaling(
+    nodes_list: Sequence[int],
+    build_costs: Sequence[float],
+    quantify_costs: Sequence[float],
+    walk_costs: Sequence[float],
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+    network: NetworkModel = IDATAPLEX_FDR10,
+    transcript_bytes: float = 0.0,
+) -> List[ChrysalisBackendScalingPoint]:
+    """The fig-chrysalis sweep over node counts for one strategy."""
+    return [
+        simulate_chrysalis_backend_point(
+            n, build_costs, quantify_costs, walk_costs,
+            nthreads=nthreads, strategy=strategy, network=network,
+            transcript_bytes=transcript_bytes,
+        )
+        for n in nodes_list
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Jellyfish (distributed k-mer counting)
 # ---------------------------------------------------------------------------
 

@@ -39,7 +39,13 @@ from repro.trinity.chrysalis.reads_to_transcripts import (
     build_kmer_map,
     assign_read,
 )
-from repro.trinity.chrysalis.quantify import quantify_graph, ComponentQuant
+from repro.trinity.chrysalis.quantify import (
+    ComponentQuant,
+    quantify_component,
+    quantify_graph,
+    reads_by_component,
+    solid_index,
+)
 
 __all__ = [
     "UnionFind",
@@ -67,5 +73,8 @@ __all__ = [
     "build_kmer_map",
     "assign_read",
     "quantify_graph",
+    "quantify_component",
+    "reads_by_component",
+    "solid_index",
     "ComponentQuant",
 ]

@@ -3,12 +3,25 @@
 The last Chrysalis substep (paper SS:II.B lists it among the Chrysalis
 phases): reads assigned by ReadsToTranscripts are threaded through their
 component's graph so Butterfly can prune read-unsupported branches.
+
+The work factors cleanly per component — a read only ever touches its own
+component's graph — so the module exposes three layers:
+
+* :func:`quantify_component` — thread one component's routed reads
+  through its graph (the kernel the distributed fused back end,
+  :mod:`repro.parallel.mpi_chrysalis_backend`, runs rank-locally);
+* :func:`reads_by_component` / :func:`solid_index` — the shared routing
+  table and solid-k-mer filter both callers build exactly once;
+* :func:`quantify_graph` — the serial all-components wrapper, byte-for-
+  byte the pre-refactor behaviour (assignment order is preserved within
+  each component, and a read only mutates its own component's graph, so
+  grouping by component cannot change any graph or quant).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.seq.records import SeqRecord
 from repro.trinity.chrysalis.debruijn import DeBruijnGraph
@@ -31,6 +44,77 @@ class ComponentQuant:
         return self.read_edge_weight / n_edges if n_edges else 0.0
 
 
+def reads_by_component(
+    assignments: Iterable[ReadAssignment],
+) -> Dict[int, List[int]]:
+    """Route RTT assignments into per-component read-index lists.
+
+    Unassigned reads (component ``-1``) are dropped; within a component
+    the serial assignment order is preserved, which is what makes the
+    per-component kernel equivalent to the old single assignment loop.
+    """
+    routed: Dict[int, List[int]] = {}
+    for a in assignments:
+        if a.component < 0:
+            continue
+        routed.setdefault(a.component, []).append(a.read_index)
+    return routed
+
+
+def solid_index(kmer_counts, min_kmer_count: int):
+    """Sorted-array index of *solid* canonical k-mer codes.
+
+    One vectorised membership structure shared by every component's
+    threading pass (``kmer_counts`` is a
+    :class:`~repro.trinity.jellyfish.JellyfishCounts`).
+    """
+    return kmer_counts.index.filtered(min_kmer_count)
+
+
+def quantify_component(
+    component: int,
+    graph: DeBruijnGraph,
+    reads: Sequence[SeqRecord],
+    read_indices: Sequence[int],
+    solid=None,
+) -> ComponentQuant:
+    """Thread one component's routed reads through its graph.
+
+    ``read_indices`` is this component's row of
+    :func:`reads_by_component`; ``solid`` is the pre-filtered
+    :func:`solid_index` (or None to thread every k-mer).  Mutates
+    ``graph`` in place, exactly like the serial loop did.
+    """
+    import numpy as np
+
+    from repro.seq.kmers import kmer_array, revcomp_codes
+
+    base_weight = graph.total_weight()
+    node_set = set(graph.edges)
+    n_reads = 0
+    for ri in read_indices:
+        read = reads[ri]
+        # Reads are strand-symmetric; thread the orientation that shares
+        # more nodes with the (single-stranded) component graph.
+        oriented = best_orientation(read.seq, node_set, graph.k)
+        if solid is None:
+            graph.add_sequence(oriented)
+        else:
+            arr = kmer_array(oriented, graph.k)
+            if arr.size == 0:
+                continue
+            canon = np.minimum(arr, revcomp_codes(arr, graph.k))
+            mask = solid.contains(canon).tolist()
+            graph.add_sequence_masked(oriented, mask)
+        n_reads += 1
+    return ComponentQuant(
+        component=component,
+        n_reads=n_reads,
+        graph=graph,
+        read_edge_weight=graph.total_weight() - base_weight,
+    )
+
+
 def quantify_graph(
     graphs: Mapping[int, DeBruijnGraph],
     reads: Sequence[SeqRecord],
@@ -50,42 +134,11 @@ def quantify_graph(
     — are threaded, so sequencing errors do not grow junk branches that
     Butterfly would then have to prune.
     """
-    import numpy as np
-
-    from repro.seq.kmers import kmer_array, revcomp_codes
-
-    quants: Dict[int, ComponentQuant] = {}
-    base_weight = {cid: g.total_weight() for cid, g in graphs.items()}
-    counts: Dict[int, int] = {}
-    node_sets = {cid: set(g.edges) for cid, g in graphs.items()}
     solid = None
     if kmer_counts is not None:
-        # Sorted-array index of solid codes: each read's canonical codes
-        # are then masked with one vectorised membership test.
-        solid = kmer_counts.index.filtered(min_kmer_count)
-    for a in assignments:
-        if a.component < 0 or a.component not in graphs:
-            continue
-        graph = graphs[a.component]
-        read = reads[a.read_index]
-        # Reads are strand-symmetric; thread the orientation that shares
-        # more nodes with the (single-stranded) component graph.
-        oriented = best_orientation(read.seq, node_sets[a.component], graph.k)
-        if solid is None:
-            graph.add_sequence(oriented)
-        else:
-            arr = kmer_array(oriented, graph.k)
-            if arr.size == 0:
-                continue
-            canon = np.minimum(arr, revcomp_codes(arr, graph.k))
-            mask = solid.contains(canon).tolist()
-            graph.add_sequence_masked(oriented, mask)
-        counts[a.component] = counts.get(a.component, 0) + 1
-    for cid, graph in graphs.items():
-        quants[cid] = ComponentQuant(
-            component=cid,
-            n_reads=counts.get(cid, 0),
-            graph=graph,
-            read_edge_weight=graph.total_weight() - base_weight[cid],
-        )
-    return quants
+        solid = solid_index(kmer_counts, min_kmer_count)
+    routed = reads_by_component(assignments)
+    return {
+        cid: quantify_component(cid, graph, reads, routed.get(cid, ()), solid=solid)
+        for cid, graph in graphs.items()
+    }

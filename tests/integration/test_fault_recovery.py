@@ -195,7 +195,7 @@ class TestDriverFaultsAndCheckpoints:
         written = sorted(p.name for p in ckpt.glob("*.ckpt.pkl"))
         assert written == [
             "mpi_bowtie.ckpt.pkl",
-            "mpi_butterfly.ckpt.pkl",
+            "mpi_chrysalis_backend.ckpt.pkl",
             "mpi_graph_from_fasta.ckpt.pkl",
             "mpi_jellyfish.ckpt.pkl",
             "mpi_reads_to_transcripts.ckpt.pkl",

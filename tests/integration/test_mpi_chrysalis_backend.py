@@ -1,0 +1,227 @@
+"""Integration tests for the fused Chrysalis back end.
+
+The invariant everything else hangs off: at every rank count, with
+either deal strategy, with or without an injected rank crash,
+``mpi_chrysalis_backend`` reproduces the serial
+``fasta_to_debruijn`` + ``quantify_graph`` + ``butterfly_assemble``
+chain *exactly* — the fused per-component chain is the serial code path,
+and the merge follows ascending component id regardless of the deal.
+"""
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.mpi import CrashFault, FaultPlan, mpirun
+from repro.parallel.mpi_butterfly import (
+    ButterflyInputs,
+    ButterflyStageConfig,
+    mpi_butterfly,
+)
+from repro.parallel.mpi_chrysalis_backend import (
+    ChrysalisBackendInputs,
+    ChrysalisBackendStageConfig,
+    estimated_component_cost,
+    mpi_chrysalis_backend,
+)
+from repro.parallel.recovery import mpirun_with_recovery
+from repro.seq.fasta import write_fasta
+from repro.trinity import TrinityConfig
+from repro.trinity.butterfly import butterfly_assemble
+from repro.trinity.chrysalis.debruijn import fasta_to_debruijn
+from repro.trinity.chrysalis.graph_from_fasta import graph_from_fasta
+from repro.trinity.chrysalis.orient import orient_component
+from repro.trinity.chrysalis.quantify import quantify_graph
+from repro.trinity.chrysalis.reads_to_transcripts import reads_to_transcripts
+from repro.trinity.inchworm import inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def workload(smoke_reads):
+    """Real front-end products (everything the fused stage consumes)."""
+    tcfg = TrinityConfig(seed=1)
+    counts = jellyfish_count(smoke_reads, tcfg.k)
+    contigs = inchworm_assemble(counts, tcfg.inchworm())
+    gff = graph_from_fasta(contigs, smoke_reads, tcfg.gff())
+    assignments = reads_to_transcripts(
+        smoke_reads, contigs, gff.components, tcfg.rtt()
+    )
+    return tcfg, contigs, gff.components, assignments, counts
+
+
+@pytest.fixture(scope="module")
+def serial_reference(workload, smoke_reads):
+    """The pre-fusion serial chain: graphs, quants, transcripts."""
+    tcfg, contigs, components, assignments, counts = workload
+    graphs = {
+        comp.id: fasta_to_debruijn(
+            orient_component([contigs[m].seq for m in comp.members], tcfg.weld_k),
+            tcfg.k,
+        )
+        for comp in components
+    }
+    quants = quantify_graph(
+        graphs, list(smoke_reads), assignments,
+        kmer_counts=counts, min_kmer_count=tcfg.min_kmer_count,
+    )
+    transcripts = butterfly_assemble(graphs, tcfg.butterfly())
+    return graphs, quants, transcripts
+
+
+def _fused_inputs(workload, smoke_reads):
+    tcfg, contigs, components, assignments, counts = workload
+    return ChrysalisBackendInputs(
+        contigs=contigs, reads=smoke_reads, components=components,
+        assignments=assignments, counts=counts,
+    )
+
+
+def _fused_config(tcfg, **overrides):
+    kwargs = dict(
+        k=tcfg.k, weld_k=tcfg.weld_k, min_kmer_count=tcfg.min_kmer_count,
+        butterfly=tcfg.butterfly(), nthreads=2,
+    )
+    kwargs.update(overrides)
+    return ChrysalisBackendStageConfig(**kwargs)
+
+
+class TestSerialEquality:
+    @pytest.mark.parametrize("nprocs", [1, 3, NPROCS])
+    @pytest.mark.parametrize("strategy", ["round_robin", "dynamic"])
+    def test_matches_serial_exactly(
+        self, workload, serial_reference, smoke_reads, nprocs, strategy
+    ):
+        tcfg = workload[0]
+        _graphs, quants, serial = serial_reference
+        run = mpirun(
+            mpi_chrysalis_backend, nprocs,
+            _fused_inputs(workload, smoke_reads),
+            _fused_config(tcfg, strategy=strategy),
+        )
+        for r in run.outputs:
+            # Every rank returns the identical merged, component-ordered list.
+            assert r.transcripts == serial
+            assert r.quant_stats == {
+                cid: (q.n_reads, q.read_edge_weight) for cid, q in quants.items()
+            }
+
+    def test_fused_equals_separate_butterfly_stage(
+        self, workload, serial_reference, smoke_reads
+    ):
+        """The fused stage replaces serial-middle + mpi_butterfly verbatim."""
+        tcfg = workload[0]
+        graphs, _quants, _serial = serial_reference
+        separate = mpirun(
+            mpi_butterfly, NPROCS,
+            ButterflyInputs(graphs=graphs),
+            ButterflyStageConfig(butterfly=tcfg.butterfly(), nthreads=2),
+        )
+        fused = mpirun(
+            mpi_chrysalis_backend, NPROCS,
+            _fused_inputs(workload, smoke_reads),
+            _fused_config(tcfg),
+        )
+        assert fused.outputs[0].transcripts == separate.outputs[0].transcripts
+
+    def test_merged_fasta_byte_identical_to_serial_write(
+        self, workload, serial_reference, smoke_reads, tmp_path
+    ):
+        tcfg = workload[0]
+        _graphs, _quants, serial = serial_reference
+        serial_path = tmp_path / "serial.fasta"
+        write_fasta(serial_path, [t.to_record() for t in serial])
+        for strategy in ("round_robin", "dynamic"):
+            wd = tmp_path / strategy
+            run = mpirun(
+                mpi_chrysalis_backend, 3,
+                _fused_inputs(workload, smoke_reads),
+                _fused_config(tcfg, strategy=strategy, workdir=wd),
+            )
+            out = run.outputs[0].out_path
+            assert out is not None
+            assert out.read_bytes() == serial_path.read_bytes()
+            # Each rank also left its part file behind.
+            for rank in range(3):
+                assert (wd / f"chrysalis_backend.part{rank}.fasta").exists()
+
+    def test_graphs_stay_rank_local(self, workload, serial_reference, smoke_reads):
+        """Full quants (graphs embedded) partition across ranks, no overlap."""
+        tcfg = workload[0]
+        graphs, quants, _serial = serial_reference
+        run = mpirun(
+            mpi_chrysalis_backend, NPROCS,
+            _fused_inputs(workload, smoke_reads),
+            _fused_config(tcfg, strategy="dynamic"),
+        )
+        merged = {}
+        for r in run.outputs:
+            assert not set(merged) & set(r.local_quants)
+            merged.update(r.local_quants)
+        assert sorted(merged) == sorted(graphs)
+        for cid, q in merged.items():
+            assert q.graph.edges == quants[cid].graph.edges
+
+
+class TestRecovery:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("strategy", ["round_robin", "dynamic"])
+    def test_crash_recovery_byte_identical(
+        self, workload, serial_reference, smoke_reads, tmp_path, strategy
+    ):
+        tcfg = workload[0]
+        _graphs, _quants, serial = serial_reference
+        serial_path = tmp_path / "serial.fasta"
+        write_fasta(serial_path, [t.to_record() for t in serial])
+        wd = tmp_path / strategy
+        plan = FaultPlan(crashes=(CrashFault(rank=2, phase="chrysalis:loop"),))
+        rec = mpirun_with_recovery(
+            mpi_chrysalis_backend, NPROCS,
+            _fused_inputs(workload, smoke_reads),
+            _fused_config(tcfg, nthreads=1, strategy=strategy, workdir=wd),
+            faults=plan,
+        )
+        assert len(rec.outputs) == NPROCS - 1  # reran on the survivors
+        assert rec.outputs[0].transcripts == serial
+        assert rec.outputs[0].out_path.read_bytes() == serial_path.read_bytes()
+        assert rec.metrics["faults.rank_losses"] == 1.0
+
+
+class TestCostModel:
+    def test_estimated_cost_orders_by_contig_length(self, workload):
+        tcfg, contigs, components, _assignments, _counts = workload
+        bf = tcfg.butterfly()
+        sized = sorted(
+            components,
+            key=lambda c: sum(len(contigs[m].seq) for m in c.members),
+        )
+        small, big = sized[0], sized[-1]
+        if small is big:
+            pytest.skip("smoke workload collapsed to one component")
+        assert estimated_component_cost(
+            big, contigs, tcfg.k, bf.max_paths_per_component
+        ) >= estimated_component_cost(
+            small, contigs, tcfg.k, bf.max_paths_per_component
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PipelineError, match="strategy"):
+            ChrysalisBackendStageConfig(strategy="static_block")
+
+
+class TestMetrics:
+    def test_stage_metrics_present(self, workload, smoke_reads):
+        tcfg, _contigs, components, _assignments, _counts = workload
+        run = mpirun(
+            mpi_chrysalis_backend, 3,
+            _fused_inputs(workload, smoke_reads),
+            _fused_config(tcfg),
+        )
+        r = run.outputs[0]
+        assert r.metrics["n_components"] == len(components)
+        assert r.metrics["deal_time"] >= 0
+        assert r.metrics["loop_time"] > 0
+        assert r.metrics["merge_time"] >= 0
+        assert r.metrics["n_reads_threaded"] > 0
+        assert run.makespan > 0

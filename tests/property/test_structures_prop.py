@@ -1,5 +1,6 @@
 """Property-based tests for union-find, FASTA round-trips, SW and packing."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -58,6 +59,22 @@ def test_plan_split_lpt_bound(lengths):
 def test_pack_strings_roundtrip(strings):
     payload, lengths = pack_strings(strings)
     assert unpack_strings(payload, lengths) == strings
+    # Offsets are pure cumsum state: zero-length strings contribute empty
+    # slices without shifting their neighbours.
+    assert int(lengths.sum()) == len(payload)
+
+
+@given(
+    st.lists(st.text(alphabet="ACGT", max_size=30), max_size=20),
+    st.integers(min_value=1, max_value=8),
+)
+def test_unpack_strings_rejects_truncated_payload(strings, cut):
+    payload, lengths = pack_strings(strings)
+    with pytest.raises(ValueError, match="payload"):
+        unpack_strings(payload + b"A" * cut, lengths)
+    if payload:
+        with pytest.raises(ValueError, match="payload"):
+            unpack_strings(payload[:-1], lengths)
 
 
 @given(st.lists(st.tuples(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9)), max_size=50))

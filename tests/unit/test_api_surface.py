@@ -62,6 +62,32 @@ class TestStageSpecs:
             assert is_dataclass(bundle)
             assert bundle.__doc__
 
+    def test_mpi_chrysalis_backend_spec_well_formed(self):
+        """The fused back-end stage carries a complete StageSpec."""
+        from dataclasses import is_dataclass
+
+        from repro.parallel import (
+            ChrysalisBackendInputs,
+            ChrysalisBackendOutputs,
+            ChrysalisBackendStageConfig,
+            mpi_chrysalis_backend,
+        )
+        from repro.parallel.stage import STAGES
+
+        spec = STAGES["chrysalis-backend"]
+        assert spec.fn is mpi_chrysalis_backend
+        assert mpi_chrysalis_backend.stage_spec is spec
+        assert spec.inputs_type is ChrysalisBackendInputs
+        assert spec.config_type is ChrysalisBackendStageConfig
+        assert spec.outputs_type is ChrysalisBackendOutputs
+        for bundle in (
+            ChrysalisBackendInputs,
+            ChrysalisBackendStageConfig,
+            ChrysalisBackendOutputs,
+        ):
+            assert is_dataclass(bundle)
+            assert bundle.__doc__
+
 
 class TestErrorHierarchy:
     def test_all_derive_from_repro_error(self):

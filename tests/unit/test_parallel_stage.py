@@ -39,6 +39,7 @@ class TestRegistry:
         assert set(STAGES) >= {
             "bowtie",
             "butterfly",
+            "chrysalis-backend",
             "gff",
             "gff-sharded-setup",
             "jellyfish",

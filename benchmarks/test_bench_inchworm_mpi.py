@@ -1,0 +1,60 @@
+"""CI guard for the distributed component-partitioned Inchworm.
+
+``BENCH_inchworm_mpi.json`` tracks the labeled wall-clock history; this
+bench re-checks the acceptance properties on the runner's own workload:
+the 8-rank virtual makespan must beat the 1-rank front-end threaded
+baseline by the acceptance floor, the contigs must be invariant in the
+rank count, and a single-thread run must reproduce serial
+``inchworm_assemble`` byte-for-byte.
+"""
+
+from benchmarks.inchworm_mpi_bench_runner import (
+    N_THREADS,
+    SPEEDUP_NPROCS,
+    build_counts,
+)
+from repro.mpi import mpirun
+from repro.parallel.mpi_inchworm import (
+    InchwormInputs,
+    InchwormStageConfig,
+    mpi_inchworm,
+)
+from repro.trinity.inchworm import inchworm_assemble
+
+
+def test_bench_mpi_scaling_beats_front_end(benchmark):
+    counts, tcfg = build_counts(seed=0)
+    inputs = InchwormInputs(counts=counts)
+    config = InchwormStageConfig(
+        inchworm=tcfg.inchworm(), n_threads=N_THREADS,
+        batch_size=tcfg.inchworm_batch,
+    )
+
+    def run(nprocs):
+        return mpirun(mpi_inchworm, nprocs, inputs, config)
+
+    one = run(1)
+    eight = benchmark(run, SPEEDUP_NPROCS)
+
+    # The deal must never change the output (nprocs invariance)...
+    assert eight.outputs[0].outputs.contigs == one.outputs[0].outputs.contigs
+    # ...and one thread per rank reproduces the serial walk exactly.
+    serial = inchworm_assemble(counts, tcfg.inchworm())
+    one_thread = mpirun(
+        mpi_inchworm, SPEEDUP_NPROCS, inputs,
+        InchwormStageConfig(inchworm=tcfg.inchworm(), n_threads=1),
+    )
+    assert one_thread.outputs[0].outputs.contigs == serial
+
+    speedup = one.makespan / eight.makespan
+    benchmark.extra_info.update(
+        {
+            "front_end_makespan_s": one.makespan,
+            "mpi_makespan_s": eight.makespan,
+            "speedup": speedup,
+            "n_components": int(one.outputs[0].outputs.n_components),
+        }
+    )
+    # Acceptance floor is 1.5x virtual-clock speedup at 8 ranks over the
+    # 1-rank front-end threaded baseline; the recorded history shows ~3.5x.
+    assert speedup > 1.5

@@ -14,7 +14,7 @@ stats        assembly statistics (N50 etc.) of a FASTA
 profile      trace one MPI stage: critical path, Gantt, Chrome export
 faults       sweep injected crash/straggler/flaky-IO rates vs makespan
 experiments  regenerate paper figures (same as python -m repro.experiments)
-bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, butterfly, jellyfish, chrysalis)
+bench        append a wall-clock entry to a BENCH_*.json history (gff, rtt, inchworm, inchworm-mpi, butterfly, jellyfish, chrysalis)
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -142,7 +142,23 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     counts = jellyfish_count(reads, cfg.k)
     contigs = inchworm_assemble(counts, cfg.inchworm())
 
-    if args.stage == "bowtie":
+    if args.stage == "inchworm":
+        from repro.parallel.mpi_inchworm import (
+            InchwormInputs,
+            InchwormStageConfig,
+            mpi_inchworm,
+        )
+
+        run = mpirun(
+            mpi_inchworm, args.nprocs,
+            InchwormInputs(counts=counts),
+            InchwormStageConfig(
+                inchworm=cfg.inchworm(), n_threads=args.nthreads,
+                strategy=args.strategy,
+            ),
+            trace=True,
+        )
+    elif args.stage == "bowtie":
         from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
 
         run = mpirun(
@@ -361,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="trace one MPI stage: critical path, Gantt, Chrome export",
     )
-    p.add_argument("--stage", default="gff", choices=["bowtie", "gff", "rtt", "butterfly", "chrysalis"])
+    p.add_argument("--stage", default="gff", choices=["inchworm", "bowtie", "gff", "rtt", "butterfly", "chrysalis"])
     p.add_argument("--nprocs", type=int, default=4)
     p.add_argument("--nthreads", type=int, default=4, help="OpenMP threads per rank")
     p.add_argument(

@@ -58,6 +58,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("fig-butterfly", "Distributed Butterfly deal strategies", "repro.experiments.fig_butterfly"),
         Experiment("fig-jellyfish", "Distributed Jellyfish k-mer counting scaling", "repro.experiments.fig_jellyfish"),
         Experiment("fig-chrysalis", "Fused Chrysalis back end vs serial middle", "repro.experiments.fig_chrysalis"),
+        Experiment("fig-inchworm", "Distributed Inchworm component partitioning", "repro.experiments.fig_inchworm"),
     ]
 }
 
@@ -108,6 +109,7 @@ BENCHES: Dict[str, Bench] = {
         Bench("butterfly", "Distributed Butterfly deal strategies wall-clock", "benchmarks.butterfly_bench_runner"),
         Bench("jellyfish", "Distributed Jellyfish k-mer counting wall-clock", "benchmarks.jellyfish_bench_runner"),
         Bench("chrysalis", "Fused Chrysalis back end wall-clock", "benchmarks.chrysalis_bench_runner"),
+        Bench("inchworm-mpi", "Distributed Inchworm wall-clock under mpirun", "benchmarks.inchworm_mpi_bench_runner"),
     ]
 }
 

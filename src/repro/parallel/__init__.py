@@ -18,6 +18,11 @@ All distributed stages share one calling convention — the
 * :mod:`repro.parallel.mpi_jellyfish` — distributed Jellyfish k-mer
   counting (deal -> alltoall exchange -> owner merge; HipMer-style
   distributed k-mer analysis over the DSK partition hash).
+* :mod:`repro.parallel.mpi_inchworm` — distributed Inchworm over the
+  connected components of the k-mer overlap graph
+  (:mod:`repro.trinity.kmer_components`), hybrid MPI x threads: each
+  rank runs the threaded engine per owned component, and the merge
+  re-emits the exact global seed order.
 * :mod:`repro.parallel.mpi_bowtie` — PyFasta-split Bowtie (SS:III.A).
 * :mod:`repro.parallel.mpi_graph_from_fasta` — hybrid loops 1+2 with
   Allgatherv pooling (SS:III.B).
@@ -59,6 +64,12 @@ from repro.parallel.mpi_chrysalis_backend import (
     ChrysalisBackendOutputs,
     ChrysalisBackendStageConfig,
     mpi_chrysalis_backend,
+)
+from repro.parallel.mpi_inchworm import (
+    InchwormInputs,
+    InchwormOutputs,
+    InchwormStageConfig,
+    mpi_inchworm,
 )
 from repro.parallel.mpi_graph_from_fasta import (
     GffInputs,
@@ -117,6 +128,10 @@ __all__ = [
     "GffOutputs",
     "GffStageConfig",
     "mpi_graph_from_fasta",
+    "InchwormInputs",
+    "InchwormOutputs",
+    "InchwormStageConfig",
+    "mpi_inchworm",
     "JellyfishInputs",
     "JellyfishOutputs",
     "JellyfishStageConfig",

@@ -6,17 +6,18 @@ GraphFromFasta and ReadsToTranscripts command lines (and Bowtie runs over
 PyFasta-split pieces).  Mirroring that, this driver launches one
 simulated ``mpirun`` per Chrysalis substep, and — going past the paper
 into its named future work on "the non-parallelized regions" —
-distributes the Jellyfish front end (:mod:`repro.parallel.mpi_jellyfish`)
-and the whole Chrysalis *back end* — orient + FastaToDebruijn +
-QuantifyGraph + Butterfly fused into one component-parallel stage
-(:mod:`repro.parallel.mpi_chrysalis_backend`) — all byte-identical to
-their serial stages at any rank count.  Only Inchworm remains on the
-front-end node (threaded via the simulated OpenMP team); the two serial
-middle regions the pre-fusion driver ran between RTT and Butterfly are
-gone from the timeline.
+distributes the Jellyfish front end (:mod:`repro.parallel.mpi_jellyfish`),
+Inchworm via k-mer-graph component partitioning
+(:mod:`repro.parallel.mpi_inchworm`, hybrid MPI x simulated OpenMP
+threads per rank), and the whole Chrysalis *back end* — orient +
+FastaToDebruijn + QuantifyGraph + Butterfly fused into one
+component-parallel stage (:mod:`repro.parallel.mpi_chrysalis_backend`)
+— all byte-identical to their serial stages at any rank count.  No
+compute stage runs on the front-end node any more; the driver only
+launches ``mpirun``\\ s and glues their outputs.
 
 Every MPI stage conforms to the :class:`repro.parallel.stage.ParallelStage`
-protocol, so all five launches flow through the one ``_launch`` path
+protocol, so all six launches flow through the one ``_launch`` path
 (checkpoint restore -> (recovering) mpirun -> checkpoint write).
 
 The result object is a :class:`repro.trinity.pipeline.TrinityResult`, so
@@ -45,10 +46,14 @@ from repro.seq.fasta import write_fasta
 from repro.seq.records import SeqRecord
 from repro.trinity.bowtie import scaffold_pairs_from_sam
 from repro.trinity.chrysalis.quantify import ComponentQuant
-from repro.trinity.inchworm import inchworm_assemble, inchworm_assemble_threaded
 from repro.trinity.pipeline import TrinityConfig, TrinityResult
 from repro.parallel.mpi_bowtie import BowtieInputs, BowtieStageConfig, mpi_bowtie
 from repro.parallel.mpi_butterfly import STRATEGIES, ButterflyStageConfig
+from repro.parallel.mpi_inchworm import (
+    InchwormInputs,
+    InchwormStageConfig,
+    mpi_inchworm,
+)
 from repro.parallel.mpi_chrysalis_backend import (
     ChrysalisBackendInputs,
     ChrysalisBackendStageConfig,
@@ -130,6 +135,20 @@ class ParallelTrinityConfig:
     ) -> JellyfishStageConfig:
         return JellyfishStageConfig(jellyfish=self.trinity.jellyfish(), workdir=workdir)
 
+    def inchworm_stage(
+        self, workdir: Optional[PathLike] = None
+    ) -> InchwormStageConfig:
+        return InchwormStageConfig(
+            inchworm=self.trinity.inchworm(),
+            n_threads=self.inchworm_threads,
+            batch_size=self.trinity.inchworm_batch,
+            strategy=self.butterfly_strategy,
+            workdir=workdir,
+            thread_slowdowns=_inchworm_slowdown_table(
+                self.faults, self.nprocs, self.inchworm_threads
+            ),
+        )
+
     def bowtie_stage(self, workdir: Optional[PathLike] = None) -> BowtieStageConfig:
         return BowtieStageConfig(bowtie=self.trinity.bowtie(), workdir=workdir)
 
@@ -166,25 +185,53 @@ class ParallelTrinityConfig:
 
 
 def _inchworm_thread_slowdowns(
-    plan: Optional[FaultPlan], n_threads: int
+    plan: Optional[FaultPlan], n_threads: int, rank: int = 0
 ) -> Optional[np.ndarray]:
     """Straggler factors from ``plan`` mapped onto Inchworm's threads.
 
-    The fault plan indexes stragglers by MPI rank; the serial front end
-    runs on rank 0's node, whose OpenMP threads are numbered the same
-    way, so straggler rank ``t`` slows Inchworm thread ``t`` whenever
-    ``t < n_threads``.  Returns ``None`` when no straggler lands on a
-    live thread, so the fast no-faults path stays allocation-free.
+    The fault plan indexes stragglers by a flat id; the distributed
+    Inchworm numbers its hybrid workers ``rank * n_threads + thread``,
+    so straggler id ``f`` slows thread ``f - rank * n_threads`` of
+    ``rank`` whenever that lands in ``[0, n_threads)``.  The default
+    ``rank=0`` reproduces the historical front-end mapping exactly
+    (straggler rank ``t`` -> thread ``t`` when ``t < n_threads``).
+    Returns ``None`` when no straggler lands on a live thread, so the
+    fast no-faults path stays allocation-free.  Slowdowns only stretch
+    virtual thread clocks — stage output never depends on them.
     """
     if plan is None or not plan.stragglers:
         return None
     slow = np.ones(n_threads)
+    base = rank * n_threads
     for s in plan.stragglers:
-        if s.rank < n_threads:
-            slow[s.rank] = max(slow[s.rank], s.slowdown)
+        t = s.rank - base
+        if 0 <= t < n_threads:
+            slow[t] = max(slow[t], s.slowdown)
     if np.all(slow == 1.0):
         return None
     return slow
+
+
+def _inchworm_slowdown_table(
+    plan: Optional[FaultPlan], nprocs: int, n_threads: int
+) -> Optional[Tuple[Tuple[float, ...], ...]]:
+    """Per-rank straggler rows for the distributed Inchworm stage.
+
+    One :func:`_inchworm_thread_slowdowns` row per rank (all-ones rows
+    for ranks no straggler maps onto); ``None`` when the plan touches no
+    (rank, thread) pair at all.
+    """
+    if plan is None or not plan.stragglers:
+        return None
+    rows = [
+        _inchworm_thread_slowdowns(plan, n_threads, rank=r) for r in range(nprocs)
+    ]
+    if all(row is None for row in rows):
+        return None
+    ones = (1.0,) * n_threads
+    return tuple(
+        ones if row is None else tuple(float(f) for f in row) for row in rows
+    )
 
 
 def _checkpoint_path(checkpoint_dir: PathLike, stage: str) -> Path:
@@ -237,14 +284,16 @@ def _write_checkpoint(
 
 @dataclass
 class ParallelStageTimings:
-    """Virtual makespans of the five MPI stages (Figs 7-10 + the fused
-    Chrysalis back end + the distributed Jellyfish front end)."""
+    """Virtual makespans of the six MPI stages (Figs 7-10 + the fused
+    Chrysalis back end + the distributed Jellyfish and Inchworm front
+    end)."""
 
     bowtie: StageResult
     gff: StageResult
     rtt: StageResult
     chrysalis: StageResult
     jellyfish: StageResult
+    inchworm: StageResult
 
 
 class ParallelTrinityDriver:
@@ -294,9 +343,9 @@ class ParallelTrinityDriver:
         timings land in :attr:`last_timings`.
 
         Returns a :class:`~repro.obs.result.StageResult` whose ``outputs``
-        is the :class:`TrinityResult` and whose ``children`` are the five
-        ``mpirun`` StageResults (jellyfish, bowtie, gff, rtt, and the
-        fused chrysalis back end) — the full span tree a single
+        is the :class:`TrinityResult` and whose ``children`` are the six
+        ``mpirun`` StageResults (jellyfish, inchworm, bowtie, gff, rtt,
+        and the fused chrysalis back end) — the full span tree a single
         :func:`repro.obs.chrome.write_chrome_trace` can export.
 
         With ``checkpoint_dir``, each MPI stage's result is pickled there
@@ -319,8 +368,8 @@ class ParallelTrinityDriver:
             len(reads), cfg.nprocs, cfg.nthreads,
         )
 
-        # Jellyfish launches before Inchworm produces contigs, so its
-        # checkpoint key pins the front-end dependencies only.
+        # Jellyfish and Inchworm launch before any contigs exist, so the
+        # front-end checkpoint key pins the front-end dependencies only.
         front_key = {
             "nprocs": cfg.nprocs,
             "nthreads": cfg.nthreads,
@@ -344,29 +393,46 @@ class ParallelTrinityDriver:
         if jellyfish_run.outputs[0].out_path is not None:
             files["jellyfish_dump"] = jellyfish_run.outputs[0].out_path
 
-        # -- serial front end: Inchworm ---------------------------------------
-        inchworm_attrs: Dict[str, float] = {}
-        with monitor.stage("inchworm") as st:
-            if cfg.inchworm_threads > 1:
-                iw = inchworm_assemble_threaded(
-                    counts,
-                    tcfg.inchworm(),
-                    n_threads=cfg.inchworm_threads,
-                    batch_size=tcfg.inchworm_batch,
-                    thread_slowdowns=_inchworm_thread_slowdowns(
-                        cfg.faults, cfg.inchworm_threads
-                    ),
-                )
-                contigs = iw.contigs
-                inchworm_attrs = {
-                    f"inchworm.{key}": float(val)
-                    for key, val in iw.as_span_attrs().items()
-                }
-            else:
-                contigs = inchworm_assemble(counts, tcfg.inchworm())
+        # -- mpirun Inchworm (component-partitioned, hybrid MPI x threads) -----
+        # The last front-end compute stage: components of the k-mer
+        # overlap graph are dealt to ranks, each rank runs the threaded
+        # engine per component, and the merge re-emits the global seed
+        # order.  Its checkpoint pins the inchworm config, the per-rank
+        # thread count and the dealing strategy on top of the front key.
+        inchworm_key = {
+            **front_key,
+            "inchworm": repr(tcfg.inchworm()),
+            "inchworm_threads": cfg.inchworm_threads,
+            "strategy": cfg.butterfly_strategy,
+        }
+        with monitor.stage("inchworm[mpi]") as st:
+            inchworm_run = self._launch(
+                mpi_inchworm,
+                InchwormInputs(counts=counts),
+                cfg.inchworm_stage(workdir=wd),
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_key=inchworm_key,
+            )
+            contigs = inchworm_run.outputs[0].contigs
             st.ram_bytes = counts.memory_bytes() + sum(len(c.seq) for c in contigs)
+        if inchworm_run.outputs[0].out_path is not None:
+            files["inchworm_contigs"] = inchworm_run.outputs[0].out_path
         if not contigs:
             raise PipelineError("inchworm produced no contigs")
+        # Aggregate the per-rank thread-team totals into the historical
+        # pipeline-level attrs (straggler faults still drag speedup down).
+        team_serial = sum(r.metrics["team_serial_s"] for r in inchworm_run.outputs)
+        team_makespan = sum(
+            r.metrics["team_makespan_s"] for r in inchworm_run.outputs
+        )
+        inchworm_attrs: Dict[str, float] = {
+            "inchworm.n_threads": float(cfg.inchworm_threads),
+            "inchworm.team_serial_s": team_serial,
+            "inchworm.team_makespan_s": team_makespan,
+            "inchworm.speedup": (
+                team_serial / team_makespan if team_makespan > 0 else 1.0
+            ),
+        }
 
         # The checkpoint key pins everything a stage result depends on;
         # any mismatch (other workload, nprocs or fault plan) recomputes.
@@ -484,14 +550,15 @@ class ParallelTrinityDriver:
             write_fasta(files["transcripts"], [t.to_record() for t in transcripts])
 
         logger.info(
-            "mpi stage makespans: jellyfish=%.3fs bowtie=%.3fs gff=%.3fs "
-            "(imb %.2fx) rtt=%.3fs chrysalis=%.3fs",
-            jellyfish_run.makespan, bowtie_run.makespan, gff_run.makespan,
-            gff_run.imbalance, rtt_run.makespan, chrysalis_run.makespan,
+            "mpi stage makespans: jellyfish=%.3fs inchworm=%.3fs bowtie=%.3fs "
+            "gff=%.3fs (imb %.2fx) rtt=%.3fs chrysalis=%.3fs",
+            jellyfish_run.makespan, inchworm_run.makespan, bowtie_run.makespan,
+            gff_run.makespan, gff_run.imbalance, rtt_run.makespan,
+            chrysalis_run.makespan,
         )
         self.last_timings = ParallelStageTimings(
             bowtie=bowtie_run, gff=gff_run, rtt=rtt_run, chrysalis=chrysalis_run,
-            jellyfish=jellyfish_run,
+            jellyfish=jellyfish_run, inchworm=inchworm_run,
         )
         result = TrinityResult(
             transcripts=transcripts,
@@ -517,11 +584,15 @@ class ParallelTrinityDriver:
                 "inchworm_threads": float(cfg.inchworm_threads),
                 "n_transcripts": float(len(transcripts)),
                 "mpi.jellyfish_makespan_s": jellyfish_run.makespan,
+                "mpi.inchworm_makespan_s": inchworm_run.makespan,
                 "mpi.bowtie_makespan_s": bowtie_run.makespan,
                 "mpi.gff_makespan_s": gff_run.makespan,
                 "mpi.rtt_makespan_s": rtt_run.makespan,
                 "mpi.chrysalis_makespan_s": chrysalis_run.makespan,
                 "peak_ram_gb": timeline.peak_ram_gb,
             },
-            children=[jellyfish_run, bowtie_run, gff_run, rtt_run, chrysalis_run],
+            children=[
+                jellyfish_run, inchworm_run, bowtie_run, gff_run, rtt_run,
+                chrysalis_run,
+            ],
         )

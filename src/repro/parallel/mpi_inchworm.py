@@ -1,0 +1,333 @@
+"""Distributed Inchworm: component-partitioned contig assembly on MPI.
+
+After the Jellyfish front end and the fused Chrysalis back end went
+distributed, Inchworm was the last stage still assembling on the
+front-end node — the dominant Amdahl term of the driver's timeline.
+The escape hatch (as in distributed string-graph assemblers such as
+Guidi et al.'s): the greedy walk only ever follows (k-1)-overlap
+extension edges that land inside the filtered counter, so it can never
+leave the connected component of its seed.  Contig assembly therefore
+factors exactly over the components of the k-mer overlap graph
+(:mod:`repro.trinity.kmer_components`):
+
+1. every rank obtains the component labelling of the filtered counter
+   (built once per simulation via ``comm.shared``, charged per-rank —
+   the stage's replicated serial region);
+2. components are dealt to ranks — chunked ``"round_robin"`` or
+   master-dealt LPT ``"dynamic"``, the Butterfly/Chrysalis strategies —
+   with per-component cost = the sum of member k-mer counts;
+3. each rank runs :func:`~repro.trinity.inchworm.inchworm_assemble_threaded`
+   on each owned component's sub-counter (hybrid MPI x simulated OpenMP:
+   the ``inchworm_threads`` knob is honoured per rank), shipping back
+   only the contig strings keyed by their seed's *global* seed-order
+   rank;
+4. the merge pools the keyed contigs and re-emits them in ascending
+   key order — the exact global ``_seed_order`` sequence — renaming
+   ``iw_contig_{i}`` globally.
+
+Because a component-local seed order is the global order restricted to
+the component (the comparator depends only on each k-mer's count, tie
+hash and code), and walks in different components share no candidates,
+the merged output is **byte-identical to serial**
+:func:`~repro.trinity.inchworm.inchworm_assemble` at every rank count
+when ranks run one thread — under both deal strategies and under an
+injected ``inchworm:assemble`` rank crash with survivor re-deal (tested
+invariants, like the other stages).  At ``n_threads > 1`` the output
+depends only on ``(seed, n_threads)``, never on the deal or nprocs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.mpi.comm import SimComm
+from repro.obs.result import StageResult
+from repro.parallel.chunks import chunk_ranges, chunks_for_rank, default_chunk_size
+from repro.parallel.mpi_butterfly import STRATEGIES
+from repro.parallel.recovery import with_retry
+from repro.parallel.stage import parallel_stage
+from repro.seq.fasta import write_fasta
+from repro.seq.kmer_index import KmerCounter
+from repro.seq.records import Contig
+from repro.trinity.inchworm import (
+    InchwormConfig,
+    _seed_order,
+    inchworm_assemble_threaded,
+)
+from repro.trinity.jellyfish import JellyfishCounts
+from repro.trinity.kmer_components import (
+    component_costs,
+    component_members,
+    kmer_components,
+)
+from repro.util.rng import derive_seed
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class InchwormInputs:
+    """Workload data for distributed Inchworm (identical on every rank).
+
+    The full Jellyfish counter; error-kmer filtering happens inside the
+    stage so serial and distributed runs share the one threshold.
+    """
+
+    counts: JellyfishCounts
+
+
+@dataclass(frozen=True)
+class InchwormStageConfig:
+    """Distribution knobs on top of the serial :class:`InchwormConfig`."""
+
+    inchworm: InchwormConfig = InchwormConfig()
+    n_threads: int = 1  # simulated OpenMP threads per rank
+    batch_size: int = 32  # speculative window per thread
+    strategy: str = "round_robin"  # or "dynamic" (master-dealt LPT)
+    chunk_size: Optional[int] = None  # round_robin only; None -> default
+    workdir: Optional[PathLike] = None  # merged contig FASTA (rank 0)
+    #: Per-(rank, thread) straggler factors, one row per rank (from
+    #: :func:`repro.parallel.driver._inchworm_thread_slowdowns`).  Purely
+    #: a virtual-clock effect: output never depends on it.
+    thread_slowdowns: Optional[Tuple[Tuple[float, ...], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise PipelineError(
+                f"unknown Inchworm strategy {self.strategy!r}; known: {STRATEGIES}"
+            )
+        if self.n_threads <= 0:
+            raise PipelineError(
+                f"inchworm n_threads must be positive, got {self.n_threads}"
+            )
+
+
+@dataclass
+class InchwormOutputs:
+    """What the distributed Inchworm computes."""
+
+    contigs: List[Contig]  # full, global-seed-order (on all ranks)
+    out_path: Optional[Path] = None  # merged FASTA (master, if written)
+    n_components: int = 0  # k-mer-graph components in the whole workload
+
+
+def _component_setup(counts: JellyfishCounts, cfg: InchwormConfig):
+    """Filtered counter, global seed ranks, component members and costs.
+
+    Built once per simulated ``mpirun`` (every real rank would rebuild it
+    redundantly — the stage's replicated serial region) and treated as
+    read-only by all ranks.  ``seed_rank[p]`` is position ``p``'s rank in
+    the global ``_seed_order`` permutation: the merge key space.
+    """
+    filtered = counts.index.filtered(cfg.min_kmer_count)
+    labels = kmer_components(filtered, counts.canonical)
+    members = component_members(labels)
+    costs = component_costs(filtered, members)
+    perm = _seed_order(filtered, derive_seed(cfg.seed, "inchworm-ties"))
+    seed_rank = np.empty(len(filtered), dtype=np.int64)
+    seed_rank[perm] = np.arange(len(filtered), dtype=np.int64)
+    return filtered, seed_rank, members, costs
+
+
+def _dynamic_deal(
+    comm: SimComm, cids: List[int], costs: np.ndarray
+) -> List[int]:
+    """Master-dealt LPT assignment; returns this rank's component ids.
+
+    Rank 0 walks components in descending count-mass cost (ties by id)
+    and hands each to the least-loaded rank, then ships every worker its
+    id list point-to-point — the Butterfly/Chrysalis deal shape.
+    Deterministic in (workload, comm.size), which recovery's re-deal on
+    the survivors relies on.
+    """
+    if comm.rank == 0:
+        order = sorted(
+            ((float(costs[cid]), cid) for cid in cids), key=lambda t: (-t[0], t[1])
+        )
+        loads = [(0.0, r) for r in range(comm.size)]
+        heapq.heapify(loads)
+        deal: List[List[int]] = [[] for _ in range(comm.size)]
+        for cost, cid in order:
+            load, r = heapq.heappop(loads)
+            deal[r].append(cid)
+            heapq.heappush(loads, (load + cost, r))
+        for r in range(1, comm.size):
+            comm.send(deal[r], dest=r, tag=r)
+        return deal[0]
+    return comm.recv(source=0, tag=comm.rank)
+
+
+def _rank_slowdowns(
+    config: InchwormStageConfig, rank: int
+) -> Optional[Sequence[float]]:
+    """This rank's thread-straggler row, or None when all-ones."""
+    table = config.thread_slowdowns
+    if table is None or rank >= len(table):
+        return None
+    row = table[rank]
+    if all(f == 1.0 for f in row):
+        return None
+    return row
+
+
+@parallel_stage(
+    "inchworm",
+    inputs=InchwormInputs,
+    config=InchwormStageConfig,
+    outputs=InchwormOutputs,
+)
+def mpi_inchworm(
+    comm: SimComm,
+    inputs: InchwormInputs,
+    config: Optional[InchwormStageConfig] = None,
+) -> StageResult:
+    """SPMD body; run under :func:`repro.mpi.mpirun`.
+
+    Every rank returns the full contig list in global seed order —
+    byte-identical to serial
+    :func:`~repro.trinity.inchworm.inchworm_assemble` when
+    ``n_threads == 1`` (a tested invariant at nprocs 1/3/8, both deal
+    strategies, including under crash recovery).
+    """
+    config = config or InchwormStageConfig()
+    cfg = config.inchworm
+    counts = inputs.counts
+
+    # Simulated counter read: the retryable I/O point for flaky-I/O
+    # fault plans (a no-op in fault-free runs).
+    with_retry(comm, "inchworm:read_counts", lambda: None)
+
+    # -- connected components of the k-mer overlap graph ---------------------
+    with comm.region("inchworm:components", serial=True) as comp_region:
+        filtered, seed_rank, members, costs = comm.shared(
+            "inchworm:setup", lambda: _component_setup(counts, cfg)
+        )
+    components_time = comp_region.elapsed
+
+    # -- deal components across ranks ----------------------------------------
+    cids = list(range(len(members)))
+    with comm.region("inchworm:deal", strategy=config.strategy) as deal_region:
+        if config.strategy == "dynamic":
+            mine = _dynamic_deal(comm, cids, costs)
+        else:
+            chunk_size = config.chunk_size
+            if chunk_size is None:
+                chunk_size = default_chunk_size(
+                    len(cids), comm.size, config.n_threads
+                )
+            ranges = chunk_ranges(len(cids), chunk_size)
+            mine = [
+                cids[i]
+                for c in chunks_for_rank(len(ranges), comm.rank, comm.size)
+                for i in range(*ranges[c])
+            ]
+    deal_time = deal_region.elapsed
+
+    # -- assemble my components, threaded, shipping only keyed strings -------
+    slowdowns = _rank_slowdowns(config, comm.rank)
+    local: List[Tuple[int, str, float]] = []  # (global seed rank, seq, cov)
+    with comm.region(
+        "inchworm:assemble", strategy=config.strategy, components=len(mine)
+    ) as asm_region:
+        team_makespan = 0.0
+        team_serial = 0.0
+        n_steps = 0
+        n_deferred = 0
+        for cid in mine:
+            m = members[cid]
+            sub = JellyfishCounts(
+                k=counts.k,
+                canonical=counts.canonical,
+                index=KmerCounter(counts.k, filtered.codes[m], filtered.values[m]),
+            )
+            iw = inchworm_assemble_threaded(
+                sub,
+                cfg,
+                n_threads=config.n_threads,
+                batch_size=config.batch_size,
+                thread_slowdowns=slowdowns,
+            )
+            # A component-local seed order is the global order restricted
+            # to the component, so local order index j maps to the j-th
+            # smallest global seed rank among the members.
+            keys = np.sort(seed_rank[m])
+            for j, contig in enumerate(iw.contigs):
+                local.append(
+                    (int(keys[iw.seed_orders[j]]), contig.seq, contig.coverage)
+                )
+            team_makespan += iw.team.makespan
+            team_serial += iw.team.serial_time
+            n_steps += iw.n_steps
+            n_deferred += iw.n_deferred
+        if mine:
+            comm.clock.advance(
+                team_makespan,
+                label="inchworm:assemble_components",
+                attrs={
+                    "components": len(mine),
+                    "n_threads": config.n_threads,
+                    "steps": n_steps,
+                    "deferred": n_deferred,
+                },
+            )
+    assemble_time = asm_region.elapsed
+
+    # -- merge: pool keyed contigs, re-emit the global seed-order sequence ---
+    with comm.region("inchworm:merge") as merge_region:
+        pooled = comm.allgather(local)
+    flat = [item for part in pooled for item in part]
+    flat.sort(key=lambda item: item[0])
+    contigs = [
+        Contig(name=f"iw_contig_{i}", seq=seq, coverage=cov)
+        for i, (_key, seq, cov) in enumerate(flat)
+    ]
+    merge_time = merge_region.elapsed
+
+    out_path: Optional[Path] = None
+    if config.workdir is not None:
+        if comm.rank == 0:
+            wd = Path(config.workdir)
+            wd.mkdir(parents=True, exist_ok=True)
+            out_path = wd / "inchworm.contigs.fa"
+            # Written from the merged, seed-ordered list — never a cat of
+            # per-rank parts — so the file is byte-identical to the serial
+            # pipeline's write at any nprocs.  Wall time: the peers are
+            # parked at the barrier below.
+            t0 = time.perf_counter()
+            with_retry(
+                comm,
+                "inchworm:write_merged",
+                lambda: write_fasta(out_path, [c.to_record() for c in contigs]),
+            )
+            comm.clock.advance(time.perf_counter() - t0, label="inchworm:write_merged")
+        comm.barrier()
+
+    return StageResult(
+        stage="inchworm",
+        outputs=InchwormOutputs(
+            contigs=contigs, out_path=out_path, n_components=len(cids)
+        ),
+        makespan=comm.clock.now,
+        metrics={
+            "components_time": components_time,
+            "deal_time": deal_time,
+            "assemble_time": assemble_time,
+            "merge_time": merge_time,
+            "n_components": float(len(cids)),
+            "n_local_components": float(len(mine)),
+            "n_contigs": float(len(contigs)),
+            # Per-rank thread-team totals: the driver aggregates these
+            # into the pipeline-level inchworm.speedup metric.
+            "team_makespan_s": team_makespan,
+            "team_serial_s": team_serial,
+            "n_threads": float(config.n_threads),
+        },
+        rank=comm.rank,
+    )

@@ -659,6 +659,117 @@ def jellyfish_serial_baseline_s(calibration: PaperCalibration = CALIBRATION) -> 
 
 
 # ---------------------------------------------------------------------------
+# Inchworm (component-partitioned distributed contig assembly)
+# ---------------------------------------------------------------------------
+
+
+#: Assumed split of the serial Inchworm time between the replicated setup
+#: (error-kmer filter + vectorised component labelling + seed ranking —
+#: one ``np.minimum.at``/pointer-jump pass over the table) and the greedy
+#: extension walks that dominate the stage.
+_IW_SETUP_SHARE = 0.05
+_IW_ASSEMBLE_SHARE = 1.0 - _IW_SETUP_SHARE
+
+
+@dataclass(frozen=True)
+class InchwormScalingPoint:
+    """One node count's simulated distributed-Inchworm timings."""
+
+    nodes: int
+    strategy: str
+    setup_s: float  # replicated components + seed ranking (Amdahl floor)
+    assemble_max: float  # slowest rank's threaded per-component assembly
+    assemble_min: float  # fastest rank's (imbalance witness)
+    gather_s: float  # keyed contig-string allgather
+
+    @property
+    def total_s(self) -> float:
+        return self.setup_s + self.assemble_max + self.gather_s
+
+    @property
+    def imbalance(self) -> float:
+        return (
+            self.assemble_max / self.assemble_min
+            if self.assemble_min > 0
+            else float("inf")
+        )
+
+    @property
+    def comm_share(self) -> float:
+        return self.gather_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def simulate_inchworm_point(
+    nodes: int,
+    component_costs: Sequence[float],
+    calibration: PaperCalibration = CALIBRATION,
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+    chunk_size: Optional[int] = None,
+    network: NetworkModel = IDATAPLEX_FDR10,
+    contig_bytes: float = 0.0,
+) -> InchwormScalingPoint:
+    """Simulate the distributed Inchworm deal at one node count.
+
+    Mirrors :func:`repro.parallel.mpi_inchworm.mpi_inchworm`: every rank
+    pays the replicated component/seed-rank setup (the stage's serial
+    region), components — weighted by their k-mer count mass — are dealt
+    by the cost-blind chunked round-robin or the master's LPT, each rank
+    assembles its components on an ``nthreads`` team (modelled as one
+    dynamically-scheduled pool over the component costs, like the
+    Butterfly/Chrysalis replays), and the only collective is the keyed
+    contig-string allgather.  Absolute time is anchored by the paper's
+    Fig 2 serial Inchworm reading (``inchworm_serial_s``), spread over
+    the components proportionally to their count mass.
+    """
+    if nodes <= 0:
+        raise ScheduleError(f"nodes must be positive, got {nodes}")
+    costs = np.asarray(component_costs, dtype=float)
+    total_mass = float(costs.sum())
+    serial = calibration.inchworm_serial_s
+    unit = _IW_ASSEMBLE_SHARE * serial / total_mass if total_mass > 0 else 0.0
+    scaled = costs * unit
+    mine = _deal_indices(nodes, scaled, nthreads, strategy, chunk_size)
+    times = np.array(
+        [dynamic_makespan(scaled[idx], nthreads) if idx else 0.0 for idx in mine]
+    )
+    gather = network.allgatherv(nodes, contig_bytes) if nodes > 1 else 0.0
+    return InchwormScalingPoint(
+        nodes=nodes,
+        strategy=strategy,
+        setup_s=_IW_SETUP_SHARE * serial,
+        assemble_max=float(times.max()),
+        assemble_min=float(times.min()),
+        gather_s=float(gather),
+    )
+
+
+def simulate_inchworm_scaling(
+    nodes_list: Sequence[int],
+    component_costs: Sequence[float],
+    calibration: PaperCalibration = CALIBRATION,
+    nthreads: int = 16,
+    strategy: str = "round_robin",
+    network: NetworkModel = IDATAPLEX_FDR10,
+    contig_bytes: float = 0.0,
+) -> List[InchwormScalingPoint]:
+    """The fig-inchworm sweep over node counts for one strategy."""
+    return [
+        simulate_inchworm_point(
+            n, component_costs, calibration,
+            nthreads=nthreads, strategy=strategy, network=network,
+            contig_bytes=contig_bytes,
+        )
+        for n in nodes_list
+    ]
+
+
+def inchworm_serial_baseline_s(calibration: PaperCalibration = CALIBRATION) -> float:
+    """The front-end-node serial Inchworm time (paper Fig 2: ~5 h)."""
+    return calibration.inchworm_serial_s
+
+
+# ---------------------------------------------------------------------------
 # Bowtie (Fig 10)
 # ---------------------------------------------------------------------------
 

@@ -512,6 +512,10 @@ class ThreadedInchwormResult:
     thread_clocks: np.ndarray  # virtual seconds per simulated thread
     n_steps: int  # kernel dispatches (lockstep batches + scalar probes)
     n_deferred: int  # speculative lives discarded after a claim race
+    #: Seed-order index (position in this run's ``_seed_order`` stream) of
+    #: each emitted contig's seed, parallel to ``contigs`` — the key the
+    #: distributed merge sorts on to re-emit the global serial sequence.
+    seed_orders: Optional[List[int]] = None
 
     def as_span_attrs(self) -> dict:
         return {
@@ -598,6 +602,7 @@ class _InchwormEngine:
         # lockstep width so seed pops keep pace with k-mer claims.
         self.pop_quota = [batch_size] * n_threads
         self.contigs: List[Contig] = []
+        self.contig_orders: List[int] = []  # seed-order index per emitted contig
         self.clocks = np.zeros(n_threads)
         self.serial_time = 0.0
         self.n_steps = 0
@@ -892,6 +897,7 @@ class _InchwormEngine:
         self.contigs.append(
             Contig(name=f"iw_contig_{len(self.contigs)}", seq=seq, coverage=coverage)
         )
+        self.contig_orders.append(spec.order_idx)
 
 
 def inchworm_assemble_batched(
@@ -953,6 +959,7 @@ def inchworm_assemble_threaded(
             thread_clocks=np.zeros(n_threads),
             n_steps=0,
             n_deferred=0,
+            seed_orders=[],
         )
     engine = _InchwormEngine(filtered, counts.canonical, cfg, n_threads, batch_size, slowdowns)
     engine.run()
@@ -968,6 +975,7 @@ def inchworm_assemble_threaded(
         thread_clocks=engine.clocks,
         n_steps=engine.n_steps,
         n_deferred=engine.arbiter.n_doomed,
+        seed_orders=engine.contig_orders,
     )
 
 

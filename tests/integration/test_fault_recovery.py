@@ -197,12 +197,13 @@ class TestDriverFaultsAndCheckpoints:
             "mpi_bowtie.ckpt.pkl",
             "mpi_chrysalis_backend.ckpt.pkl",
             "mpi_graph_from_fasta.ckpt.pkl",
+            "mpi_inchworm.ckpt.pkl",
             "mpi_jellyfish.ckpt.pkl",
             "mpi_reads_to_transcripts.ckpt.pkl",
         ]
         restores_before = GLOBAL_METRICS.get("checkpoint.restores")
         second = ParallelTrinityDriver(cfg).run(smoke_reads, checkpoint_dir=ckpt)
-        assert GLOBAL_METRICS.get("checkpoint.restores") == restores_before + 5
+        assert GLOBAL_METRICS.get("checkpoint.restores") == restores_before + 6
         assert sorted(t.seq for t in second.outputs.transcripts) == sorted(
             t.seq for t in first.outputs.transcripts
         )

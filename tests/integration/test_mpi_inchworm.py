@@ -1,0 +1,223 @@
+"""Integration tests for the distributed component-partitioned Inchworm.
+
+The invariant everything else hangs off: at every rank count, under both
+deal strategies, with or without an injected rank crash, single-thread
+``mpi_inchworm`` reproduces serial ``inchworm_assemble`` *exactly* — the
+greedy walk can never leave its seed's k-mer-graph component, and a
+component-local seed order is the global order restricted to the
+component, so the keyed merge re-emits the serial sequence byte for
+byte.  Thread-team stragglers stretch virtual clocks only; the output
+never depends on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.mpi import CrashFault, FaultPlan, StragglerFault, mpirun
+from repro.parallel.driver import (
+    ParallelTrinityConfig,
+    ParallelTrinityDriver,
+    _inchworm_slowdown_table,
+)
+from repro.parallel.mpi_inchworm import (
+    InchwormInputs,
+    InchwormStageConfig,
+    mpi_inchworm,
+)
+from repro.parallel.recovery import mpirun_with_recovery
+from repro.seq.records import SeqRecord
+from repro.trinity import TrinityConfig
+from repro.trinity.inchworm import InchwormConfig, inchworm_assemble
+from repro.trinity.jellyfish import jellyfish_count
+from repro.trinity.pipeline import TrinityPipeline
+
+NPROCS = 8
+
+
+@pytest.fixture(scope="module")
+def serial_contigs(smoke_counts):
+    return inchworm_assemble(smoke_counts, InchwormConfig(seed=1))
+
+
+class TestSerialEquality:
+    @pytest.mark.parametrize("nprocs", [1, 3, NPROCS])
+    @pytest.mark.parametrize("strategy", ["round_robin", "dynamic"])
+    def test_matches_serial_exactly(
+        self, smoke_counts, serial_contigs, nprocs, strategy
+    ):
+        run = mpirun(
+            mpi_inchworm, nprocs,
+            InchwormInputs(counts=smoke_counts),
+            InchwormStageConfig(inchworm=InchwormConfig(seed=1), strategy=strategy),
+        )
+        for r in run.outputs:
+            # Every rank returns the identical full seed-ordered list.
+            assert r.outputs.contigs == serial_contigs
+
+    def test_file_bytes_identical_to_serial_write(
+        self, smoke_reads, smoke_counts, serial_contigs, tmp_path
+    ):
+        serial = TrinityPipeline(TrinityConfig(seed=1)).run(
+            smoke_reads, workdir=tmp_path / "serial"
+        )
+        run = mpirun(
+            mpi_inchworm, 3,
+            InchwormInputs(counts=smoke_counts),
+            InchwormStageConfig(
+                inchworm=InchwormConfig(seed=1), workdir=tmp_path / "mpi"
+            ),
+        )
+        out = run.outputs[0].out_path
+        assert out == tmp_path / "mpi" / "inchworm.contigs.fa"
+        assert (
+            out.read_bytes()
+            == serial.outputs.files["inchworm_contigs"].read_bytes()
+        )
+
+    def test_threaded_output_invariant_in_nprocs(self, smoke_counts):
+        # At n_threads > 1 the output depends only on (seed, n_threads):
+        # the deal and the rank count must never show through.
+        runs = [
+            mpirun(
+                mpi_inchworm, nprocs,
+                InchwormInputs(counts=smoke_counts),
+                InchwormStageConfig(
+                    inchworm=InchwormConfig(seed=1),
+                    n_threads=4,
+                    strategy=strategy,
+                ),
+            )
+            for nprocs in (1, 3, NPROCS)
+            for strategy in ("round_robin", "dynamic")
+        ]
+        first = runs[0].outputs[0].outputs.contigs
+        assert all(r.outputs[0].outputs.contigs == first for r in runs[1:])
+
+    def test_empty_counter(self):
+        counts = jellyfish_count([], 25)
+        run = mpirun(
+            mpi_inchworm, 3,
+            InchwormInputs(counts=counts),
+            InchwormStageConfig(inchworm=InchwormConfig(seed=1)),
+        )
+        for r in run.outputs:
+            assert r.outputs.contigs == []
+            assert r.outputs.n_components == 0
+
+
+class TestRecovery:
+    @pytest.mark.timeout(120)
+    @pytest.mark.parametrize("strategy", ["round_robin", "dynamic"])
+    def test_crash_recovery_byte_identical(
+        self, smoke_counts, serial_contigs, strategy
+    ):
+        plan = FaultPlan(crashes=(CrashFault(rank=2, phase="inchworm:assemble"),))
+        rec = mpirun_with_recovery(
+            mpi_inchworm, NPROCS,
+            InchwormInputs(counts=smoke_counts),
+            InchwormStageConfig(inchworm=InchwormConfig(seed=1), strategy=strategy),
+            faults=plan,
+        )
+        # The deal is a pure function of (counter, nprocs), so the
+        # survivor re-deal reproduces the identical merged contigs.
+        assert len(rec.outputs) == NPROCS - 1
+        assert rec.outputs[0].outputs.contigs == serial_contigs
+        assert rec.metrics["faults.rank_losses"] == 1.0
+
+
+class TestStragglers:
+    def test_straggler_on_non_owner_rank_leaves_output_untouched(self):
+        # One long read -> every k-mer chains into a single component,
+        # which the round-robin deal hands to rank 0.  A straggler mapped
+        # to rank 2's thread 0 (flat id 2 * n_threads) slows a rank that
+        # owns nothing: the contigs must be bit-identical to fault-free.
+        rng = np.random.default_rng(7)
+        seq = "".join(rng.choice(list("ACGT"), size=120).tolist())
+        # Two copies clear the error-kmer filter (min_kmer_count).
+        counts = jellyfish_count([SeqRecord("r0", seq), SeqRecord("r1", seq)], 25)
+        n_threads = 2
+        plan = FaultPlan(
+            stragglers=(StragglerFault(rank=2 * n_threads, slowdown=50.0),)
+        )
+        table = _inchworm_slowdown_table(plan, nprocs=3, n_threads=n_threads)
+        assert table is not None
+        assert table[2][0] == 50.0 and table[0] == (1.0,) * n_threads
+        base = mpirun(
+            mpi_inchworm, 3,
+            InchwormInputs(counts=counts),
+            InchwormStageConfig(inchworm=InchwormConfig(seed=1), n_threads=n_threads),
+        )
+        slowed = mpirun(
+            mpi_inchworm, 3,
+            InchwormInputs(counts=counts),
+            InchwormStageConfig(
+                inchworm=InchwormConfig(seed=1),
+                n_threads=n_threads,
+                thread_slowdowns=table,
+            ),
+        )
+        assert base.outputs[0].metrics["n_components"] == 1.0
+        assert slowed.outputs[0].outputs.contigs == base.outputs[0].outputs.contigs
+
+    def test_flat_ids_map_to_rank_thread_pairs(self):
+        # flat id = rank * n_threads + thread, rank-major.
+        plan = FaultPlan(
+            stragglers=(
+                StragglerFault(rank=1, slowdown=3.0),  # rank 0, thread 1
+                StragglerFault(rank=5, slowdown=7.0),  # rank 2, thread 1
+                StragglerFault(rank=6, slowdown=9.0),  # beyond 3x2: dropped
+            )
+        )
+        table = _inchworm_slowdown_table(plan, nprocs=3, n_threads=2)
+        assert table == ((1.0, 3.0), (1.0, 1.0), (1.0, 7.0))
+
+
+class TestMetrics:
+    def test_stage_metrics_present(self, smoke_counts):
+        run = mpirun(
+            mpi_inchworm, 3,
+            InchwormInputs(counts=smoke_counts),
+            InchwormStageConfig(inchworm=InchwormConfig(seed=1)),
+        )
+        per_rank = run.outputs
+        r = per_rank[0]
+        assert r.metrics["components_time"] >= 0
+        assert r.metrics["deal_time"] >= 0
+        assert r.metrics["assemble_time"] > 0
+        assert r.metrics["merge_time"] >= 0
+        assert r.metrics["n_components"] > 0
+        # The deal tiles the components exactly across the ranks.
+        assert (
+            sum(x.metrics["n_local_components"] for x in per_rank)
+            == r.metrics["n_components"]
+        )
+        assert r.metrics["n_contigs"] == len(r.outputs.contigs)
+        assert run.makespan > 0
+
+    def test_config_validation(self):
+        with pytest.raises(PipelineError):
+            InchwormStageConfig(strategy="nope")
+        with pytest.raises(PipelineError):
+            InchwormStageConfig(n_threads=0)
+
+
+class TestDriverIntegration:
+    @pytest.mark.timeout(300)
+    def test_driver_runs_inchworm_distributed(self, smoke_reads, tmp_path):
+        cfg = ParallelTrinityConfig(trinity=TrinityConfig(seed=1), nprocs=3, nthreads=2)
+        driver = ParallelTrinityDriver(cfg)
+        result = driver.run(smoke_reads, workdir=tmp_path)
+        iw = driver.last_timings.inchworm
+        # The stage really ran under mpirun: per-rank results with a
+        # virtual makespan, not a front-end call on the driver thread.
+        assert len(iw.outputs) == 3
+        assert iw.makespan > 0
+        assert result.metrics["mpi.inchworm_makespan_s"] == iw.makespan
+        assert "inchworm[mpi]" in result.outputs.timeline.stages()
+        serial = inchworm_assemble(
+            jellyfish_count(smoke_reads, cfg.trinity.k), cfg.trinity.inchworm()
+        )
+        assert result.outputs.contigs == serial
+        contig_file = result.outputs.files["inchworm_contigs"]
+        assert contig_file.read_bytes() and contig_file.name == "inchworm.contigs.fa"

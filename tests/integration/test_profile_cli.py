@@ -33,6 +33,17 @@ class TestProfileCli:
         }
         assert thread_names == {"driver", "rank 0", "rank 1", "rank 2", "rank 3"}
 
+    def test_inchworm_profile_prints_breakdown(self, capsys):
+        rc = main(
+            ["profile", "--stage", "inchworm", "--nprocs", "4", "--nthreads", "2",
+             "--recipe", "whitefly-mini"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path of" in out
+        assert "inchworm:" in out  # the stage's own region labels
+        assert "rank   0 |" in out
+
     def test_profile_feeds_global_metrics(self, capsys):
         before = GLOBAL_METRICS.get("mpirun.mpi_graph_from_fasta.runs")
         rc = main(

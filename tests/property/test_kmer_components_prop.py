@@ -1,0 +1,86 @@
+"""Property-based tests for the k-mer component kernel (hypothesis).
+
+The vectorised Shiloach-Vishkin labelling must equal a naive BFS over
+the same overlap edges for *any* k-mer set — random codes or the k-mer
+spectrum of random DNA — in both canonical and directed mode.
+"""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.seq.kmer_index import KmerCounter
+from repro.seq.kmers import canonical_kmers
+from repro.trinity.kmer_components import (
+    component_members,
+    kmer_components,
+    overlap_edges,
+)
+
+K = 6
+
+dna = st.text(alphabet="ACGT", min_size=K, max_size=120)
+
+
+def _bfs_labels(n, u, v):
+    adj = [[] for _ in range(n)]
+    for a, b in zip(u.tolist(), v.tolist()):
+        adj[a].append(b)
+        adj[b].append(a)
+    labels = np.full(n, -1, dtype=np.intp)
+    for start in range(n):
+        if labels[start] != -1:
+            continue
+        seen = [start]
+        labels[start] = start
+        queue = deque([start])
+        while queue:
+            x = queue.popleft()
+            for y in adj[x]:
+                if labels[y] == -1:
+                    labels[y] = start
+                    seen.append(y)
+                    queue.append(y)
+        labels[np.array(seen)] = min(seen)
+    return labels
+
+
+def _counter_from_dna(seq: str) -> KmerCounter:
+    codes, counts = np.unique(canonical_kmers(seq, K), return_counts=True)
+    return KmerCounter(K, codes.astype(np.int64), counts.astype(np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna)
+def test_labels_match_bfs_on_dna_spectra(seq):
+    counter = _counter_from_dna(seq)
+    u, v = overlap_edges(counter, canonical=True)
+    assert np.array_equal(
+        kmer_components(counter, canonical=True), _bfs_labels(len(counter), u, v)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.booleans())
+def test_labels_match_bfs_on_random_codes(seed, canonical):
+    rng = np.random.default_rng(seed)
+    codes = np.unique(rng.integers(0, 4**K, size=200, dtype=np.int64))
+    counter = KmerCounter(K, codes, np.ones(codes.size, dtype=np.int64))
+    u, v = overlap_edges(counter, canonical)
+    assert np.array_equal(
+        kmer_components(counter, canonical), _bfs_labels(len(counter), u, v)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(dna)
+def test_members_partition_positions(seq):
+    counter = _counter_from_dna(seq)
+    labels = kmer_components(counter, canonical=True)
+    members = component_members(labels)
+    flat = np.concatenate(members) if members else np.empty(0, dtype=np.intp)
+    assert sorted(flat.tolist()) == list(range(len(counter)))
+    for m in members:
+        assert np.all(labels[m] == m[0])

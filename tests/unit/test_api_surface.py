@@ -88,6 +88,28 @@ class TestStageSpecs:
             assert is_dataclass(bundle)
             assert bundle.__doc__
 
+    def test_mpi_inchworm_spec_well_formed(self):
+        """The distributed Inchworm stage carries a complete StageSpec."""
+        from dataclasses import is_dataclass
+
+        from repro.parallel import (
+            InchwormInputs,
+            InchwormOutputs,
+            InchwormStageConfig,
+            mpi_inchworm,
+        )
+        from repro.parallel.stage import STAGES
+
+        spec = STAGES["inchworm"]
+        assert spec.fn is mpi_inchworm
+        assert mpi_inchworm.stage_spec is spec
+        assert spec.inputs_type is InchwormInputs
+        assert spec.config_type is InchwormStageConfig
+        assert spec.outputs_type is InchwormOutputs
+        for bundle in (InchwormInputs, InchwormStageConfig, InchwormOutputs):
+            assert is_dataclass(bundle)
+            assert bundle.__doc__
+
 
 class TestErrorHierarchy:
     def test_all_derive_from_repro_error(self):

@@ -42,6 +42,7 @@ class TestRegistry:
             "chrysalis-backend",
             "gff",
             "gff-sharded-setup",
+            "inchworm",
             "jellyfish",
             "rtt",
             "rtt-master-slave",
